@@ -1,0 +1,40 @@
+# GPSA-Go — common tasks
+
+GO ?= go
+
+.PHONY: all build test race vet fmt bench repro examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/actor ./internal/core ./internal/cluster ./internal/xstream
+
+vet:
+	$(GO) vet ./...
+	gofmt -l .
+
+# One benchmark iteration per paper figure cell.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime 1x .
+
+# Regenerate the paper's full evaluation (Table I, Figs 7-11, ablations,
+# scalability) at default scales; see EXPERIMENTS.md for recorded output.
+repro:
+	$(GO) run ./cmd/gpsa-bench -exp all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/pagerank-web
+	$(GO) run ./examples/bfs-social
+	$(GO) run ./examples/cc-components
+	$(GO) run ./examples/fault-tolerance
+	$(GO) run ./examples/distributed
+
+clean:
+	$(GO) clean ./...

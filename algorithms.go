@@ -1,0 +1,98 @@
+package gpsa
+
+import (
+	"math"
+
+	"repro/internal/algorithms"
+)
+
+// PageRank runs the paper's message-driven PageRank (damping 0.85) for
+// opts.Supersteps supersteps (default 5, the paper's measurement length)
+// and returns the unnormalized rank of every vertex.
+func PageRank(graphPath string, opts RunOptions) ([]float64, *Result, error) {
+	if opts.Supersteps == 0 {
+		opts.Supersteps = 5
+	}
+	vals, res, err := Run(graphPath, algorithms.PageRank{}, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer vals.Close()
+	out := make([]float64, vals.NumVertices())
+	for v := range out {
+		out[v] = algorithms.RankOf(vals.Raw(int64(v)))
+	}
+	return out, res, nil
+}
+
+// BFS runs breadth-first search from root and returns hop levels, with -1
+// marking unreached vertices.
+func BFS(graphPath string, root VertexID, opts RunOptions) ([]int64, *Result, error) {
+	vals, res, err := Run(graphPath, algorithms.BFS{Root: root}, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer vals.Close()
+	out := make([]int64, vals.NumVertices())
+	for v := range out {
+		if lvl := vals.Uint(int64(v)); lvl == algorithms.Unreached {
+			out[v] = -1
+		} else {
+			out[v] = int64(lvl)
+		}
+	}
+	return out, res, nil
+}
+
+// Components labels every vertex with the smallest vertex id reachable
+// along the graph's directed edges under label propagation. For weakly
+// connected components, save a symmetrized graph (CSR.Symmetrize) first.
+func Components(graphPath string, opts RunOptions) ([]VertexID, *Result, error) {
+	vals, res, err := Run(graphPath, algorithms.ConnectedComponents{}, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer vals.Close()
+	out := make([]VertexID, vals.NumVertices())
+	for v := range out {
+		out[v] = VertexID(vals.Uint(int64(v)))
+	}
+	return out, res, nil
+}
+
+// SSSP computes single-source shortest paths over edge weights; +Inf
+// marks unreached vertices. The graph must have been saved with weights.
+func SSSP(graphPath string, source VertexID, opts RunOptions) ([]float64, *Result, error) {
+	vals, res, err := Run(graphPath, algorithms.SSSP{Source: source}, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer vals.Close()
+	out := make([]float64, vals.NumVertices())
+	for v := range out {
+		out[v] = algorithms.DistOf(vals.Raw(int64(v)))
+	}
+	return out, res, nil
+}
+
+// DeltaPageRank runs the convergent delta-based PageRank extension until
+// residuals drop below epsilon (0 = default 1e-4) and returns ranks.
+func DeltaPageRank(graphPath string, epsilon float64, opts RunOptions) ([]float64, *Result, error) {
+	if opts.Supersteps == 0 {
+		opts.Supersteps = 500
+	}
+	vals, res, err := Run(graphPath, algorithms.DeltaPageRank{Epsilon: epsilon}, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer vals.Close()
+	out := make([]float64, vals.NumVertices())
+	for v := range out {
+		out[v] = algorithms.DeltaRankOf(vals.Raw(int64(v)))
+	}
+	return out, res, nil
+}
+
+// Unreachable reports whether an SSSP distance denotes an unreached
+// vertex.
+func Unreachable(dist float64) bool { return math.IsInf(dist, 1) }

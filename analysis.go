@@ -1,0 +1,66 @@
+package gpsa
+
+import (
+	"repro/internal/algorithms"
+	"repro/internal/graph"
+	"repro/internal/mmap"
+)
+
+// GraphStats summarizes an on-disk CSR graph (degree distribution,
+// self-loops, extremes). See the gpsa-inspect command for a CLI view.
+type GraphStats = graph.FileStats
+
+// Stats scans the graph file at path and returns its summary.
+func Stats(graphPath string) (GraphStats, error) {
+	f, err := graph.OpenFile(graphPath, mmap.ModeAuto)
+	if err != nil {
+		return GraphStats{}, err
+	}
+	defer f.Close()
+	return f.Stats()
+}
+
+// Diameter estimates the graph's diameter by running samples simultaneous
+// BFS traversals (one mask bit each, at most 62) with the GPSA engine and
+// reporting the farthest distance any sampled source reached — a lower
+// bound that tightens with more samples. Use a symmetrized graph for the
+// undirected diameter.
+func Diameter(graphPath string, samples int, seed int64, opts RunOptions) (int, *Result, error) {
+	gf, err := graph.OpenFile(graphPath, mmap.ModeAuto)
+	if err != nil {
+		return 0, nil, err
+	}
+	numVertices := gf.NumVertices
+	gf.Close()
+	sources := algorithms.SampleSources(numVertices, samples, seed)
+
+	var updates []int64
+	prev := opts.Progress
+	opts.Progress = func(s StepStats) {
+		updates = append(updates, s.Updates)
+		if prev != nil {
+			prev(s)
+		}
+	}
+	vals, res, err := Run(graphPath, algorithms.ReachSet{Sources: sources}, opts)
+	if err != nil {
+		return 0, nil, err
+	}
+	vals.Close()
+	return algorithms.DiameterFromSteps(updates), res, nil
+}
+
+// Communities runs TTL-bounded label propagation and returns each
+// vertex's community label (see algorithms.LabelPropagation).
+func Communities(graphPath string, rounds uint16, opts RunOptions) ([]VertexID, *Result, error) {
+	vals, res, err := Run(graphPath, algorithms.LabelPropagation{Rounds: rounds}, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer vals.Close()
+	out := make([]VertexID, vals.NumVertices())
+	for v := range out {
+		out[v] = algorithms.LPLabelOf(vals.Raw(int64(v)))
+	}
+	return out, res, nil
+}

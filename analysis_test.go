@@ -1,0 +1,110 @@
+package gpsa_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/algorithms"
+	"repro/internal/graph"
+)
+
+func TestStatsFacade(t *testing.T) {
+	path, g := saveSample(t)
+	st, err := gpsa.Stats(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumVertices != g.NumVertices || st.NumEdges != g.NumEdges {
+		t.Fatalf("stats dims (%d, %d), want (%d, %d)", st.NumVertices, st.NumEdges, g.NumVertices, g.NumEdges)
+	}
+	if _, err := gpsa.Stats("/does/not/exist"); err == nil {
+		t.Fatal("Stats on missing file succeeded")
+	}
+}
+
+func TestDiameterFacadeOnPath(t *testing.T) {
+	// Symmetric path of 12 vertices: sampling every vertex as a source
+	// (12 < 62) yields the exact diameter 11.
+	var edges []gpsa.Edge
+	for v := gpsa.VertexID(0); v < 11; v++ {
+		edges = append(edges, gpsa.Edge{Src: v, Dst: v + 1}, gpsa.Edge{Src: v + 1, Dst: v})
+	}
+	g, err := gpsa.BuildGraph(edges, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/p.gpsa"
+	if err := gpsa.SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	d, res, err := gpsa.Diameter(path, 62, 1, gpsa.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("diameter run did not converge")
+	}
+	if d != 11 {
+		t.Fatalf("diameter = %d, want 11", d)
+	}
+}
+
+func TestCommunitiesFacade(t *testing.T) {
+	// Two 3-cliques joined by nothing: communities = components.
+	var edges []gpsa.Edge
+	for _, base := range []gpsa.VertexID{0, 3} {
+		for i := gpsa.VertexID(0); i < 3; i++ {
+			for j := gpsa.VertexID(0); j < 3; j++ {
+				if i != j {
+					edges = append(edges, gpsa.Edge{Src: base + i, Dst: base + j})
+				}
+			}
+		}
+	}
+	g, err := gpsa.BuildGraph(edges, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/c.gpsa"
+	if err := gpsa.SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	labels, _, err := gpsa.Communities(path, 5, gpsa.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 3; v++ {
+		if labels[v] != 0 {
+			t.Fatalf("vertex %d label %d, want 0", v, labels[v])
+		}
+	}
+	for v := 3; v < 6; v++ {
+		if labels[v] != 3 {
+			t.Fatalf("vertex %d label %d, want 3", v, labels[v])
+		}
+	}
+}
+
+func TestDiameterMatchesSerialEstimator(t *testing.T) {
+	g, err := graph.FromEdges([]graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 0},
+		{Src: 1, Dst: 2}, {Src: 2, Dst: 1},
+		{Src: 2, Dst: 3}, {Src: 3, Dst: 2},
+	}, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := algorithms.SampleSources(4, 4, 9)
+	want := algorithms.EstimateDiameter(g, sources)
+	path := t.TempDir() + "/d.gpsa"
+	if err := gpsa.SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := gpsa.Diameter(path, 4, 9, gpsa.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("facade diameter %d, serial %d", got, want)
+	}
+}

@@ -1,0 +1,215 @@
+// Benchmarks regenerating the paper's evaluation (Table I, Figures 7–11)
+// plus ablations of GPSA's design choices. Each figure benchmark has one
+// sub-benchmark per (algorithm, system) bar of the paper's chart; the
+// reported metrics are seconds per measured run (the paper's elapsed time
+// of five supersteps) and average CPU utilization.
+//
+// Datasets are R-MAT graphs with the paper's Table I shapes, scaled down
+// by the per-figure default (override with GPSA_BENCH_SCALE=<divisor>).
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package gpsa_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/gen"
+)
+
+// benchScales are the default divisors applied to Table I sizes so the
+// full suite finishes on a laptop. GPSA_BENCH_SCALE overrides all four.
+var benchScales = map[string]int64{
+	"google":          16,
+	"soc-pokec":       64,
+	"soc-liveJournal": 128,
+	"twitter-2010":    2048,
+}
+
+func scaleFor(ds gen.Dataset) int64 {
+	if s := os.Getenv("GPSA_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return benchScales[ds.Name]
+}
+
+// artifact cache: building (generate, symmetrize, CSR, X-Stream layout)
+// is expensive and shared across sub-benchmarks.
+var (
+	artMu    sync.Mutex
+	artCache = map[string]*bench.Artifacts{}
+	artDirs  []string
+)
+
+func artifactsFor(b *testing.B, ds gen.Dataset, scale int64) *bench.Artifacts {
+	b.Helper()
+	key := fmt.Sprintf("%s@%d", ds.Name, scale)
+	artMu.Lock()
+	defer artMu.Unlock()
+	if a, ok := artCache[key]; ok {
+		return a
+	}
+	dir, err := os.MkdirTemp("", "gpsa-bench-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := bench.BuildArtifacts(ds, scale, 1, dir)
+	if err != nil {
+		os.RemoveAll(dir)
+		b.Fatalf("building %s artifacts: %v", key, err)
+	}
+	artCache[key] = a
+	artDirs = append(artDirs, dir)
+	return a
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	for _, d := range artDirs {
+		os.RemoveAll(d)
+	}
+	os.Exit(code)
+}
+
+// benchFigure runs one of the paper's Figures 7–10: every (algorithm,
+// system) cell as a sub-benchmark.
+func benchFigure(b *testing.B, ds gen.Dataset) {
+	scale := scaleFor(ds)
+	for _, alg := range bench.AllAlgos {
+		for _, sys := range bench.AllSystems {
+			b.Run(fmt.Sprintf("%s/%s", alg, sys), func(b *testing.B) {
+				a := artifactsFor(b, ds, scale)
+				opts := bench.Options{Runs: 1, Supersteps: 5}
+				b.ResetTimer()
+				var cpu float64
+				var perStep float64
+				for i := 0; i < b.N; i++ {
+					cell, err := bench.MeasureCell(a, sys, alg, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cpu += cell.CPUPercent
+					perStep += cell.PerStep
+				}
+				b.ReportMetric(cpu/float64(b.N), "cpu%")
+				b.ReportMetric(perStep/float64(b.N), "s/superstep")
+			})
+		}
+	}
+}
+
+// BenchmarkTableI regenerates Table I: dataset generation plus CSR
+// preprocessing for each of the paper's four graphs.
+func BenchmarkTableI(b *testing.B) {
+	for _, ds := range gen.PaperDatasets {
+		ds := ds
+		b.Run(ds.Name, func(b *testing.B) {
+			scale := scaleFor(ds)
+			dir := b.TempDir()
+			for i := 0; i < b.N; i++ {
+				rows, err := bench.RunTable1(scale, 1, dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = rows
+				break // one generation is representative; Table I is not a timing experiment
+			}
+		})
+	}
+}
+
+// BenchmarkFig7 is the google graph comparison (paper: the one GPSA
+// loses — the graph fits in memory).
+func BenchmarkFig7(b *testing.B) { benchFigure(b, gen.Google) }
+
+// BenchmarkFig8 is the soc-pokec comparison.
+func BenchmarkFig8(b *testing.B) { benchFigure(b, gen.SocPokec) }
+
+// BenchmarkFig9 is the soc-LiveJournal comparison.
+func BenchmarkFig9(b *testing.B) { benchFigure(b, gen.LiveJournal) }
+
+// BenchmarkFig10 is the twitter-2010 comparison (scaled; set
+// GPSA_BENCH_SCALE=1 and a lot of patience for full size).
+func BenchmarkFig10(b *testing.B) { benchFigure(b, gen.Twitter2010) }
+
+// BenchmarkFig11 is the CPU utilization comparison; the cpu% metric is
+// the figure's y-axis.
+func BenchmarkFig11(b *testing.B) {
+	ds := gen.SocPokec
+	scale := scaleFor(ds)
+	for _, sys := range bench.AllSystems {
+		b.Run(string(sys), func(b *testing.B) {
+			a := artifactsFor(b, ds, scale)
+			opts := bench.Options{Runs: 1, Supersteps: 5}
+			b.ResetTimer()
+			var cpu float64
+			for i := 0; i < b.N; i++ {
+				cell, err := bench.MeasureCell(a, sys, bench.AlgoPageRank, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cpu += cell.CPUPercent
+			}
+			b.ReportMetric(cpu/float64(b.N), "cpu%")
+		})
+	}
+}
+
+// BenchmarkAblation measures the design choices DESIGN.md calls out.
+func BenchmarkAblation(b *testing.B) {
+	run := func(b *testing.B, opts bench.AblationOptions) []bench.AblationResult {
+		b.Helper()
+		rs, err := bench.RunAblations(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rs
+	}
+	b.Run("all", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rs := run(b, bench.AblationOptions{
+				Dataset: gen.SocPokec,
+				Scale:   scaleFor(gen.SocPokec),
+				Seed:    1,
+				Runs:    1,
+				WorkDir: b.TempDir(),
+			})
+			if i == 0 && testing.Verbose() {
+				b.Log("\n" + bench.FormatAblations(rs))
+			}
+		}
+	})
+}
+
+// BenchmarkDistributed measures the TCP cluster extension: PageRank on
+// soc-pokec across cluster sizes (all nodes in-process over loopback).
+func BenchmarkDistributed(b *testing.B) {
+	ds := gen.SocPokec
+	scale := scaleFor(ds)
+	a := artifactsFor(b, ds, scale)
+	for _, nodes := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, _, err := cluster.Run(a.CSRPath, algorithms.PageRank{}, cluster.Config{
+					Nodes:         nodes,
+					MaxSupersteps: 5,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Supersteps != 5 {
+					b.Fatalf("ran %d supersteps", res.Supersteps)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,33 @@
+package gpsa
+
+import (
+	"repro/internal/cluster"
+)
+
+// ClusterOptions tunes RunDistributed.
+type ClusterOptions struct {
+	// Nodes is the number of cluster nodes (default 2); small graphs may
+	// run on fewer.
+	Nodes int
+	// Supersteps caps the run (0 = run to convergence, up to 100).
+	Supersteps int
+	// ComputersPerNode sizes each node's computing actor pool (0 = 2).
+	ComputersPerNode int
+}
+
+// ClusterResult summarizes a distributed run.
+type ClusterResult = cluster.Result
+
+// RunDistributed executes prog over the on-disk CSR graph at graphPath on
+// an in-process TCP cluster — the paper's actor model extended across
+// nodes. It returns the final payload of every vertex. Each node owns a
+// contiguous, edge-balanced vertex interval with its own value file;
+// cross-node messages travel over loopback TCP and fold on arrival, so
+// the dispatch/compute overlap spans the cluster.
+func RunDistributed(graphPath string, prog Program, opts ClusterOptions) (*ClusterResult, []uint64, error) {
+	return cluster.Run(graphPath, prog, cluster.Config{
+		Nodes:         opts.Nodes,
+		MaxSupersteps: opts.Supersteps,
+		Node:          cluster.NodeConfig{Computers: opts.ComputersPerNode},
+	})
+}

@@ -1,0 +1,175 @@
+// Command gpsa-bench regenerates the paper's evaluation tables and
+// figures: Table I (datasets), Figures 7–10 (PageRank / CC / BFS runtimes
+// on four graphs across GPSA, GraphChi and X-Stream), Figure 11 (CPU
+// utilization) and the DESIGN.md ablations.
+//
+// Usage:
+//
+//	gpsa-bench -exp all                 # everything, default scales
+//	gpsa-bench -exp fig8 -scale 8       # one figure at a chosen scale
+//	gpsa-bench -exp table1
+//	gpsa-bench -exp ablation
+//
+// Absolute times depend on the host; the paper's qualitative expectation
+// is printed next to each figure so the shape can be compared directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"repro/internal/bench"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+)
+
+// writeFigureCSV saves one figure's cells for external plotting.
+func writeFigureCSV(dir, id string, res *bench.FigureResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, id+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := res.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// defaultScales keeps default runs laptop-sized; -scale overrides.
+var defaultScales = map[string]int64{
+	"google":          1,
+	"soc-pokec":       4,
+	"soc-liveJournal": 8,
+	"twitter-2010":    64,
+}
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: table1, fig7, fig8, fig9, fig10, fig11, ablation, scalability, all")
+		scale  = flag.Int64("scale", 0, "override the per-dataset default scale (1 = full size)")
+		seed   = flag.Int64("seed", 1, "dataset generator seed")
+		runs   = flag.Int("runs", 3, "averaging runs per cell (paper: 3)")
+		steps  = flag.Int("supersteps", 5, "measured supersteps per run (paper: 5)")
+		work   = flag.String("workdir", "", "scratch directory (default: temp)")
+		csvDir = flag.String("csv", "", "also write each figure's cells as CSV into this directory")
+	)
+	flag.Parse()
+
+	fmt.Printf("host: %d CPUs (GOMAXPROCS %d); paper testbed: 32 cores, 16 GB RAM, 7200RPM disk\n\n",
+		runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	if metrics.ProcessCPUTime() == 0 {
+		fmt.Println("note: process CPU time unavailable; CPU% columns will read 0")
+	}
+
+	figures := map[string]gen.Dataset{
+		"fig7":  gen.Google,
+		"fig8":  gen.SocPokec,
+		"fig9":  gen.LiveJournal,
+		"fig10": gen.Twitter2010,
+	}
+
+	runFigure := func(id string, ds gen.Dataset) {
+		sc := defaultScales[ds.Name]
+		if *scale > 0 {
+			sc = *scale
+		}
+		res, err := bench.RunFigure(bench.Options{
+			Dataset:    ds,
+			Scale:      sc,
+			Seed:       *seed,
+			Runs:       *runs,
+			Supersteps: *steps,
+			WorkDir:    *work,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpsa-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.FormatFigure(id, res))
+		if *csvDir != "" {
+			if err := writeFigureCSV(*csvDir, id, res); err != nil {
+				fmt.Fprintf(os.Stderr, "gpsa-bench: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	want := func(id string) bool { return *exp == "all" || *exp == id }
+
+	if want("table1") {
+		sc := int64(64)
+		if *scale > 0 {
+			sc = *scale
+		}
+		rows, err := bench.RunTable1(sc, *seed, *work)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpsa-bench: table1: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Table I (datasets, generated at 1/%d scale)\n%s\n", sc, bench.FormatTable1(rows))
+	}
+	for _, id := range []string{"fig7", "fig8", "fig9", "fig10"} {
+		if want(id) {
+			runFigure(id, figures[id])
+		}
+	}
+	if want("fig11") {
+		// Fig. 11 is the CPU% column measured across datasets; rerun the
+		// two mid-size graphs and print utilization only.
+		fmt.Println("fig11 — CPU utilization (paper: X-Stream ~100%, GraphChi lowest, GPSA workload-proportional)")
+		fmt.Printf("%-18s %-10s %-10s %8s\n", "Dataset", "Algo", "System", "CPU%")
+		for _, ds := range []gen.Dataset{gen.SocPokec, gen.LiveJournal} {
+			sc := defaultScales[ds.Name]
+			if *scale > 0 {
+				sc = *scale
+			}
+			res, err := bench.RunFigure(bench.Options{
+				Dataset: ds, Scale: sc, Seed: *seed, Runs: *runs, Supersteps: *steps, WorkDir: *work,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gpsa-bench: fig11: %v\n", err)
+				os.Exit(1)
+			}
+			for _, c := range res.Cells {
+				fmt.Printf("%-18s %-10s %-10s %7.1f%%\n", res.Dataset.Name, c.Algo, c.System, c.CPUPercent)
+			}
+		}
+		fmt.Println()
+	}
+	if want("scalability") {
+		sc := int64(8)
+		if *scale > 0 {
+			sc = *scale
+		}
+		pts, err := bench.RunScalability(bench.ScalabilityOptions{
+			Dataset: gen.SocPokec, Scale: sc, Seed: *seed, Runs: *runs, Supersteps: *steps, WorkDir: *work,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpsa-bench: scalability: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("scalability (GPSA PageRank on soc-pokec@1/%d, actor-count sweep — the paper's \"thousands of actors\")\n%s\n",
+			sc, bench.FormatScalability(pts))
+	}
+	if want("ablation") {
+		sc := int64(8)
+		if *scale > 0 {
+			sc = *scale
+		}
+		rs, err := bench.RunAblations(bench.AblationOptions{
+			Dataset: gen.SocPokec, Scale: sc, Seed: *seed, Runs: *runs, Supersteps: *steps, WorkDir: *work,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpsa-bench: ablation: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("ablations (GPSA design choices, PageRank on soc-pokec@1/%d)\n%s\n", sc, bench.FormatAblations(rs))
+	}
+}

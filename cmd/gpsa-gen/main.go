@@ -1,0 +1,113 @@
+// Command gpsa-gen generates deterministic synthetic graphs — either one
+// of the paper's Table I datasets (R-MAT-shaped) or custom dimensions —
+// in .gpsa CSR form, text edge-list form, or both.
+//
+// Usage:
+//
+//	gpsa-gen -dataset soc-pokec -scale 16 -out pokec.gpsa
+//	gpsa-gen -vertices 100000 -edges 1000000 -out custom.gpsa -text custom.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		dataset    = flag.String("dataset", "", "paper dataset: google, soc-pokec, soc-liveJournal, twitter-2010")
+		scale      = flag.Int64("scale", 1, "shrink the dataset by 1/scale")
+		vertices   = flag.Int64("vertices", 0, "custom vertex count (with -edges)")
+		edges      = flag.Int64("edges", 0, "custom edge count")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		weighted   = flag.Bool("weighted", false, "attach uniform random weights")
+		er         = flag.Bool("erdos-renyi", false, "uniform random graph instead of R-MAT")
+		out        = flag.String("out", "", "output .gpsa CSR file")
+		text       = flag.String("text", "", "output text edge-list file")
+		symmetrize = flag.Bool("symmetrize", false, "also write <out>-sym.gpsa (for CC)")
+		compact    = flag.Bool("compact", false, "write the varint-delta compact CSR format")
+	)
+	flag.Parse()
+	if *out == "" && *text == "" {
+		fmt.Fprintln(os.Stderr, "gpsa-gen: at least one of -out / -text is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	v, e := *vertices, *edges
+	name := "custom"
+	if *dataset != "" {
+		ds, ok := gen.FindDataset(*dataset)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gpsa-gen: unknown dataset %q\n", *dataset)
+			os.Exit(2)
+		}
+		scaled := ds.Scaled(*scale)
+		v, e, name = scaled.Vertices, scaled.Edges, scaled.Name
+	}
+	if v <= 0 || e < 0 {
+		fmt.Fprintln(os.Stderr, "gpsa-gen: need -dataset or positive -vertices/-edges")
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	var el []graph.Edge
+	var err error
+	if *er {
+		el, err = gen.ErdosRenyi(v, e, *seed, *weighted)
+	} else {
+		el, err = gen.RMAT(gen.RMATConfig{Vertices: v, Edges: e, Seed: *seed, Weighted: *weighted})
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gpsa-gen: %v\n", err)
+		os.Exit(1)
+	}
+	g, err := graph.FromEdges(el, v, *weighted)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gpsa-gen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("generated %s: %d vertices, %d edges (%v)\n", name, v, e, time.Since(start))
+
+	if *out != "" {
+		write := graph.WriteFile
+		if *compact {
+			write = graph.WriteFileCompact
+		}
+		if err := write(*out, g); err != nil {
+			fmt.Fprintf(os.Stderr, "gpsa-gen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+		if *symmetrize {
+			sym := g.Symmetrize()
+			symPath := *out + "-sym"
+			if err := write(symPath, sym); err != nil {
+				fmt.Fprintf(os.Stderr, "gpsa-gen: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d edges)\n", symPath, sym.NumEdges)
+		}
+	}
+	if *text != "" {
+		f, err := os.Create(*text)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpsa-gen: %v\n", err)
+			os.Exit(1)
+		}
+		if err := graph.WriteEdgeList(f, el, *weighted); err != nil {
+			fmt.Fprintf(os.Stderr, "gpsa-gen: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "gpsa-gen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *text)
+	}
+}

@@ -1,0 +1,62 @@
+// Distributed GPSA: the paper's actor model extended across nodes (its
+// stated future work). This example runs connected components over an
+// in-process TCP cluster of 3 nodes — every cross-node message crosses a
+// real socket — and verifies the result against a single-machine run.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro"
+	"repro/internal/algorithms"
+	"repro/internal/cluster"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	g, err := gen.SocPokec.Scaled(128).Generate(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sym := g.Symmetrize()
+	dir, err := os.MkdirTemp("", "gpsa-dist-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "g-sym.gpsa")
+	if err := graph.WriteFile(path, sym); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d vertices, %d (symmetrized) edges\n", sym.NumVertices, sym.NumEdges)
+
+	// Single-machine GPSA as the baseline.
+	labels, _, err := gpsa.Components(path, gpsa.RunOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The same computation across 3 nodes over loopback TCP.
+	res, values, err := cluster.Run(path, algorithms.ConnectedComponents{}, cluster.Config{Nodes: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster: %d nodes, %d supersteps, %d messages generated, %d delivered (combining saved %.1f%%)\n",
+		res.Nodes, res.Supersteps, res.Messages, res.Delivered,
+		100*(1-float64(res.Delivered)/float64(res.Messages)))
+
+	mismatches := 0
+	for v := int64(0); v < sym.NumVertices; v++ {
+		if gpsa.VertexID(values[v]) != labels[v] {
+			mismatches++
+		}
+	}
+	if mismatches != 0 {
+		log.Fatalf("distributed labels differ at %d vertices", mismatches)
+	}
+	fmt.Printf("distributed result matches single-machine GPSA on all %d vertices\n", sym.NumVertices)
+}

@@ -1,0 +1,233 @@
+// Package gpsa is the public API of GPSA-Go, a single-machine graph
+// processing system with actors — a reproduction of "GPSA: A Graph
+// Processing System with Actors" (ICPP 2015).
+//
+// The typical flow is:
+//
+//	g, _ := gpsa.BuildGraph(edges, 0)            // or gpsa.LoadEdgeList
+//	_ = gpsa.SaveGraph("web.gpsa", g)            // preprocess to CSR-on-disk
+//	ranks, res, _ := gpsa.PageRank("web.gpsa", gpsa.RunOptions{Supersteps: 5})
+//
+// or, for a custom vertex program:
+//
+//	vals, res, err := gpsa.Run("web.gpsa", myProgram, gpsa.RunOptions{})
+//	defer vals.Close()
+//
+// The engine behind this API is documented in internal/core; the storage
+// formats in internal/graph and internal/vertexfile.
+package gpsa
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mmap"
+	"repro/internal/vertexfile"
+)
+
+// Re-exported fundamental types, so callers need only this package.
+type (
+	// Edge is a directed, optionally weighted edge.
+	Edge = graph.Edge
+	// VertexID identifies a vertex (0..|V|-1).
+	VertexID = graph.VertexID
+	// CSR is an in-memory compressed-sparse-row graph.
+	CSR = graph.CSR
+	// Program is a user-defined vertex program (see internal/core).
+	Program = core.Program
+	// Result summarizes an engine run.
+	Result = core.Result
+	// StepStats records one superstep's activity.
+	StepStats = core.StepStats
+)
+
+// BuildGraph constructs an in-memory CSR from an edge list. Pass
+// numVertices = 0 to infer the vertex count from the edges.
+func BuildGraph(edges []Edge, numVertices int64) (*CSR, error) {
+	return graph.FromEdges(edges, numVertices, false)
+}
+
+// BuildWeightedGraph is BuildGraph retaining edge weights.
+func BuildWeightedGraph(edges []Edge, numVertices int64) (*CSR, error) {
+	return graph.FromEdges(edges, numVertices, true)
+}
+
+// LoadEdgeList reads a text edge-list file ("src dst [weight]" lines,
+// '#' comments — the SNAP format).
+func LoadEdgeList(path string) ([]Edge, error) {
+	return graph.LoadEdgeListFile(path)
+}
+
+// SaveGraph preprocesses g into the on-disk CSR format GPSA streams
+// (paper Fig. 4), writing path and path+".idx".
+func SaveGraph(path string, g *CSR) error {
+	return graph.WriteFile(path, g)
+}
+
+// SaveGraphCompact writes g in the compact (varint-delta) CSR format —
+// typically 2-4x smaller than SaveGraph on social and web graphs at a
+// modest decode cost. Files of either format open identically.
+func SaveGraphCompact(path string, g *CSR) error {
+	return graph.WriteFileCompact(path, g)
+}
+
+// RunOptions tunes Run and the convenience algorithm runners.
+type RunOptions struct {
+	// Supersteps caps the run; 0 means run to convergence (up to the
+	// engine's default cap of 100).
+	Supersteps int
+	// Dispatchers and Computers size the actor pools (0 = automatic).
+	Dispatchers int
+	Computers   int
+	// ValuesPath, when set, locates the persistent vertex value file —
+	// required to use crash recovery across processes. Empty means a
+	// temporary file that is removed when Values is closed.
+	ValuesPath string
+	// Progress, when non-nil, receives per-superstep statistics.
+	Progress func(StepStats)
+}
+
+func (o RunOptions) engineConfig() core.Config {
+	return core.Config{
+		Dispatchers:   o.Dispatchers,
+		Computers:     o.Computers,
+		MaxSupersteps: o.Supersteps,
+		Progress:      o.Progress,
+	}
+}
+
+// Values is the vertex value store produced by a run. Close releases (and
+// for temporary stores, deletes) the backing file.
+type Values struct {
+	vf   *vertexfile.File
+	temp bool
+}
+
+// NumVertices returns the vertex count.
+func (v *Values) NumVertices() int64 { return v.vf.NumVertices() }
+
+// Raw returns vertex x's 63-bit payload.
+func (v *Values) Raw(x int64) uint64 { return v.vf.Value(x) }
+
+// Float64 decodes vertex x's payload as a non-negative float64 (the
+// encoding used by PageRank and SSSP).
+func (v *Values) Float64(x int64) float64 { return vertexfile.UnpackFloat64(v.vf.Value(x)) }
+
+// Uint decodes vertex x's payload as an unsigned integer (BFS levels,
+// component labels).
+func (v *Values) Uint(x int64) uint64 { return v.vf.Value(x) }
+
+// Close releases the store.
+func (v *Values) Close() error {
+	err := v.vf.Close()
+	if v.temp {
+		if rmErr := os.Remove(v.vf.Path()); rmErr != nil && err == nil {
+			err = rmErr
+		}
+	}
+	return err
+}
+
+// Run executes prog over the on-disk CSR graph at graphPath and returns
+// the run summary plus the resulting vertex values. The caller must Close
+// the returned Values.
+func Run(graphPath string, prog Program, opts RunOptions) (*Values, *Result, error) {
+	gf, err := graph.OpenFile(graphPath, mmap.ModeAuto)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer gf.Close()
+
+	vpath := opts.ValuesPath
+	temp := vpath == ""
+	if temp {
+		f, err := os.CreateTemp(filepath.Dir(graphPath), ".gpsa-values-*")
+		if err != nil {
+			return nil, nil, fmt.Errorf("gpsa: temp value file: %w", err)
+		}
+		vpath = f.Name()
+		f.Close()
+	}
+	vf, err := core.CreateValueFile(vpath, gf, prog)
+	if err != nil {
+		if temp {
+			os.Remove(vpath)
+		}
+		return nil, nil, err
+	}
+	vals := &Values{vf: vf, temp: temp}
+
+	eng, err := core.New(gf, vf, prog, opts.engineConfig())
+	if err != nil {
+		vals.Close()
+		return nil, nil, err
+	}
+	res, err := eng.Run()
+	if err != nil {
+		vals.Close()
+		return nil, nil, err
+	}
+	return vals, res, nil
+}
+
+// Resume reopens a persistent value file (after a crash or a previous
+// partial run), rolls back any interrupted superstep, and continues
+// running prog. The program must be the one the file was created with.
+func Resume(graphPath, valuesPath string, prog Program, opts RunOptions) (*Values, *Result, error) {
+	gf, err := graph.OpenFile(graphPath, mmap.ModeAuto)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer gf.Close()
+	vf, err := vertexfile.Open(valuesPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := vf.Recover(); err != nil {
+		vf.Close()
+		return nil, nil, err
+	}
+	vals := &Values{vf: vf}
+	eng, err := core.New(gf, vf, prog, opts.engineConfig())
+	if err != nil {
+		vals.Close()
+		return nil, nil, err
+	}
+	res, err := eng.Run()
+	if err != nil {
+		vals.Close()
+		return nil, nil, err
+	}
+	return vals, res, nil
+}
+
+// RunGraph executes prog over an in-memory graph with no files at all:
+// the CSR is mirrored as an in-memory record image and vertex values live
+// in an in-memory two-column store (durability and crash recovery
+// naturally do not apply). Ideal for embedding GPSA as a library on
+// graphs that fit in memory.
+func RunGraph(g *CSR, prog Program, opts RunOptions) (*Values, *Result, error) {
+	gf, err := graph.NewMemoryFile(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	vf, err := vertexfile.NewMemory(g.NumVertices, prog.Init)
+	if err != nil {
+		return nil, nil, err
+	}
+	vals := &Values{vf: vf}
+	cfg := opts.engineConfig()
+	cfg.DisableSync = true // no backing file to sync
+	eng, err := core.New(gf, vf, prog, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := eng.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return vals, res, nil
+}

@@ -1,0 +1,160 @@
+package actor
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrMailboxClosed is returned by Put on a closed mailbox.
+var ErrMailboxClosed = errors.New("actor: mailbox closed")
+
+// Mailbox is a bounded FIFO message queue connecting actors.
+//
+// Semantics follow Kilim's Mailbox: Put blocks while the box is full, Get
+// blocks while it is empty, and delivery order is FIFO per sender. A
+// mailbox may have many senders and many receivers. Closing the mailbox
+// releases blocked senders with ErrMailboxClosed and lets receivers drain
+// messages already enqueued before observing closure.
+//
+// A Put that races Close may either succeed or report ErrMailboxClosed; if
+// it reports success the message was enqueued, and receivers that keep
+// calling Get until it reports closure will observe it. (The GPSA engine
+// only closes a mailbox after all of its senders have finished, so this
+// edge never matters there.)
+type Mailbox[T any] struct {
+	ch        chan T
+	done      chan struct{}
+	closeOnce sync.Once
+	// counters are monotone and feed the engine's observability output,
+	// not control flow.
+	puts atomic.Int64
+	gets atomic.Int64
+}
+
+// NewMailbox returns a mailbox with the given capacity. Capacity 0 gives a
+// rendezvous (synchronous) mailbox.
+func NewMailbox[T any](capacity int) *Mailbox[T] {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Mailbox[T]{ch: make(chan T, capacity), done: make(chan struct{})}
+}
+
+// Put enqueues m, blocking while the mailbox is full. It returns
+// ErrMailboxClosed if the mailbox is (or becomes) closed.
+func (b *Mailbox[T]) Put(m T) error {
+	select {
+	case <-b.done:
+		return ErrMailboxClosed
+	default:
+	}
+	select {
+	case b.ch <- m:
+		b.puts.Add(1)
+		return nil
+	case <-b.done:
+		return ErrMailboxClosed
+	}
+}
+
+// TryPut enqueues m without blocking. It reports false if the mailbox is
+// full or closed.
+func (b *Mailbox[T]) TryPut(m T) bool {
+	select {
+	case <-b.done:
+		return false
+	default:
+	}
+	select {
+	case b.ch <- m:
+		b.puts.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// Get dequeues the next message, blocking while the mailbox is empty. The
+// second result is false once the mailbox is closed and drained.
+func (b *Mailbox[T]) Get() (T, bool) {
+	select {
+	case m := <-b.ch:
+		b.gets.Add(1)
+		return m, true
+	case <-b.done:
+		return b.drain()
+	}
+}
+
+// drain performs a final non-blocking receive after closure so that
+// buffered messages are not lost.
+func (b *Mailbox[T]) drain() (T, bool) {
+	select {
+	case m := <-b.ch:
+		b.gets.Add(1)
+		return m, true
+	default:
+		var zero T
+		return zero, false
+	}
+}
+
+// TryGet dequeues without blocking. It reports false if no message is
+// immediately available (the mailbox may still be open).
+func (b *Mailbox[T]) TryGet() (T, bool) {
+	select {
+	case m := <-b.ch:
+		b.gets.Add(1)
+		return m, true
+	default:
+		var zero T
+		return zero, false
+	}
+}
+
+// GetTimeout dequeues the next message, giving up after d. ok is false on
+// timeout or on closure with an empty buffer.
+func (b *Mailbox[T]) GetTimeout(d time.Duration) (T, bool) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case m := <-b.ch:
+		b.gets.Add(1)
+		return m, true
+	case <-b.done:
+		return b.drain()
+	case <-t.C:
+		var zero T
+		return zero, false
+	}
+}
+
+// Close closes the mailbox. Messages already enqueued remain receivable.
+// Close is idempotent. Senders concurrently blocked in Put are released
+// with ErrMailboxClosed.
+func (b *Mailbox[T]) Close() {
+	b.closeOnce.Do(func() { close(b.done) })
+}
+
+// Closed reports whether Close has been called.
+func (b *Mailbox[T]) Closed() bool {
+	select {
+	case <-b.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Len returns the number of messages currently buffered.
+func (b *Mailbox[T]) Len() int { return len(b.ch) }
+
+// Cap returns the mailbox capacity.
+func (b *Mailbox[T]) Cap() int { return cap(b.ch) }
+
+// Stats returns the cumulative number of successful Puts and Gets.
+func (b *Mailbox[T]) Stats() (puts, gets int64) {
+	return b.puts.Load(), b.gets.Load()
+}

@@ -1,0 +1,226 @@
+package actor
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMailboxFIFOSingleSender(t *testing.T) {
+	mb := NewMailbox[int](8)
+	for i := 0; i < 8; i++ {
+		if err := mb.Put(i); err != nil {
+			t.Fatalf("Put(%d): %v", i, err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		m, ok := mb.Get()
+		if !ok || m != i {
+			t.Fatalf("Get #%d = (%d, %v), want (%d, true)", i, m, ok, i)
+		}
+	}
+}
+
+func TestMailboxBlockingPutReleasedByGet(t *testing.T) {
+	mb := NewMailbox[int](1)
+	if err := mb.Put(1); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- mb.Put(2) }()
+	select {
+	case <-done:
+		t.Fatal("Put on full mailbox returned before a Get")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if m, ok := mb.Get(); !ok || m != 1 {
+		t.Fatalf("Get = (%d, %v), want (1, true)", m, ok)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("blocked Put: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Put still blocked after space was freed")
+	}
+}
+
+func TestMailboxCloseDrainsThenReportsClosed(t *testing.T) {
+	mb := NewMailbox[string](4)
+	mb.Put("a")
+	mb.Put("b")
+	mb.Close()
+	if m, ok := mb.Get(); !ok || m != "a" {
+		t.Fatalf("Get = (%q, %v), want (a, true)", m, ok)
+	}
+	if m, ok := mb.Get(); !ok || m != "b" {
+		t.Fatalf("Get = (%q, %v), want (b, true)", m, ok)
+	}
+	if _, ok := mb.Get(); ok {
+		t.Fatal("Get on drained closed mailbox reported ok")
+	}
+	if err := mb.Put("c"); err != ErrMailboxClosed {
+		t.Fatalf("Put after Close = %v, want ErrMailboxClosed", err)
+	}
+	mb.Close() // idempotent
+}
+
+func TestMailboxPutRacingClose(t *testing.T) {
+	// Senders blocked in Put when Close fires must be released with the
+	// documented error rather than panicking.
+	mb := NewMailbox[int](0)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			errs <- mb.Put(v)
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond)
+	mb.Close()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil && err != ErrMailboxClosed {
+			t.Fatalf("unexpected Put error: %v", err)
+		}
+	}
+}
+
+func TestMailboxTryPutTryGet(t *testing.T) {
+	mb := NewMailbox[int](1)
+	if !mb.TryPut(7) {
+		t.Fatal("TryPut on empty mailbox failed")
+	}
+	if mb.TryPut(8) {
+		t.Fatal("TryPut on full mailbox succeeded")
+	}
+	if m, ok := mb.TryGet(); !ok || m != 7 {
+		t.Fatalf("TryGet = (%d, %v), want (7, true)", m, ok)
+	}
+	if _, ok := mb.TryGet(); ok {
+		t.Fatal("TryGet on empty mailbox succeeded")
+	}
+	mb.Close()
+	if mb.TryPut(9) {
+		t.Fatal("TryPut after Close succeeded")
+	}
+}
+
+func TestMailboxGetTimeout(t *testing.T) {
+	mb := NewMailbox[int](1)
+	start := time.Now()
+	if _, ok := mb.GetTimeout(15 * time.Millisecond); ok {
+		t.Fatal("GetTimeout on empty mailbox reported a message")
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("GetTimeout returned too early")
+	}
+	mb.Put(3)
+	if m, ok := mb.GetTimeout(time.Second); !ok || m != 3 {
+		t.Fatalf("GetTimeout = (%d, %v), want (3, true)", m, ok)
+	}
+}
+
+func TestMailboxStatsAndLen(t *testing.T) {
+	mb := NewMailbox[int](4)
+	if mb.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", mb.Cap())
+	}
+	mb.Put(1)
+	mb.Put(2)
+	if mb.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", mb.Len())
+	}
+	mb.Get()
+	puts, gets := mb.Stats()
+	if puts != 2 || gets != 1 {
+		t.Fatalf("Stats = (%d, %d), want (2, 1)", puts, gets)
+	}
+}
+
+func TestMailboxNegativeCapacityClamped(t *testing.T) {
+	mb := NewMailbox[int](-3)
+	if mb.Cap() != 0 {
+		t.Fatalf("Cap = %d, want 0", mb.Cap())
+	}
+}
+
+// Property: with a single producer and single consumer, every sequence of
+// values is delivered exactly, in order, regardless of capacity.
+func TestMailboxDeliveryProperty(t *testing.T) {
+	fn := func(vals []int16, capRaw uint8) bool {
+		capacity := int(capRaw % 9)
+		mb := NewMailbox[int16](capacity)
+		go func() {
+			for _, v := range vals {
+				if err := mb.Put(v); err != nil {
+					return
+				}
+			}
+			mb.Close()
+		}()
+		var got []int16
+		for {
+			v, ok := mb.Get()
+			if !ok {
+				break
+			}
+			got = append(got, v)
+		}
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with many producers, the multiset of received values equals
+// the multiset of sent values (no loss, no duplication).
+func TestMailboxMultiProducerConservation(t *testing.T) {
+	const producers, perProducer = 8, 200
+	mb := NewMailbox[int](16)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := mb.Put(p*perProducer + i); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		mb.Close()
+	}()
+	seen := make(map[int]bool, producers*perProducer)
+	for {
+		v, ok := mb.Get()
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("duplicate delivery of %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != producers*perProducer {
+		t.Fatalf("received %d distinct messages, want %d", len(seen), producers*perProducer)
+	}
+}

@@ -1,0 +1,194 @@
+package actor
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+)
+
+// Actor is a unit of concurrent execution. Execute typically loops reading
+// a mailbox until a termination message arrives, then returns. A non-nil
+// error (or a panic, which the system converts to an error) marks the
+// actor as failed.
+type Actor interface {
+	Execute() error
+}
+
+// Func adapts an ordinary function to the Actor interface.
+type Func func() error
+
+// Execute calls f.
+func (f Func) Execute() error { return f() }
+
+// Failure describes an actor that terminated with an error or panic.
+type Failure struct {
+	Name  string
+	Err   error
+	Stack []byte // non-nil when the failure was a panic
+}
+
+func (f Failure) Error() string {
+	return fmt.Sprintf("actor %q failed: %v", f.Name, f.Err)
+}
+
+// RestartPolicy controls what the system does when an actor panics.
+type RestartPolicy struct {
+	// MaxRestarts is the number of times a panicking actor is re-executed
+	// before its failure is recorded. Zero means never restart.
+	MaxRestarts int
+}
+
+// Ref is a handle to a spawned actor.
+type Ref struct {
+	name string
+	done chan struct{}
+
+	mu       sync.Mutex
+	err      error
+	restarts int
+}
+
+// Name returns the actor's registered name.
+func (r *Ref) Name() string { return r.name }
+
+// Done returns a channel closed when the actor has terminated (after any
+// restarts).
+func (r *Ref) Done() <-chan struct{} { return r.done }
+
+// Err returns the actor's terminal error, or nil. It must only be trusted
+// after Done is closed.
+func (r *Ref) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Restarts returns how many times the actor was restarted after panics.
+func (r *Ref) Restarts() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.restarts
+}
+
+// System owns a set of actors and supervises their execution. It is the
+// analogue of a Kilim scheduler instance: spawning is cheap, actors run
+// concurrently, and the owner can wait for collective termination and
+// inspect failures.
+type System struct {
+	name   string
+	policy RestartPolicy
+
+	wg sync.WaitGroup
+
+	mu       sync.Mutex
+	refs     map[string]*Ref
+	failures []Failure
+	seq      int
+}
+
+// NewSystem creates an actor system. The name is used in diagnostics only.
+func NewSystem(name string, policy RestartPolicy) *System {
+	return &System{name: name, policy: policy, refs: make(map[string]*Ref)}
+}
+
+// Spawn starts a concurrently executing actor. If name is empty a unique
+// one is generated; if it collides with a live actor's name a suffix is
+// appended. Spawn never blocks on the actor itself.
+func (s *System) Spawn(name string, a Actor) *Ref {
+	s.mu.Lock()
+	s.seq++
+	if name == "" {
+		name = fmt.Sprintf("%s-actor-%d", s.name, s.seq)
+	}
+	if _, exists := s.refs[name]; exists {
+		name = fmt.Sprintf("%s#%d", name, s.seq)
+	}
+	ref := &Ref{name: name, done: make(chan struct{})}
+	s.refs[name] = ref
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.run(ref, a)
+	return ref
+}
+
+// SpawnFunc is shorthand for Spawn(name, Func(fn)).
+func (s *System) SpawnFunc(name string, fn func() error) *Ref {
+	return s.Spawn(name, Func(fn))
+}
+
+func (s *System) run(ref *Ref, a Actor) {
+	defer s.wg.Done()
+	defer close(ref.done)
+
+	for attempt := 0; ; attempt++ {
+		err, stack := s.executeOnce(a)
+		if err == nil {
+			return
+		}
+		if stack != nil && attempt < s.policy.MaxRestarts {
+			ref.mu.Lock()
+			ref.restarts++
+			ref.mu.Unlock()
+			continue
+		}
+		ref.mu.Lock()
+		ref.err = err
+		ref.mu.Unlock()
+		s.mu.Lock()
+		s.failures = append(s.failures, Failure{Name: ref.name, Err: err, Stack: stack})
+		s.mu.Unlock()
+		return
+	}
+}
+
+// executeOnce runs the actor once, converting panics into errors.
+func (s *System) executeOnce(a Actor) (err error, stack []byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+			stack = debug.Stack()
+		}
+	}()
+	return a.Execute(), nil
+}
+
+// Wait blocks until every actor spawned so far (and any they spawn while
+// waiting) has terminated, then returns the first failure, if any.
+func (s *System) Wait() error {
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.failures) > 0 {
+		return s.failures[0]
+	}
+	return nil
+}
+
+// Failures returns all recorded failures, ordered by actor name for
+// determinism.
+func (s *System) Failures() []Failure {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Failure, len(s.failures))
+	copy(out, s.failures)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Live returns the number of actors that have been spawned and not yet
+// terminated.
+func (s *System) Live() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, r := range s.refs {
+		select {
+		case <-r.done:
+		default:
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,168 @@
+package actor
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSystemWaitCollectsActors(t *testing.T) {
+	s := NewSystem("test", RestartPolicy{})
+	var n atomic.Int32
+	for i := 0; i < 10; i++ {
+		s.SpawnFunc("", func() error {
+			n.Add(1)
+			return nil
+		})
+	}
+	if err := s.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if n.Load() != 10 {
+		t.Fatalf("ran %d actors, want 10", n.Load())
+	}
+	if s.Live() != 0 {
+		t.Fatalf("Live = %d after Wait, want 0", s.Live())
+	}
+}
+
+func TestSystemReportsActorError(t *testing.T) {
+	s := NewSystem("test", RestartPolicy{})
+	boom := errors.New("boom")
+	ref := s.SpawnFunc("worker", func() error { return boom })
+	<-ref.Done()
+	if !errors.Is(ref.Err(), boom) {
+		t.Fatalf("ref.Err() = %v, want boom", ref.Err())
+	}
+	err := s.Wait()
+	if err == nil || !strings.Contains(err.Error(), "worker") {
+		t.Fatalf("Wait = %v, want failure naming worker", err)
+	}
+}
+
+func TestSystemIsolatesPanics(t *testing.T) {
+	s := NewSystem("test", RestartPolicy{})
+	healthy := s.SpawnFunc("healthy", func() error {
+		time.Sleep(10 * time.Millisecond)
+		return nil
+	})
+	s.SpawnFunc("crasher", func() error { panic("kaboom") })
+	err := s.Wait()
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("Wait = %v, want panic failure", err)
+	}
+	if healthy.Err() != nil {
+		t.Fatalf("healthy actor reported error %v", healthy.Err())
+	}
+	fs := s.Failures()
+	if len(fs) != 1 || fs[0].Name != "crasher" || len(fs[0].Stack) == 0 {
+		t.Fatalf("Failures = %+v, want one crasher failure with stack", fs)
+	}
+}
+
+func TestSystemRestartPolicy(t *testing.T) {
+	s := NewSystem("test", RestartPolicy{MaxRestarts: 3})
+	var attempts atomic.Int32
+	ref := s.SpawnFunc("flaky", func() error {
+		if attempts.Add(1) < 3 {
+			panic("transient")
+		}
+		return nil
+	})
+	if err := s.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if attempts.Load() != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts.Load())
+	}
+	if ref.Restarts() != 2 {
+		t.Fatalf("Restarts = %d, want 2", ref.Restarts())
+	}
+}
+
+func TestSystemRestartExhaustionRecordsFailure(t *testing.T) {
+	s := NewSystem("test", RestartPolicy{MaxRestarts: 2})
+	var attempts atomic.Int32
+	s.SpawnFunc("hopeless", func() error {
+		attempts.Add(1)
+		panic("always")
+	})
+	err := s.Wait()
+	if err == nil {
+		t.Fatal("Wait succeeded for always-panicking actor")
+	}
+	if attempts.Load() != 3 { // initial + 2 restarts
+		t.Fatalf("attempts = %d, want 3", attempts.Load())
+	}
+}
+
+func TestSystemErrorsAreNotRestarted(t *testing.T) {
+	// Restart policy applies to panics only; a clean error return is a
+	// deliberate terminal state.
+	s := NewSystem("test", RestartPolicy{MaxRestarts: 5})
+	var attempts atomic.Int32
+	s.SpawnFunc("erroring", func() error {
+		attempts.Add(1)
+		return errors.New("done")
+	})
+	if err := s.Wait(); err == nil {
+		t.Fatal("Wait succeeded, want error")
+	}
+	if attempts.Load() != 1 {
+		t.Fatalf("attempts = %d, want 1 (errors must not trigger restart)", attempts.Load())
+	}
+}
+
+func TestSystemNameCollisionsGetUniqueRefs(t *testing.T) {
+	s := NewSystem("test", RestartPolicy{})
+	block := make(chan struct{})
+	a := s.SpawnFunc("dup", func() error { <-block; return nil })
+	b := s.SpawnFunc("dup", func() error { <-block; return nil })
+	if a.Name() == b.Name() {
+		t.Fatalf("two live actors share name %q", a.Name())
+	}
+	if s.Live() != 2 {
+		t.Fatalf("Live = %d, want 2", s.Live())
+	}
+	close(block)
+	if err := s.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActorsCommunicateViaMailboxes(t *testing.T) {
+	// A miniature dispatcher/computer pair: the shape the GPSA engine uses.
+	s := NewSystem("pipe", RestartPolicy{})
+	data := NewMailbox[int](4)
+	result := NewMailbox[int](1)
+
+	s.SpawnFunc("dispatcher", func() error {
+		for i := 1; i <= 100; i++ {
+			if err := data.Put(i); err != nil {
+				return err
+			}
+		}
+		data.Close()
+		return nil
+	})
+	s.SpawnFunc("computer", func() error {
+		sum := 0
+		for {
+			v, ok := data.Get()
+			if !ok {
+				break
+			}
+			sum += v
+		}
+		return result.Put(sum)
+	})
+	if err := s.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := result.Get()
+	if !ok || got != 5050 {
+		t.Fatalf("result = (%d, %v), want (5050, true)", got, ok)
+	}
+}

@@ -1,0 +1,312 @@
+package algorithms_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro"
+	"repro/internal/algorithms"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// save writes g to a temp CSR file and returns its path.
+func save(t testing.TB, g *graph.CSR) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.gpsa")
+	if err := graph.WriteFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func testGraph(t testing.TB, seed int64) *graph.CSR {
+	t.Helper()
+	g, err := gen.RMATGraph(gen.RMATConfig{Vertices: 500, Edges: 3000, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBFSMatchesTrueBFS(t *testing.T) {
+	g := testGraph(t, 1)
+	path := save(t, g)
+	levels, res, err := gpsa.BFS(path, 0, gpsa.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("BFS did not converge")
+	}
+	want := algorithms.TrueBFS(g, 0)
+	for v := range want {
+		if levels[v] != want[v] {
+			t.Fatalf("vertex %d: level %d, want %d", v, levels[v], want[v])
+		}
+	}
+}
+
+func TestBFSFromEveryRootOnSmallGraph(t *testing.T) {
+	g, err := graph.FromEdges([]graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0},
+		{Src: 2, Dst: 3}, {Src: 4, Dst: 0},
+	}, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := save(t, g)
+	for root := graph.VertexID(0); root < 5; root++ {
+		levels, _, err := gpsa.BFS(path, root, gpsa.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := algorithms.TrueBFS(g, root)
+		for v := range want {
+			if levels[v] != want[v] {
+				t.Fatalf("root %d, vertex %d: level %d, want %d", root, v, levels[v], want[v])
+			}
+		}
+	}
+}
+
+func TestComponentsMatchUnionFind(t *testing.T) {
+	g := testGraph(t, 2).Symmetrize()
+	path := save(t, g)
+	labels, res, err := gpsa.Components(path, gpsa.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("CC did not converge")
+	}
+	want := algorithms.TrueComponents(g)
+	for v := range want {
+		if labels[v] != want[v] {
+			t.Fatalf("vertex %d: label %d, want %d", v, labels[v], want[v])
+		}
+	}
+}
+
+func TestComponentsManyIslands(t *testing.T) {
+	// 10 disjoint 3-cycles: every vertex must adopt its cycle's minimum.
+	var edges []graph.Edge
+	for k := graph.VertexID(0); k < 10; k++ {
+		a, b, c := 3*k, 3*k+1, 3*k+2
+		edges = append(edges,
+			graph.Edge{Src: a, Dst: b},
+			graph.Edge{Src: b, Dst: c},
+			graph.Edge{Src: c, Dst: a})
+	}
+	g, err := graph.FromEdges(edges, 30, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, _, err := gpsa.Components(save(t, g.Symmetrize()), gpsa.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := graph.VertexID(0); v < 30; v++ {
+		if labels[v] != (v/3)*3 {
+			t.Fatalf("vertex %d: label %d, want %d", v, labels[v], (v/3)*3)
+		}
+	}
+}
+
+func TestPageRankMatchesReferenceSemantics(t *testing.T) {
+	g := testGraph(t, 3)
+	ranks, _, err := gpsa.PageRank(save(t, g), gpsa.RunOptions{Supersteps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := algorithms.ReferenceRun(g, algorithms.PageRank{}, 5)
+	for v := range ranks {
+		ref := algorithms.RankOf(want[v])
+		if math.Abs(ranks[v]-ref) > 1e-9*(1+ref) {
+			t.Fatalf("vertex %d: rank %g, want %g", v, ranks[v], ref)
+		}
+	}
+}
+
+func TestPageRankMassIsPlausible(t *testing.T) {
+	// On a graph where every vertex has out-edges and in-edges, 5
+	// supersteps of message-driven PR track power iteration closely.
+	var edges []graph.Edge
+	const n = 100
+	for v := graph.VertexID(0); v < n; v++ {
+		edges = append(edges, graph.Edge{Src: v, Dst: (v + 1) % n}, graph.Edge{Src: v, Dst: (v + 7) % n})
+	}
+	g, err := graph.FromEdges(edges, n, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks, _, err := gpsa.PageRank(save(t, g), gpsa.RunOptions{Supersteps: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := algorithms.TruePageRank(g, 0.85, 30)
+	for v := range ranks {
+		if math.Abs(ranks[v]-truth[v]) > 1e-6 {
+			t.Fatalf("vertex %d: rank %g, power iteration %g", v, ranks[v], truth[v])
+		}
+	}
+}
+
+func TestDeltaPageRankConvergesToTruePageRank(t *testing.T) {
+	g := testGraph(t, 4)
+	ranks, res, err := gpsa.DeltaPageRank(save(t, g), 1e-5, gpsa.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("delta PageRank did not converge in %d supersteps", res.Supersteps)
+	}
+	truth := algorithms.TruePageRank(g, 0.85, 200)
+	for v := range ranks {
+		if math.Abs(ranks[v]-truth[v]) > 1e-2*(1+truth[v]) {
+			t.Fatalf("vertex %d: rank %g, power iteration %g", v, ranks[v], truth[v])
+		}
+	}
+}
+
+func TestPageRankEpsilonConvergence(t *testing.T) {
+	// An irregular graph where every vertex has in- and out-edges (so the
+	// message-driven semantics coincide with power iteration) but degrees
+	// vary, making the ranks genuinely non-uniform: the run must halt
+	// well before the superstep cap with a shrinking aggregate.
+	var edges []graph.Edge
+	const n = 200
+	for v := graph.VertexID(0); v < n; v++ {
+		edges = append(edges, graph.Edge{Src: v, Dst: (v + 1) % n})
+		if v%3 == 0 {
+			edges = append(edges, graph.Edge{Src: v, Dst: (v*7 + 3) % n})
+		}
+		if v%5 == 0 {
+			edges = append(edges, graph.Edge{Src: v, Dst: (v*11 + 1) % n})
+		}
+	}
+	g, err := graph.FromEdges(edges, n, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := save(t, g)
+
+	var aggs []float64
+	vals, res, err := gpsa.Run(path, algorithms.PageRank{Epsilon: 1e-6}, gpsa.RunOptions{
+		Supersteps: 500,
+		Progress:   func(s gpsa.StepStats) { aggs = append(aggs, s.Aggregate) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vals.Close()
+	if !res.Converged {
+		t.Fatal("epsilon PageRank did not converge")
+	}
+	if res.Supersteps >= 500 || res.Supersteps < 5 {
+		t.Fatalf("converged after %d supersteps; expected a moderate count", res.Supersteps)
+	}
+	if last := aggs[len(aggs)-1]; last >= 1e-6 {
+		t.Fatalf("final aggregate %g not below epsilon", last)
+	}
+	if aggs[0] <= aggs[len(aggs)-1] {
+		t.Fatalf("aggregate did not shrink: first %g, last %g", aggs[0], aggs[len(aggs)-1])
+	}
+	// The converged ranks must match long power iteration closely.
+	truth := algorithms.TruePageRank(g, 0.85, 300)
+	for v := int64(0); v < n; v++ {
+		got := algorithms.RankOf(vals.Raw(v))
+		if math.Abs(got-truth[v]) > 1e-4*(1+truth[v]) {
+			t.Fatalf("vertex %d: rank %g, want %g", v, got, truth[v])
+		}
+	}
+}
+
+func TestPageRankZeroEpsilonRunsFullBudget(t *testing.T) {
+	g := testGraph(t, 8)
+	_, res, err := gpsa.Run(save(t, g), algorithms.PageRank{}, gpsa.RunOptions{Supersteps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Supersteps != 4 || res.Converged {
+		t.Fatalf("supersteps=%d converged=%v; want full budget", res.Supersteps, res.Converged)
+	}
+}
+
+func TestSSSPMatchesDijkstra(t *testing.T) {
+	edges, err := gen.RMAT(gen.RMATConfig{Vertices: 200, Edges: 1500, Seed: 5, Weighted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.FromEdges(edges, 200, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dists, res, err := gpsa.SSSP(save(t, g), 0, gpsa.RunOptions{Supersteps: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("SSSP did not converge")
+	}
+	want := algorithms.TrueSSSP(g, 0)
+	for v := range want {
+		if gpsa.Unreachable(want[v]) != gpsa.Unreachable(dists[v]) {
+			t.Fatalf("vertex %d: reachability mismatch (%g vs %g)", v, dists[v], want[v])
+		}
+		if !gpsa.Unreachable(want[v]) && math.Abs(dists[v]-want[v]) > 1e-5*(1+want[v]) {
+			t.Fatalf("vertex %d: dist %g, want %g", v, dists[v], want[v])
+		}
+	}
+}
+
+func TestInDegreeCountsEdges(t *testing.T) {
+	g := testGraph(t, 6)
+	vals, _, err := gpsa.Run(save(t, g), algorithms.InDegree{}, gpsa.RunOptions{Supersteps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vals.Close()
+	want := make([]uint64, g.NumVertices)
+	for v := int64(0); v < g.NumVertices; v++ {
+		for _, d := range g.Neighbors(graph.VertexID(v)) {
+			want[d]++
+		}
+	}
+	for v := int64(0); v < g.NumVertices; v++ {
+		got := vals.Uint(v)
+		if want[v] == 0 {
+			// Vertices with no in-edges keep their init payload 0.
+			if got != 0 {
+				t.Fatalf("vertex %d: in-degree %d, want 0", v, got)
+			}
+			continue
+		}
+		if got != want[v] {
+			t.Fatalf("vertex %d: in-degree %d, want %d", v, got, want[v])
+		}
+	}
+}
+
+func TestBFSUnreachedStaysUnreached(t *testing.T) {
+	g, err := graph.FromEdges([]graph.Edge{{Src: 0, Dst: 1}}, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels, _, err := gpsa.BFS(save(t, g), 0, gpsa.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levels[2] != -1 {
+		t.Fatalf("isolated vertex level = %d, want -1", levels[2])
+	}
+}
+
+func TestReferenceRunConvergesAndReportsSteps(t *testing.T) {
+	g := testGraph(t, 7).Symmetrize()
+	_, steps := algorithms.ReferenceRun(g, algorithms.ConnectedComponents{}, 100)
+	if steps <= 0 || steps >= 100 {
+		t.Fatalf("reference CC ran %d steps", steps)
+	}
+}

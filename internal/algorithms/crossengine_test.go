@@ -1,0 +1,153 @@
+package algorithms_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/algorithms"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/graphchi"
+	"repro/internal/mmap"
+	"repro/internal/vertexfile"
+	"repro/internal/xstream"
+)
+
+// runGPSA executes prog on the single-machine engine and returns payloads.
+func runGPSA(t *testing.T, g *graph.CSR, prog core.Program) []uint64 {
+	t.Helper()
+	dir := t.TempDir()
+	gpath := dir + "/g.gpsa"
+	if err := graph.WriteFile(gpath, g); err != nil {
+		t.Fatal(err)
+	}
+	gf, err := graph.OpenFile(gpath, mmap.ModeAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gf.Close()
+	vf, err := vertexfile.Create(dir+"/v.gpvf", g.NumVertices, prog.Init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vf.Close()
+	eng, err := core.New(gf, vf, prog, core.Config{Dispatchers: 2, Computers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return vf.Values()
+}
+
+// runXS executes prog on the X-Stream baseline.
+func runXS(t *testing.T, g *graph.CSR, prog core.Program) []uint64 {
+	t.Helper()
+	l, err := xstream.Preprocess(g, t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := xstream.NewEngine(l, prog, xstream.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return e.Values()
+}
+
+// runCluster executes prog on the distributed engine.
+func runCluster(t *testing.T, g *graph.CSR, prog core.Program) []uint64 {
+	t.Helper()
+	gpath := t.TempDir() + "/g.gpsa"
+	if err := graph.WriteFile(gpath, g); err != nil {
+		t.Fatal(err)
+	}
+	_, values, err := cluster.Run(gpath, prog, cluster.Config{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return values
+}
+
+// TestFourEnginesAgreeOnCC is the cross-engine equivalence property: for
+// random graphs, the GPSA engine, the X-Stream baseline, the distributed
+// cluster, the GraphChi baseline, and the serial reference all produce
+// identical component labels.
+func TestFourEnginesAgreeOnCC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow property test")
+	}
+	fn := func(seed int64, vRaw uint8, eRaw uint16) bool {
+		v := int64(vRaw%60) + 2
+		e := int64(eRaw % 500)
+		base, err := gen.RMATGraph(gen.RMATConfig{Vertices: v, Edges: e, Seed: seed})
+		if err != nil {
+			return false
+		}
+		g := base.Symmetrize()
+		want, _ := algorithms.ReferenceRun(g, algorithms.ConnectedComponents{}, 200)
+
+		gpsaVals := runGPSA(t, g, algorithms.ConnectedComponents{})
+		xsVals := runXS(t, g, algorithms.ConnectedComponents{})
+		clVals := runCluster(t, g, algorithms.ConnectedComponents{})
+
+		chiLayout, err := graphchi.Shard(g, t.TempDir(), 3, algorithms.ChiCC{}.EdgeInit)
+		if err != nil {
+			return false
+		}
+		chi, err := graphchi.NewEngine(chiLayout, algorithms.ChiCC{}, graphchi.Config{MaxSupersteps: 500})
+		if err != nil {
+			return false
+		}
+		if _, err := chi.Run(); err != nil {
+			return false
+		}
+
+		for x := int64(0); x < v; x++ {
+			w := want[x]
+			if gpsaVals[x] != w || xsVals[x] != w || clVals[x] != w || chi.Value(x) != w {
+				t.Logf("vertex %d: ref=%d gpsa=%d xs=%d cluster=%d chi=%d",
+					x, w, gpsaVals[x], xsVals[x], clVals[x], chi.Value(x))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEnginesAgreeOnBFS does the same for BFS levels on directed graphs
+// (GraphChi excluded: its edge-value semantics converge to the same fixed
+// point but its per-superstep trace differs, covered by its own tests).
+func TestEnginesAgreeOnBFS(t *testing.T) {
+	fn := func(seed int64, vRaw uint8, eRaw uint16) bool {
+		v := int64(vRaw%60) + 2
+		e := int64(eRaw % 500)
+		g, err := gen.RMATGraph(gen.RMATConfig{Vertices: v, Edges: e, Seed: seed})
+		if err != nil {
+			return false
+		}
+		prog := algorithms.BFS{Root: 0}
+		want, _ := algorithms.ReferenceRun(g, prog, 300)
+		gpsaVals := runGPSA(t, g, prog)
+		xsVals := runXS(t, g, prog)
+		for x := int64(0); x < v; x++ {
+			w := want[x] & vertexfile.PayloadMask
+			if gpsaVals[x] != w || xsVals[x] != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

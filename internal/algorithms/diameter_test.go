@@ -1,0 +1,110 @@
+package algorithms_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/algorithms"
+	"repro/internal/graph"
+)
+
+// pathGraph builds a symmetric path 0-1-...-(n-1), diameter n-1.
+func pathGraph(t *testing.T, n graph.VertexID) *graph.CSR {
+	t.Helper()
+	var edges []graph.Edge
+	for v := graph.VertexID(0); v+1 < n; v++ {
+		edges = append(edges, graph.Edge{Src: v, Dst: v + 1}, graph.Edge{Src: v + 1, Dst: v})
+	}
+	g, err := graph.FromEdges(edges, int64(n), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSampleSources(t *testing.T) {
+	s := algorithms.SampleSources(1000, 10, 1)
+	if len(s) != 10 {
+		t.Fatalf("%d sources, want 10", len(s))
+	}
+	seen := map[graph.VertexID]bool{}
+	for _, v := range s {
+		if seen[v] {
+			t.Fatalf("duplicate source %d", v)
+		}
+		seen[v] = true
+		if int64(v) >= 1000 {
+			t.Fatalf("source %d out of range", v)
+		}
+	}
+	if got := algorithms.SampleSources(5, 100, 1); len(got) != 5 {
+		t.Fatalf("oversampling returned %d sources", len(got))
+	}
+	if got := algorithms.SampleSources(1000, 100, 1); len(got) != 62 {
+		t.Fatalf("mask width not clamped: %d sources", len(got))
+	}
+}
+
+func TestEstimateDiameterPath(t *testing.T) {
+	g := pathGraph(t, 10)
+	// Sampling the endpoints gives the exact diameter 9.
+	if d := algorithms.EstimateDiameter(g, []graph.VertexID{0, 9}); d != 9 {
+		t.Fatalf("path diameter estimate = %d, want 9", d)
+	}
+	// Sampling the middle gives its eccentricity 5 (a lower bound).
+	if d := algorithms.EstimateDiameter(g, []graph.VertexID{4}); d != 5 {
+		t.Fatalf("middle eccentricity = %d, want 5", d)
+	}
+}
+
+func TestEstimateDiameterSingletonAndEmpty(t *testing.T) {
+	g, err := graph.FromEdges(nil, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := algorithms.EstimateDiameter(g, []graph.VertexID{0}); d != 0 {
+		t.Fatalf("edgeless diameter = %d, want 0", d)
+	}
+}
+
+func TestReachSetEngineMatchesSerialEstimate(t *testing.T) {
+	g := testGraph(t, 15).Symmetrize()
+	sources := algorithms.SampleSources(g.NumVertices, 8, 3)
+	want := algorithms.EstimateDiameter(g, sources)
+
+	var updates []int64
+	vals, res, err := gpsa.Run(save(t, g), algorithms.ReachSet{Sources: sources}, gpsa.RunOptions{
+		Progress: func(s gpsa.StepStats) { updates = append(updates, s.Updates) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vals.Close()
+	if !res.Converged {
+		t.Fatal("reach set did not converge")
+	}
+	if got := algorithms.DiameterFromSteps(updates); got != want {
+		t.Fatalf("engine estimate %d, serial estimate %d", got, want)
+	}
+	// Every source must reach itself.
+	for i, s := range sources {
+		if vals.Raw(int64(s))&(1<<uint(i)) == 0 {
+			t.Fatalf("source %d lost its own bit", s)
+		}
+	}
+}
+
+func TestReachCounts(t *testing.T) {
+	g := pathGraph(t, 6)
+	sources := []graph.VertexID{0, 5}
+	vals, _, err := gpsa.Run(save(t, g), algorithms.ReachSet{Sources: sources}, gpsa.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vals.Close()
+	for v := int64(0); v < 6; v++ {
+		if n := algorithms.ReachCount(vals.Raw(v)); n != 2 {
+			t.Fatalf("vertex %d reached by %d sources, want 2 (connected path)", v, n)
+		}
+	}
+}

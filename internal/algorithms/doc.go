@@ -1,0 +1,14 @@
+// Package algorithms implements the paper's three evaluation workloads —
+// PageRank, breadth-first search, and connected components — plus
+// extensions (SSSP, in-degree, delta PageRank), each as a vertex program
+// for the GPSA engine and, where the baselines are compared, as programs
+// for the GraphChi-style and X-Stream-style engines.
+//
+// PageRank semantics note: GPSA (and this package's PageRank for all
+// three engines) computes the paper's *message-driven* PageRank — a
+// vertex recomputes only when it receives messages, and vertices that
+// stop updating stop contributing. This is what the paper's genMsg/
+// compute pseudo-code describes and what its timing experiments run; it
+// is not exact power iteration. DeltaPageRank is the numerically
+// convergent variant and is verified against true power iteration.
+package algorithms

@@ -1,0 +1,136 @@
+package algorithms
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/graphchi"
+)
+
+// GraphChi-style programs communicate through edge values rather than
+// messages; each algorithm therefore has a paired EdgeInit used at
+// sharding time.
+
+// ChiPageRank is GraphChi's PageRank: new = (1-d) + d * Σ in-edge values,
+// with rank/outDegree written to every out-edge. Unlike the message-driven
+// GPSA variant, stale contributions persist on edges, so this is a Jacobi
+// iteration that converges to the true (1-centered) PageRank.
+type ChiPageRank struct {
+	Damping float64
+}
+
+func (p ChiPageRank) damping() float64 {
+	if p.Damping == 0 {
+		return 0.85
+	}
+	return p.Damping
+}
+
+// EdgeInit seeds edges with the initial contribution 1/deg.
+func (p ChiPageRank) EdgeInit(src int64, outDeg uint32, dst graph.VertexID, weight float32) uint64 {
+	if outDeg == 0 {
+		return math.Float64bits(0)
+	}
+	return math.Float64bits(1 / float64(outDeg))
+}
+
+// InitVertex schedules every vertex at rank 1.
+func (p ChiPageRank) InitVertex(v int64) (uint64, bool) { return math.Float64bits(1), true }
+
+// Update recomputes the rank and refreshes out-edge contributions.
+func (p ChiPageRank) Update(v *graphchi.Vertex) bool {
+	d := p.damping()
+	sum := 0.0
+	for i := 0; i < v.NumIn(); i++ {
+		sum += math.Float64frombits(v.InVal(i))
+	}
+	rank := (1 - d) + d*sum
+	v.SetValue(math.Float64bits(rank))
+	if n := v.NumOut(); n > 0 {
+		share := math.Float64bits(rank / float64(n))
+		for i := 0; i < n; i++ {
+			v.SetOutVal(i, share)
+		}
+	}
+	return true // PageRank schedules everything every iteration
+}
+
+// ChiBFS propagates hop levels through edge values.
+type ChiBFS struct {
+	Root graph.VertexID
+}
+
+// EdgeInit seeds edges out of the root with level 1 and everything
+// else with Unreached.
+func (b ChiBFS) EdgeInit(src int64, outDeg uint32, dst graph.VertexID, weight float32) uint64 {
+	if src == int64(b.Root) {
+		return 1
+	}
+	return Unreached
+}
+
+// InitVertex schedules every vertex once (the first superstep then costs
+// O(E), after which scheduling is selective — matching GraphChi's BFS).
+func (b ChiBFS) InitVertex(v int64) (uint64, bool) {
+	if v == int64(b.Root) {
+		return 0, true
+	}
+	return Unreached, true
+}
+
+// Update adopts the smallest offered level and advertises level+1;
+// neighbors are rescheduled only when an out-edge actually improved.
+func (b ChiBFS) Update(v *graphchi.Vertex) bool {
+	best := v.Value()
+	for i := 0; i < v.NumIn(); i++ {
+		if x := v.InVal(i); x < best {
+			best = x
+		}
+	}
+	if best < v.Value() {
+		v.SetValue(best)
+	}
+	if v.Value() == Unreached {
+		return false
+	}
+	wrote := false
+	offer := v.Value() + 1
+	for i := 0; i < v.NumOut(); i++ {
+		if v.OutVal(i) > offer {
+			v.SetOutVal(i, offer)
+			wrote = true
+		}
+	}
+	return wrote
+}
+
+// ChiCC propagates minimum component labels through edge values.
+type ChiCC struct{}
+
+// EdgeInit seeds each edge with its source's own label.
+func (ChiCC) EdgeInit(src int64, outDeg uint32, dst graph.VertexID, weight float32) uint64 {
+	return uint64(src)
+}
+
+// InitVertex labels each vertex with itself, scheduled.
+func (ChiCC) InitVertex(v int64) (uint64, bool) { return uint64(v), true }
+
+// Update adopts the smallest label seen and advertises it.
+func (ChiCC) Update(v *graphchi.Vertex) bool {
+	best := v.Value()
+	for i := 0; i < v.NumIn(); i++ {
+		if x := v.InVal(i); x < best {
+			best = x
+		}
+	}
+	improved := best < v.Value()
+	v.SetValue(best)
+	wrote := false
+	for i := 0; i < v.NumOut(); i++ {
+		if v.OutVal(i) > best {
+			v.SetOutVal(i, best)
+			wrote = true
+		}
+	}
+	return improved || wrote
+}

@@ -1,0 +1,216 @@
+package algorithms
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// ReferenceRun executes a vertex program serially with the exact
+// semantics of the GPSA engine (dispatch fresh vertices, fold messages
+// with the first-message rule, selective scheduling), in deterministic
+// vertex/edge order. It is the oracle the concurrent engines are tested
+// against. It returns the final payloads and the number of supersteps
+// executed.
+func ReferenceRun(g *graph.CSR, p core.Program, maxSteps int) ([]uint64, int) {
+	n := g.NumVertices
+	vals := make([]uint64, n)  // newest committed payloads
+	active := make([]bool, n)  // fresh: dispatch this superstep
+	upd := make([]uint64, n)   // update-column accumulator
+	touched := make([]bool, n) // first-message detector
+	for v := int64(0); v < n; v++ {
+		vals[v], active[v] = p.Init(v)
+	}
+	steps := 0
+	for ; steps < maxSteps; steps++ {
+		var messages, updates int64
+		for i := range touched {
+			touched[i] = false
+		}
+		for v := int64(0); v < n; v++ {
+			if !active[v] {
+				continue
+			}
+			deg := g.OutDegree(graph.VertexID(v))
+			ws := g.EdgeWeights(graph.VertexID(v))
+			for i, dst := range g.Neighbors(graph.VertexID(v)) {
+				var w float32
+				if ws != nil {
+					w = ws[i]
+				}
+				msgVal, send := p.GenMsg(v, vals[v], deg, dst, w)
+				if !send {
+					continue
+				}
+				messages++
+				d := int64(dst)
+				first := !touched[d]
+				cur := vals[d]
+				if !first {
+					cur = upd[d]
+				}
+				nv, changed := p.Compute(d, cur, msgVal, first)
+				if changed {
+					upd[d] = nv
+					touched[d] = true
+					updates++
+				}
+			}
+		}
+		for v := int64(0); v < n; v++ {
+			active[v] = touched[v]
+			if touched[v] {
+				vals[v] = upd[v]
+			}
+		}
+		if messages == 0 && updates == 0 {
+			break
+		}
+	}
+	return vals, steps
+}
+
+// TruePageRank runs iters rounds of synchronous power iteration in the
+// same unnormalized, 1-centered formulation as PageRank (every vertex
+// recomputes every round, dangling mass is dropped).
+func TruePageRank(g *graph.CSR, damping float64, iters int) []float64 {
+	if damping == 0 {
+		damping = 0.85
+	}
+	n := g.NumVertices
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for v := range rank {
+		rank[v] = 1
+	}
+	for it := 0; it < iters; it++ {
+		for v := range next {
+			next[v] = 0
+		}
+		for v := int64(0); v < n; v++ {
+			deg := g.OutDegree(graph.VertexID(v))
+			if deg == 0 {
+				continue
+			}
+			share := rank[v] / float64(deg)
+			for _, dst := range g.Neighbors(graph.VertexID(v)) {
+				next[dst] += share
+			}
+		}
+		for v := range next {
+			next[v] = (1 - damping) + damping*next[v]
+		}
+		rank, next = next, rank
+	}
+	return rank
+}
+
+// TrueBFS returns hop distances from root (-1 for unreached vertices)
+// computed with a plain queue.
+func TrueBFS(g *graph.CSR, root graph.VertexID) []int64 {
+	dist := make([]int64, g.NumVertices)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[root] = 0
+	queue := []graph.VertexID{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, d := range g.Neighbors(v) {
+			if dist[d] == -1 {
+				dist[d] = dist[v] + 1
+				queue = append(queue, d)
+			}
+		}
+	}
+	return dist
+}
+
+// TrueComponents returns, for every vertex, the smallest vertex id in its
+// weakly connected component, via union-find.
+func TrueComponents(g *graph.CSR) []graph.VertexID {
+	parent := make([]graph.VertexID, g.NumVertices)
+	for i := range parent {
+		parent[i] = graph.VertexID(i)
+	}
+	var find func(x graph.VertexID) graph.VertexID
+	find = func(x graph.VertexID) graph.VertexID {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b graph.VertexID) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if ra < rb { // keep the smaller id as the root
+			parent[rb] = ra
+		} else {
+			parent[ra] = rb
+		}
+	}
+	for v := int64(0); v < g.NumVertices; v++ {
+		for _, d := range g.Neighbors(graph.VertexID(v)) {
+			union(graph.VertexID(v), d)
+		}
+	}
+	out := make([]graph.VertexID, g.NumVertices)
+	for v := range out {
+		out[v] = find(graph.VertexID(v))
+	}
+	return out
+}
+
+// TrueSSSP returns shortest-path distances from src using Dijkstra over
+// |weight| (matching SSSP.GenMsg's clamp). Unreached vertices get +Inf.
+func TrueSSSP(g *graph.CSR, src graph.VertexID) []float64 {
+	dist := make([]float64, g.NumVertices)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	pq := &vertexHeap{items: []heapItem{{v: src, d: 0}}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(heapItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		ws := g.EdgeWeights(it.v)
+		for i, nb := range g.Neighbors(it.v) {
+			var w float64
+			if ws != nil {
+				w = math.Abs(float64(ws[i]))
+			}
+			if nd := it.d + w; nd < dist[nb] {
+				dist[nb] = nd
+				heap.Push(pq, heapItem{v: nb, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type heapItem struct {
+	v graph.VertexID
+	d float64
+}
+
+type vertexHeap struct{ items []heapItem }
+
+func (h *vertexHeap) Len() int           { return len(h.items) }
+func (h *vertexHeap) Less(i, j int) bool { return h.items[i].d < h.items[j].d }
+func (h *vertexHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *vertexHeap) Push(x any)         { h.items = append(h.items, x.(heapItem)) }
+func (h *vertexHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits a figure's cells as CSV (one row per bar), suitable for
+// external plotting of the paper's grouped bar charts.
+func (r *FigureResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"dataset", "scale", "algo", "system", "seconds", "sec_per_step", "supersteps", "cpu_percent", "runs"}); err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		rec := []string{
+			r.Dataset.Name,
+			strconv.FormatInt(r.Scale, 10),
+			string(c.Algo),
+			string(c.System),
+			strconv.FormatFloat(c.Seconds, 'g', -1, 64),
+			strconv.FormatFloat(c.PerStep, 'g', -1, 64),
+			strconv.Itoa(c.Supersteps),
+			strconv.FormatFloat(c.CPUPercent, 'g', -1, 64),
+			strconv.Itoa(c.Runs),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON emits the figure as indented JSON.
+func (r *FigureResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteAblationsCSV emits ablation results as CSV.
+func WriteAblationsCSV(w io.Writer, rs []AblationResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"study", "variant", "seconds", "supersteps"}); err != nil {
+		return err
+	}
+	for _, r := range rs {
+		if err := cw.Write([]string{
+			r.Study, r.Variant,
+			strconv.FormatFloat(r.Seconds, 'g', -1, 64),
+			strconv.Itoa(r.Supersteps),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteScalabilityCSV emits scalability points as CSV.
+func WriteScalabilityCSV(w io.Writer, pts []ScalabilityPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"actors", "seconds", "speedup", "cpu_percent"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if err := cw.Write([]string{
+			strconv.Itoa(p.Actors),
+			strconv.FormatFloat(p.Seconds, 'g', -1, 64),
+			strconv.FormatFloat(p.Speedup, 'g', -1, 64),
+			strconv.FormatFloat(p.CPUPercent, 'g', -1, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

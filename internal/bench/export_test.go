@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleFigure() *FigureResult {
+	return &FigureResult{
+		Scale: 4,
+		Cells: []Cell{
+			{System: SysGPSA, Algo: AlgoCC, Seconds: 1.5, PerStep: 0.3, Supersteps: 5, CPUPercent: 80, Runs: 3},
+			{System: SysXStream, Algo: AlgoCC, Seconds: 3, PerStep: 0.6, Supersteps: 5, CPUPercent: 99, Runs: 3},
+		},
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleFigure().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d CSV lines, want 3:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "dataset,scale,algo,system") {
+		t.Fatalf("bad header: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "GPSA") || !strings.Contains(lines[2], "X-Stream") {
+		t.Fatalf("rows missing systems:\n%s", out)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleFigure().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back FigureResult
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Cells) != 2 || back.Cells[0].System != SysGPSA {
+		t.Fatalf("JSON round trip lost data: %+v", back)
+	}
+}
+
+func TestWriteAblationsAndScalabilityCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAblationsCSV(&buf, []AblationResult{{Study: "io", Variant: "mmap", Seconds: 0.5, Supersteps: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "io,mmap,0.5,5") {
+		t.Fatalf("ablation CSV wrong:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := WriteScalabilityCSV(&buf, []ScalabilityPoint{{Actors: 4, Seconds: 1, Speedup: 2, CPUPercent: 50}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "4,1,2,50") {
+		t.Fatalf("scalability CSV wrong:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mmap"
+)
+
+// Config tunes a distributed run.
+type Config struct {
+	// Nodes is the number of cluster nodes (default 2). Small graphs may
+	// yield fewer (interval boundaries snap to the file index).
+	Nodes int
+	// MaxSupersteps caps the run (default 100).
+	MaxSupersteps int
+	// Node tunes each node.
+	Node NodeConfig
+	// WorkDir holds per-node value files (default: temp, removed after).
+	WorkDir string
+}
+
+// Run executes prog over the on-disk CSR graph at graphPath on an
+// in-process TCP cluster and returns the run summary plus every vertex's
+// final payload. All cross-node state flows through the wire protocol.
+func Run(graphPath string, prog core.Program, cfg Config) (*Result, []uint64, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 2
+	}
+	if cfg.MaxSupersteps <= 0 {
+		cfg.MaxSupersteps = 100
+	}
+	workDir := cfg.WorkDir
+	if workDir == "" {
+		dir, err := os.MkdirTemp("", "gpsa-cluster-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		defer os.RemoveAll(dir)
+		workDir = dir
+	}
+
+	// Partition the vertex space by edge count, like dispatcher intervals.
+	gf, err := graph.OpenFile(graphPath, mmap.ModeAuto)
+	if err != nil {
+		return nil, nil, err
+	}
+	intervals := gf.Partition(cfg.Nodes)
+	numVertices := gf.NumVertices
+	gf.Close()
+	total := len(intervals)
+
+	coord, err := newCoordinator("", total)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer coord.halt()
+
+	// Boot the nodes; each runs its control loop on its own goroutine.
+	nodeErr := make(chan error, total)
+	for i := 0; i < total; i++ {
+		n, err := startNode(i, total, coord.addr(), graphPath,
+			filepath.Join(workDir, fmt.Sprintf("node-%d.gpvf", i)), prog, intervals, cfg.Node)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: starting node %d: %w", i, err)
+		}
+		go func() { nodeErr <- n.runNode() }()
+	}
+	if err := coord.accept(); err != nil {
+		return nil, nil, err
+	}
+
+	res, err := coord.run(0, cfg.MaxSupersteps)
+	if err != nil {
+		select {
+		case nerr := <-nodeErr:
+			if nerr != nil {
+				return res, nil, fmt.Errorf("%w (node error: %v)", err, nerr)
+			}
+		default:
+		}
+		return res, nil, err
+	}
+	values, err := coord.gatherValues(numVertices)
+	if err != nil {
+		return res, nil, err
+	}
+	coord.halt()
+	for i := 0; i < total; i++ {
+		if nerr := <-nodeErr; nerr != nil {
+			return res, values, fmt.Errorf("cluster: node failed: %w", nerr)
+		}
+	}
+	return res, values, nil
+}

@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// StepStats records one distributed superstep.
+type StepStats struct {
+	Step      int64
+	Messages  int64 // generated across all nodes
+	Delivered int64 // delivered after combining (local + wire)
+	Updates   int64
+	Duration  time.Duration
+}
+
+// Result summarizes a distributed run.
+type Result struct {
+	Nodes      int
+	Supersteps int
+	Converged  bool
+	Messages   int64
+	Delivered  int64
+	Updates    int64
+	Duration   time.Duration
+	Steps      []StepStats
+}
+
+// coordinator is the distributed manager: it owns the control connections
+// and drives the paper's superstep protocol across nodes.
+type coordinator struct {
+	ln    net.Listener
+	nodes []*conn // indexed by node id
+}
+
+func newCoordinator(addr string, total int) (*coordinator, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: coordinator listen: %w", err)
+	}
+	return &coordinator{ln: ln, nodes: make([]*conn, total)}, nil
+}
+
+func (c *coordinator) addr() string { return c.ln.Addr().String() }
+
+// accept waits for every node's hello and distributes the address book.
+func (c *coordinator) accept() error {
+	addrs := make([]string, len(c.nodes))
+	for i := 0; i < len(c.nodes); i++ {
+		nc, err := c.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("cluster: coordinator accept: %w", err)
+		}
+		cn := newConn(nc)
+		kind, payload, err := cn.readFrame()
+		if err != nil || kind != fHello {
+			nc.Close()
+			return fmt.Errorf("cluster: expected hello, got frame %d (%v)", kind, err)
+		}
+		id, addr, err := parseHello(payload)
+		if err != nil {
+			return err
+		}
+		if int(id) >= len(c.nodes) || c.nodes[id] != nil {
+			return fmt.Errorf("cluster: bad or duplicate node id %d", id)
+		}
+		c.nodes[id] = cn
+		addrs[id] = addr
+	}
+	book := addrBookPayload(addrs)
+	for _, n := range c.nodes {
+		if err := n.writeFrame(fAddrBook, book); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// run drives supersteps until convergence or maxSupersteps.
+func (c *coordinator) run(startStep int64, maxSupersteps int) (*Result, error) {
+	res := &Result{Nodes: len(c.nodes)}
+	t0 := time.Now()
+	step := startStep
+	for s := 0; s < maxSupersteps; s++ {
+		st, err := c.superstep(step)
+		if err != nil {
+			return res, err
+		}
+		res.Steps = append(res.Steps, st)
+		res.Supersteps++
+		res.Messages += st.Messages
+		res.Delivered += st.Delivered
+		res.Updates += st.Updates
+		if st.Messages == 0 && st.Updates == 0 {
+			res.Converged = true
+			break
+		}
+		step++
+	}
+	res.Duration = time.Since(t0)
+	return res, nil
+}
+
+func (c *coordinator) superstep(step int64) (StepStats, error) {
+	st := StepStats{Step: step}
+	t0 := time.Now()
+	for _, n := range c.nodes {
+		if err := n.writeFrame(fStart, u64Payload(uint64(step))); err != nil {
+			return st, err
+		}
+	}
+	for i, n := range c.nodes {
+		kind, payload, err := n.readFrame()
+		if err != nil {
+			return st, fmt.Errorf("cluster: node %d during dispatch: %w", i, err)
+		}
+		if kind != fDispatchOver {
+			return st, fmt.Errorf("cluster: node %d sent frame %d, want DISPATCH_OVER", i, kind)
+		}
+		vals, err := readU64s(payload, 3)
+		if err != nil {
+			return st, err
+		}
+		if int64(vals[0]) != step {
+			return st, fmt.Errorf("cluster: node %d acked step %d, want %d", i, vals[0], step)
+		}
+		st.Messages += int64(vals[1])
+		st.Delivered += int64(vals[2])
+	}
+	for _, n := range c.nodes {
+		if err := n.writeFrame(fComputeBarrier, u64Payload(uint64(step))); err != nil {
+			return st, err
+		}
+	}
+	for i, n := range c.nodes {
+		kind, payload, err := n.readFrame()
+		if err != nil {
+			return st, fmt.Errorf("cluster: node %d during compute: %w", i, err)
+		}
+		if kind != fComputeOver {
+			return st, fmt.Errorf("cluster: node %d sent frame %d, want COMPUTE_OVER", i, kind)
+		}
+		vals, err := readU64s(payload, 2)
+		if err != nil {
+			return st, err
+		}
+		st.Updates += int64(vals[1])
+	}
+	st.Duration = time.Since(t0)
+	return st, nil
+}
+
+// gatherValues pulls every node's vertex payloads into one slice.
+func (c *coordinator) gatherValues(numVertices int64) ([]uint64, error) {
+	out := make([]uint64, numVertices)
+	for i, n := range c.nodes {
+		if err := n.writeFrame(fValuesReq, nil); err != nil {
+			return nil, err
+		}
+		kind, payload, err := n.readFrame()
+		if err != nil || kind != fValues {
+			return nil, fmt.Errorf("cluster: node %d values: frame %d (%v)", i, kind, err)
+		}
+		first, payloads, err := parseValues(payload)
+		if err != nil {
+			return nil, err
+		}
+		if first < 0 || first+int64(len(payloads)) > numVertices {
+			return nil, fmt.Errorf("cluster: node %d values out of range", i)
+		}
+		copy(out[first:], payloads)
+	}
+	return out, nil
+}
+
+// halt tells every node to shut down and closes the control plane.
+func (c *coordinator) halt() {
+	for _, n := range c.nodes {
+		if n != nil {
+			n.writeFrame(fHalt, []byte{0}) //nolint:errcheck
+			n.Close()
+		}
+	}
+	c.ln.Close()
+}

@@ -1,0 +1,32 @@
+// Package cluster extends GPSA across multiple nodes — the distributed
+// application of the actor model the paper motivates but leaves as future
+// work (§III-B: "Actor-based graph processing can not only benefit
+// multi-core systems but also be directly applicable to distributed
+// systems").
+//
+// The design translates the paper's single-machine roles one-to-one:
+//
+//   - The manager actor becomes a Coordinator process coordinating
+//     supersteps over TCP control connections.
+//   - Each Node owns a contiguous vertex interval (balanced by edge
+//     count), streams its share of the CSR file with local dispatcher
+//     actors, and folds messages with local computing actors backed by
+//     its own two-column vertex value file.
+//   - Actor location transparency becomes explicit: a message whose
+//     destination is local goes straight into a computing worker's
+//     mailbox; a remote one is batched onto the owning node's data
+//     connection. Remote batches are folded as they arrive, so the
+//     paper's dispatch/compute overlap extends across the cluster.
+//
+// The superstep barrier generalizes the single-machine one: after a node
+// finishes dispatching (and has flushed its peer connections) it sends an
+// end-of-stream marker on every data connection and DISPATCH_OVER to the
+// coordinator; a node acknowledges the coordinator's COMPUTE barrier only
+// after end-of-stream from every peer, which — with TCP's per-connection
+// FIFO — guarantees every batch of the superstep has been folded.
+//
+// Nodes here run in one process connected over loopback TCP, but nothing
+// in the protocol assumes shared memory: all graph state crosses node
+// boundaries through the wire format in protocol.go. The CSR file is
+// opened read-only by every node, standing in for a shared filesystem.
+package cluster

@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// FuzzParseFrames exercises every payload parser with arbitrary bytes:
+// they must reject garbage with errors, never panic.
+func FuzzParseFrames(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add(helloPayload(3, "127.0.0.1:9999"), uint8(0))
+	f.Add(addrBookPayload([]string{"a:1", "b:2"}), uint8(1))
+	f.Add(batchPayload(nil), uint8(2))
+	f.Add(valuesPayload(0, []uint64{1, 2, 3}), uint8(3))
+	f.Fuzz(func(t *testing.T, payload []byte, which uint8) {
+		switch which % 5 {
+		case 0:
+			if _, addr, err := parseHello(payload); err == nil && len(addr) > len(payload) {
+				t.Fatal("hello address longer than payload")
+			}
+		case 1:
+			if addrs, err := parseAddrBook(payload); err == nil {
+				total := 4
+				for _, a := range addrs {
+					total += 2 + len(a)
+				}
+				if total > len(payload) {
+					t.Fatal("address book claims more bytes than payload")
+				}
+			}
+		case 2:
+			if batch, err := parseBatch(payload); err == nil {
+				if len(payload) != 4+12*len(batch) {
+					t.Fatal("batch length inconsistent")
+				}
+			}
+		case 3:
+			if _, payloads, err := parseValues(payload); err == nil {
+				if len(payload) != 16+8*len(payloads) {
+					t.Fatal("values length inconsistent")
+				}
+			}
+		case 4:
+			if _, err := readU64s(payload, 3); err == nil && len(payload) < 24 {
+				t.Fatal("readU64s accepted short payload")
+			}
+		}
+	})
+}
+
+// FuzzRoundTripPayloads checks encode/decode inverses for valid inputs.
+func FuzzRoundTripPayloads(f *testing.F) {
+	f.Add(uint32(7), "127.0.0.1:1234")
+	f.Fuzz(func(t *testing.T, id uint32, addr string) {
+		if len(addr) > 1<<15 {
+			return
+		}
+		gotID, gotAddr, err := parseHello(helloPayload(id, addr))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if gotID != id || gotAddr != addr {
+			t.Fatalf("round trip (%d, %q) -> (%d, %q)", id, addr, gotID, gotAddr)
+		}
+	})
+}

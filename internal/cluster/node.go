@@ -1,0 +1,493 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sort"
+
+	"repro/internal/actor"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mmap"
+	"repro/internal/vertexfile"
+)
+
+// NodeConfig tunes one node.
+type NodeConfig struct {
+	// Computers is the number of computing actors per node (default 2).
+	Computers int
+	// BatchSize is the message batch size for both local mailboxes and
+	// peer frames (default 512).
+	BatchSize int
+	// DisableSync skips durable superstep syncs of the node's value file.
+	DisableSync bool
+}
+
+func (c NodeConfig) withDefaults() NodeConfig {
+	if c.Computers <= 0 {
+		c.Computers = 2
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 512
+	}
+	return c
+}
+
+// compMsg is the node-local computer mailbox envelope.
+type compMsg struct {
+	batch   []core.Message
+	barrier bool
+	done    bool
+}
+
+// node is one cluster member: it owns a vertex interval, dispatches its
+// share of the edge file, and computes updates for its own vertices.
+type node struct {
+	id       int
+	total    int
+	prog     core.Program
+	combiner core.Combiner
+	cfg      NodeConfig
+
+	gf        *graph.File
+	vf        *vertexfile.File
+	interval  graph.Interval
+	bounds    []int64 // bounds[i] = first vertex of node i; len total+1
+	coord     *conn
+	peers     []*conn // outgoing data connections, indexed by node id (nil for self)
+	listener  net.Listener
+	system    *actor.System
+	toComp    []*actor.Mailbox[compMsg]
+	ackCh     chan int64
+	eosCh     chan struct{}
+	failCh    chan error // peer disconnects and computing-actor panics
+	statsMsgs int64
+}
+
+// startNode boots a node: local state, data listener, coordinator
+// handshake. It returns after the node has sent its hello; runNode drives
+// the rest.
+func startNode(id, total int, coordAddr, graphPath, valuesPath string,
+	prog core.Program, intervals []graph.Interval, cfg NodeConfig) (*node, error) {
+	cfg = cfg.withDefaults()
+	gf, err := graph.OpenFile(graphPath, mmap.ModeAuto)
+	if err != nil {
+		return nil, err
+	}
+	vf, err := vertexfile.Create(valuesPath, gf.NumVertices, prog.Init)
+	if err != nil {
+		gf.Close()
+		return nil, err
+	}
+	n := &node{
+		id:       id,
+		total:    total,
+		prog:     prog,
+		cfg:      cfg,
+		gf:       gf,
+		vf:       vf,
+		interval: intervals[id],
+		bounds:   make([]int64, total+1),
+		peers:    make([]*conn, total),
+		system:   actor.NewSystem(fmt.Sprintf("node-%d", id), actor.RestartPolicy{}),
+		ackCh:    make(chan int64, cfg.Computers),
+		eosCh:    make(chan struct{}, total),
+		failCh:   make(chan error, total+cfg.Computers+1),
+	}
+	if c, ok := prog.(core.Combiner); ok {
+		n.combiner = c
+	}
+	for i, iv := range intervals {
+		n.bounds[i] = iv.FirstVertex
+	}
+	n.bounds[total] = gf.NumVertices
+
+	// Computing actors must exist before any peer traffic can arrive.
+	n.toComp = make([]*actor.Mailbox[compMsg], cfg.Computers)
+	for i := range n.toComp {
+		n.toComp[i] = actor.NewMailbox[compMsg](64)
+		w := &nodeComputer{node: n, id: i}
+		n.system.Spawn(fmt.Sprintf("node-%d-computer-%d", id, i), w)
+	}
+
+	// Data listener for incoming peer connections.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		n.close()
+		return nil, err
+	}
+	n.listener = ln
+	go n.acceptLoop()
+
+	// Control connection.
+	cc, err := net.Dial("tcp", coordAddr)
+	if err != nil {
+		n.close()
+		return nil, err
+	}
+	n.coord = newConn(cc)
+	if err := n.coord.writeFrame(fHello, helloPayload(uint32(id), ln.Addr().String())); err != nil {
+		n.close()
+		return nil, err
+	}
+	return n, nil
+}
+
+func (n *node) close() {
+	if n.listener != nil {
+		n.listener.Close()
+	}
+	if n.coord != nil {
+		n.coord.Close()
+	}
+	for _, p := range n.peers {
+		if p != nil {
+			p.Close()
+		}
+	}
+	for _, mb := range n.toComp {
+		mb.Put(compMsg{done: true}) //nolint:errcheck
+		mb.Close()
+	}
+	n.system.Wait() //nolint:errcheck
+	if n.vf != nil {
+		n.vf.Close()
+	}
+	if n.gf != nil {
+		n.gf.Close()
+	}
+}
+
+// acceptLoop receives peer data connections and spawns a receiver per
+// connection.
+func (n *node) acceptLoop() {
+	for {
+		c, err := n.listener.Accept()
+		if err != nil {
+			return // listener closed on shutdown
+		}
+		go n.receive(newConn(c))
+	}
+}
+
+// receive folds one peer's frames into the local computers. An abnormal
+// disconnect is reported on failCh so a node blocked at the barrier can
+// unwind instead of deadlocking on a missing end-of-stream marker.
+func (n *node) receive(c *conn) {
+	defer c.Close()
+	for {
+		kind, payload, err := c.readFrame()
+		if err != nil {
+			n.reportFailure(fmt.Errorf("cluster: node %d: peer connection lost: %w", n.id, err))
+			return
+		}
+		switch kind {
+		case fPeerHello:
+			// informational only
+		case fBatch:
+			batch, err := parseBatch(payload)
+			if err != nil {
+				n.reportFailure(err)
+				return
+			}
+			n.routeLocal(batch)
+		case fEOS:
+			n.eosCh <- struct{}{}
+		default:
+			n.reportFailure(fmt.Errorf("cluster: node %d: unexpected peer frame %d", n.id, kind))
+			return
+		}
+	}
+}
+
+// reportFailure never blocks: failCh is buffered generously, and during a
+// clean shutdown (nobody listening) extra reports are simply dropped.
+func (n *node) reportFailure(err error) {
+	select {
+	case n.failCh <- err:
+	default:
+	}
+}
+
+// routeLocal distributes a batch of locally-owned messages across the
+// node's computing actors.
+func (n *node) routeLocal(batch []core.Message) {
+	if len(n.toComp) == 1 {
+		n.toComp[0].Put(compMsg{batch: batch}) //nolint:errcheck
+		return
+	}
+	parts := make([][]core.Message, len(n.toComp))
+	for _, m := range batch {
+		w := int(m.Dst) % len(n.toComp)
+		parts[w] = append(parts[w], m)
+	}
+	for w, p := range parts {
+		if len(p) > 0 {
+			n.toComp[w].Put(compMsg{batch: p}) //nolint:errcheck
+		}
+	}
+}
+
+// ownerOf returns the node owning vertex v.
+func (n *node) ownerOf(v graph.VertexID) int {
+	// bounds is sorted; find the last bound <= v.
+	i := sort.Search(n.total, func(i int) bool { return n.bounds[i+1] > int64(v) })
+	return i
+}
+
+// runNode executes the node's control loop until HALT.
+func (n *node) runNode() error {
+	defer n.close()
+	for {
+		kind, payload, err := n.coord.readFrame()
+		if err != nil {
+			return fmt.Errorf("cluster: node %d control: %w", n.id, err)
+		}
+		switch kind {
+		case fAddrBook:
+			addrs, err := parseAddrBook(payload)
+			if err != nil {
+				return err
+			}
+			if err := n.dialPeers(addrs); err != nil {
+				return err
+			}
+		case fStart:
+			vals, err := readU64s(payload, 1)
+			if err != nil {
+				return err
+			}
+			if err := n.dispatchPhase(int64(vals[0])); err != nil {
+				return err
+			}
+		case fComputeBarrier:
+			vals, err := readU64s(payload, 1)
+			if err != nil {
+				return err
+			}
+			if err := n.barrierPhase(int64(vals[0])); err != nil {
+				return err
+			}
+		case fValuesReq:
+			if err := n.sendValues(); err != nil {
+				return err
+			}
+		case fHalt:
+			return nil
+		default:
+			return fmt.Errorf("cluster: node %d: unexpected control frame %d", n.id, kind)
+		}
+	}
+}
+
+func (n *node) dialPeers(addrs []string) error {
+	if len(addrs) != n.total {
+		return fmt.Errorf("cluster: node %d: address book of %d entries, want %d", n.id, len(addrs), n.total)
+	}
+	for i, a := range addrs {
+		if i == n.id {
+			continue
+		}
+		c, err := net.Dial("tcp", a)
+		if err != nil {
+			return fmt.Errorf("cluster: node %d dialing node %d: %w", n.id, i, err)
+		}
+		n.peers[i] = newConn(c)
+		var id [4]byte
+		id[0] = byte(n.id)
+		if err := n.peers[i].writeFrame(fPeerHello, id[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dispatchPhase streams the node's interval, routing messages locally or
+// to peers, then signals end-of-stream and DISPATCH_OVER.
+func (n *node) dispatchPhase(step int64) error {
+	if err := n.vf.Begin(step, !n.cfg.DisableSync); err != nil {
+		return err
+	}
+	col := vertexfile.DispatchCol(step)
+	weighted := n.gf.Weighted()
+	cur := n.gf.Cursor(n.interval)
+
+	local := make([][]core.Message, len(n.toComp))
+	remote := make([][]core.Message, n.total)
+	var generated, delivered int64
+
+	flushLocal := func(w int) error {
+		b := local[w]
+		local[w] = nil
+		if n.combiner != nil {
+			b = core.CombineBatch(b, n.combiner)
+		}
+		delivered += int64(len(b))
+		return n.toComp[w].Put(compMsg{batch: b})
+	}
+	flushRemote := func(p int) error {
+		b := remote[p]
+		remote[p] = nil
+		if n.combiner != nil {
+			b = core.CombineBatch(b, n.combiner)
+		}
+		delivered += int64(len(b))
+		return n.peers[p].writeFrame(fBatch, batchPayload(b))
+	}
+
+	for {
+		v, deg, edges, ok := cur.Next()
+		if !ok {
+			break
+		}
+		slot := n.vf.Load(col, v)
+		if vertexfile.Stale(slot) {
+			continue
+		}
+		payload := vertexfile.Payload(slot)
+		for i := 0; i < int(deg); i++ {
+			dst, w := graph.DecodeEdge(edges, i, weighted)
+			msgVal, send := n.prog.GenMsg(v, payload, deg, dst, w)
+			if !send {
+				continue
+			}
+			generated++
+			owner := n.ownerOf(dst)
+			if owner == n.id {
+				wkr := int(dst) % len(n.toComp)
+				local[wkr] = append(local[wkr], core.Message{Dst: dst, Val: msgVal})
+				if len(local[wkr]) >= n.cfg.BatchSize {
+					if err := flushLocal(wkr); err != nil {
+						return err
+					}
+				}
+			} else {
+				remote[owner] = append(remote[owner], core.Message{Dst: dst, Val: msgVal})
+				if len(remote[owner]) >= n.cfg.BatchSize {
+					if err := flushRemote(owner); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		n.vf.Store(col, v, slot|vertexfile.StaleBit)
+	}
+	if err := cur.Err(); err != nil {
+		return err
+	}
+	for w := range local {
+		if len(local[w]) > 0 {
+			if err := flushLocal(w); err != nil {
+				return err
+			}
+		}
+	}
+	for p := range remote {
+		if len(remote[p]) > 0 {
+			if err := flushRemote(p); err != nil {
+				return err
+			}
+		}
+	}
+	// End-of-stream on every peer connection, then DISPATCH_OVER.
+	for i, p := range n.peers {
+		if p == nil {
+			continue
+		}
+		if err := p.writeFrame(fEOS, u64Payload(uint64(step))); err != nil {
+			return fmt.Errorf("cluster: node %d EOS to %d: %w", n.id, i, err)
+		}
+	}
+	n.statsMsgs += generated
+	return n.coord.writeFrame(fDispatchOver, u64Payload(uint64(step), uint64(generated), uint64(delivered)))
+}
+
+// barrierPhase waits for every peer's end-of-stream, drains the local
+// computers, commits the superstep, and acknowledges the coordinator.
+// Peer disconnects and computing-actor failures unwind the wait instead
+// of deadlocking it.
+func (n *node) barrierPhase(step int64) error {
+	for i := 0; i < n.total-1; i++ {
+		select {
+		case <-n.eosCh:
+		case err := <-n.failCh:
+			return err
+		}
+	}
+	for _, mb := range n.toComp {
+		if err := mb.Put(compMsg{barrier: true}); err != nil {
+			return err
+		}
+	}
+	var updates int64
+	for range n.toComp {
+		select {
+		case u := <-n.ackCh:
+			updates += u
+		case err := <-n.failCh:
+			return err
+		}
+	}
+	if err := n.vf.Commit(step, true, !n.cfg.DisableSync); err != nil {
+		return err
+	}
+	return n.coord.writeFrame(fComputeOver, u64Payload(uint64(step), uint64(updates)))
+}
+
+func (n *node) sendValues() error {
+	first, end := n.interval.FirstVertex, n.interval.EndVertex
+	payloads := make([]uint64, 0, end-first)
+	for v := first; v < end; v++ {
+		payloads = append(payloads, n.vf.Value(v))
+	}
+	return n.coord.writeFrame(fValues, valuesPayload(first, payloads))
+}
+
+// nodeComputer is the node-local computing actor (paper Algorithm 3, with
+// remote batches arriving through the same mailbox).
+type nodeComputer struct {
+	node    *node
+	id      int
+	updates int64
+}
+
+// Execute runs the computing actor loop. Panics in the vertex program are
+// converted to failures so the node's barrier can unwind.
+func (c *nodeComputer) Execute() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cluster: node %d computer %d: panic: %v", c.node.id, c.id, r)
+			c.node.reportFailure(err)
+		}
+	}()
+	n := c.node
+	for {
+		m, ok := n.toComp[c.id].Get()
+		if !ok || m.done {
+			return nil
+		}
+		if m.barrier {
+			n.ackCh <- c.updates
+			c.updates = 0
+			continue
+		}
+		step := n.vf.Epoch()
+		dcol, ucol := vertexfile.DispatchCol(step), vertexfile.UpdateCol(step)
+		for _, msg := range m.batch {
+			v := int64(msg.Dst)
+			slot := n.vf.Load(ucol, v)
+			first := vertexfile.Stale(slot)
+			var cur uint64
+			if first {
+				cur = vertexfile.Payload(n.vf.Load(dcol, v))
+			} else {
+				cur = vertexfile.Payload(slot)
+			}
+			newVal, changed := n.prog.Compute(v, cur, msg.Val, first)
+			if changed {
+				n.vf.Store(ucol, v, vertexfile.Pack(newVal, false))
+				c.updates++
+			}
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Wire protocol: length-prefixed frames, little endian.
+//
+//	frame  := length uint32 | kind uint8 | payload
+//	length counts kind+payload bytes.
+const (
+	fHello          = 1  // node -> coordinator: nodeID u32, dataAddr string
+	fAddrBook       = 2  // coordinator -> node: n u32, then n strings
+	fStart          = 3  // coordinator -> node: step u64
+	fDispatchOver   = 4  // node -> coordinator: step u64, generated u64, delivered u64
+	fComputeBarrier = 5  // coordinator -> node: step u64
+	fComputeOver    = 6  // node -> coordinator: step u64, updates u64
+	fHalt           = 7  // coordinator -> node: converged u8
+	fValuesReq      = 8  // coordinator -> node
+	fValues         = 9  // node -> coordinator: first u64, count u64, payloads
+	fBatch          = 10 // node -> node: count u32, (dst u32, val u64)*
+	fEOS            = 11 // node -> node: step u64
+	fPeerHello      = 12 // node -> node: sender nodeID u32
+)
+
+const maxFrame = 64 << 20
+
+// conn wraps a TCP connection with buffered, mutex-guarded frame I/O.
+// Reads and writes may proceed concurrently; concurrent writers serialize
+// on the write lock, so a frame is never interleaved.
+type conn struct {
+	c  net.Conn
+	br *bufio.Reader
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+}
+
+func newConn(c net.Conn) *conn {
+	return &conn{
+		c:  c,
+		br: bufio.NewReaderSize(c, 1<<20),
+		bw: bufio.NewWriterSize(c, 1<<20),
+	}
+}
+
+func (c *conn) Close() error { return c.c.Close() }
+
+// writeFrame sends one frame and flushes it.
+func (c *conn) writeFrame(kind byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(1+len(payload)))
+	hdr[4] = kind
+	if _, err := c.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// readFrame receives the next frame.
+func (c *conn) readFrame() (kind byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return 0, nil, fmt.Errorf("cluster: bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c.br, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// payload builders --------------------------------------------------------
+
+func u64Payload(vals ...uint64) []byte {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[8*i:], v)
+	}
+	return b
+}
+
+func readU64s(payload []byte, n int) ([]uint64, error) {
+	if len(payload) < 8*n {
+		return nil, fmt.Errorf("cluster: payload of %d bytes, want %d u64s", len(payload), n)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(payload[8*i:])
+	}
+	return out, nil
+}
+
+func helloPayload(node uint32, addr string) []byte {
+	b := make([]byte, 4+2+len(addr))
+	binary.LittleEndian.PutUint32(b[0:], node)
+	binary.LittleEndian.PutUint16(b[4:], uint16(len(addr)))
+	copy(b[6:], addr)
+	return b
+}
+
+func parseHello(p []byte) (node uint32, addr string, err error) {
+	if len(p) < 6 {
+		return 0, "", fmt.Errorf("cluster: short hello")
+	}
+	node = binary.LittleEndian.Uint32(p[0:])
+	n := int(binary.LittleEndian.Uint16(p[4:]))
+	if len(p) < 6+n {
+		return 0, "", fmt.Errorf("cluster: truncated hello address")
+	}
+	return node, string(p[6 : 6+n]), nil
+}
+
+func addrBookPayload(addrs []string) []byte {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint32(b, uint32(len(addrs)))
+	for _, a := range addrs {
+		var l [2]byte
+		binary.LittleEndian.PutUint16(l[:], uint16(len(a)))
+		b = append(b, l[:]...)
+		b = append(b, a...)
+	}
+	return b
+}
+
+func parseAddrBook(p []byte) ([]string, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("cluster: short address book")
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	if n > 1<<16 {
+		return nil, fmt.Errorf("cluster: absurd address book size %d", n)
+	}
+	addrs := make([]string, 0, n)
+	off := 4
+	for i := 0; i < n; i++ {
+		if len(p) < off+2 {
+			return nil, fmt.Errorf("cluster: truncated address book")
+		}
+		l := int(binary.LittleEndian.Uint16(p[off:]))
+		off += 2
+		if len(p) < off+l {
+			return nil, fmt.Errorf("cluster: truncated address book entry")
+		}
+		addrs = append(addrs, string(p[off:off+l]))
+		off += l
+	}
+	return addrs, nil
+}
+
+func batchPayload(batch []core.Message) []byte {
+	b := make([]byte, 4+12*len(batch))
+	binary.LittleEndian.PutUint32(b[0:], uint32(len(batch)))
+	off := 4
+	for _, m := range batch {
+		binary.LittleEndian.PutUint32(b[off:], m.Dst)
+		binary.LittleEndian.PutUint64(b[off+4:], m.Val)
+		off += 12
+	}
+	return b
+}
+
+func parseBatch(p []byte) ([]core.Message, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("cluster: short batch")
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	// Guard the multiplication: an adversarial count must not wrap around
+	// and slip past the length check.
+	if n < 0 || n > (len(p)-4)/12 || len(p) != 4+12*n {
+		return nil, fmt.Errorf("cluster: batch of %d messages in %d bytes", n, len(p))
+	}
+	out := make([]core.Message, n)
+	off := 4
+	for i := range out {
+		out[i] = core.Message{
+			Dst: binary.LittleEndian.Uint32(p[off:]),
+			Val: binary.LittleEndian.Uint64(p[off+4:]),
+		}
+		off += 12
+	}
+	return out, nil
+}
+
+func valuesPayload(first int64, payloads []uint64) []byte {
+	b := make([]byte, 16+8*len(payloads))
+	binary.LittleEndian.PutUint64(b[0:], uint64(first))
+	binary.LittleEndian.PutUint64(b[8:], uint64(len(payloads)))
+	for i, v := range payloads {
+		binary.LittleEndian.PutUint64(b[16+8*i:], v)
+	}
+	return b
+}
+
+func parseValues(p []byte) (first int64, payloads []uint64, err error) {
+	if len(p) < 16 {
+		return 0, nil, fmt.Errorf("cluster: short values frame")
+	}
+	first = int64(binary.LittleEndian.Uint64(p[0:]))
+	n := int(binary.LittleEndian.Uint64(p[8:]))
+	if n < 0 || n > (len(p)-16)/8 || len(p) != 16+8*n {
+		return 0, nil, fmt.Errorf("cluster: values frame of %d payloads in %d bytes", n, len(p))
+	}
+	payloads = make([]uint64, n)
+	for i := range payloads {
+		payloads[i] = binary.LittleEndian.Uint64(p[16+8*i:])
+	}
+	return first, payloads, nil
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/mmap"
+	"repro/internal/vertexfile"
+)
+
+// ccCombining is ccProg plus a min-combiner.
+type ccCombining struct{ ccProg }
+
+func (ccCombining) CombineMsg(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestCombiningPreservesResults(t *testing.T) {
+	g := randomGraph(t, 31, 200, 1200).Symmetrize()
+	want := refRun(g, ccProg{}, 100)
+
+	eng, vf := setup(t, g, ccCombining{}, Config{BatchSize: 64})
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(0); v < g.NumVertices; v++ {
+		if vf.Value(v) != want[v] {
+			t.Fatalf("vertex %d: %d, want %d", v, vf.Value(v), want[v])
+		}
+	}
+	if res.Delivered >= res.Messages {
+		t.Fatalf("combining delivered %d of %d generated messages; expected a reduction on a dense symmetric graph",
+			res.Delivered, res.Messages)
+	}
+}
+
+func TestDisableCombining(t *testing.T) {
+	g := randomGraph(t, 32, 100, 600)
+	eng, _ := setup(t, g, ccCombining{}, Config{DisableCombining: true})
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != res.Messages {
+		t.Fatalf("combining disabled but delivered %d != generated %d", res.Delivered, res.Messages)
+	}
+}
+
+func TestNonCombinableProgramDeliversEverything(t *testing.T) {
+	g := randomGraph(t, 33, 100, 600)
+	eng, _ := setup(t, g, ccProg{}, Config{})
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != res.Messages {
+		t.Fatalf("no combiner but delivered %d != generated %d", res.Delivered, res.Messages)
+	}
+}
+
+type minComb struct{}
+
+func (minComb) CombineMsg(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Property: combineBatch preserves the per-destination fold (min) and
+// never grows the batch.
+func TestCombineBatchProperty(t *testing.T) {
+	fn := func(dsts []uint8, vals []uint16) bool {
+		n := len(dsts)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		batch := make([]Message, n)
+		want := map[graph.VertexID]uint64{}
+		for i := 0; i < n; i++ {
+			d := graph.VertexID(dsts[i] % 16)
+			v := uint64(vals[i])
+			batch[i] = Message{Dst: d, Val: v}
+			if cur, ok := want[d]; !ok || v < cur {
+				want[d] = v
+			}
+		}
+		out := CombineBatch(batch, minComb{})
+		if len(out) > n || len(out) != len(want) {
+			return false
+		}
+		seen := map[graph.VertexID]bool{}
+		for _, m := range out {
+			if seen[m.Dst] {
+				return false // duplicate destination survived
+			}
+			seen[m.Dst] = true
+			if want[m.Dst] != m.Val {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockOwnerPartitioning(t *testing.T) {
+	g := randomGraph(t, 34, 300, 1500)
+	want := refRun(g, bfsProg{root: 0}, 100)
+	eng, vf := setup(t, g, bfsProg{root: 0}, Config{
+		Owner:     BlockOwner(g.NumVertices),
+		Computers: 4,
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(0); v < g.NumVertices; v++ {
+		if vf.Value(v) != want[v]&vertexfile.PayloadMask {
+			t.Fatalf("vertex %d mismatch under BlockOwner", v)
+		}
+	}
+	// Sanity of the owner function itself.
+	for _, v := range []graph.VertexID{0, 150, 299} {
+		w := BlockOwner(300)(v, 4)
+		if w < 0 || w >= 4 {
+			t.Fatalf("BlockOwner(%d) = %d out of range", v, w)
+		}
+	}
+	if BlockOwner(300)(0, 4) != 0 || BlockOwner(300)(299, 4) != 3 {
+		t.Fatal("BlockOwner endpoints wrong")
+	}
+}
+
+func TestIntervalsByVertices(t *testing.T) {
+	g := randomGraph(t, 35, 400, 2000).Symmetrize()
+	want := refRun(g, ccProg{}, 100)
+	eng, vf := setup(t, g, ccProg{}, Config{
+		Intervals:   IntervalsByVertices,
+		Dispatchers: 4,
+	})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(0); v < g.NumVertices; v++ {
+		if vf.Value(v) != want[v] {
+			t.Fatalf("vertex %d mismatch under vertex-balanced intervals", v)
+		}
+	}
+}
+
+func TestPerWorkerStatsSumToTotals(t *testing.T) {
+	g := randomGraph(t, 37, 300, 1800)
+	eng, _ := setup(t, g, prProg{}, Config{MaxSupersteps: 3, Dispatchers: 3, Computers: 4})
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DispatcherMessages) == 0 || len(res.ComputerUpdates) != 4 {
+		t.Fatalf("per-worker stats missing: %d dispatchers, %d computers",
+			len(res.DispatcherMessages), len(res.ComputerUpdates))
+	}
+	var msgs, upds int64
+	for _, m := range res.DispatcherMessages {
+		msgs += m
+	}
+	for _, u := range res.ComputerUpdates {
+		upds += u
+	}
+	if msgs != res.Messages {
+		t.Fatalf("dispatcher stats sum %d, total %d", msgs, res.Messages)
+	}
+	if upds != res.Updates {
+		t.Fatalf("computer stats sum %d, total %d", upds, res.Updates)
+	}
+}
+
+func TestDisableSyncStillCorrect(t *testing.T) {
+	g := randomGraph(t, 36, 150, 800)
+	want := refRun(g, bfsProg{root: 1}, 100)
+	eng, vf := setup(t, g, bfsProg{root: 1}, Config{DisableSync: true})
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(0); v < g.NumVertices; v++ {
+		if vf.Value(v) != want[v]&vertexfile.PayloadMask {
+			t.Fatalf("vertex %d mismatch with sync disabled", v)
+		}
+	}
+}
+
+func TestEngineRunsOnCompactFormat(t *testing.T) {
+	// The compact (varint) on-disk format must be a drop-in replacement.
+	g := randomGraph(t, 38, 300, 1800).Symmetrize()
+	want := refRun(g, ccProg{}, 100)
+
+	dir := t.TempDir()
+	gpath := dir + "/g2.gpsa"
+	if err := graph.WriteFileCompact(gpath, g); err != nil {
+		t.Fatal(err)
+	}
+	gf, err := graph.OpenFile(gpath, mmap.ModeAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gf.Close()
+	vf, err := CreateValueFile(dir+"/v.gpvf", gf, ccProg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vf.Close()
+	eng, err := New(gf, vf, ccProg{}, Config{Dispatchers: 3, Computers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge on compact input")
+	}
+	for v := int64(0); v < g.NumVertices; v++ {
+		if vf.Value(v) != want[v] {
+			t.Fatalf("vertex %d: %d, want %d", v, vf.Value(v), want[v])
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/vertexfile"
+)
+
+// computer is the paper's computing worker (Algorithm 3). It owns the
+// vertices v with v mod Computers == id and folds incoming messages into
+// their values, message-driven, concurrently with dispatching.
+type computer struct {
+	id  int
+	eng *Engine
+
+	updates int64
+	// pending buffers whole batches when SequentialPhases disables the
+	// overlap (ablation mode): they are only processed at the barrier.
+	pending [][]Message
+}
+
+// Execute is the computing worker's actor loop.
+func (c *computer) Execute() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: computer %d: panic: %v", c.id, r)
+			c.eng.toManager.Put(workerMsg{kind: kindFailed, from: c.id, err: err}) //nolint:errcheck
+		}
+	}()
+	for {
+		m, ok := c.eng.toComp[c.id].Get()
+		if !ok {
+			return nil
+		}
+		switch m.kind {
+		case kindData:
+			if c.eng.cfg.SequentialPhases {
+				c.pending = append(c.pending, m.batch)
+			} else {
+				c.processBatch(m.batch)
+			}
+		case kindComputeOver:
+			// FIFO mailbox ordering guarantees every batch sent before
+			// the barrier has been received above.
+			for _, b := range c.pending {
+				c.processBatch(b)
+			}
+			c.pending = c.pending[:0]
+			ack := workerMsg{kind: kindComputeOver, from: c.id, count: c.updates}
+			c.updates = 0
+			if err := c.eng.toManager.Put(ack); err != nil {
+				return err
+			}
+		case kindSystemOver:
+			return nil
+		default:
+			return fmt.Errorf("core: computer %d: unexpected message kind %v", c.id, m.kind)
+		}
+	}
+}
+
+// processBatch applies Compute for each message (paper Algorithm 3).
+func (c *computer) processBatch(batch []Message) {
+	eng := c.eng
+	// Data batches always belong to the superstep currently running: the
+	// manager does not start superstep s+1 until this worker acked the
+	// barrier of s. c.step tracks it via the barrier message, but during
+	// the overlap phase the authoritative value is the file's epoch.
+	step := eng.vf.Epoch()
+	dcol, ucol := vertexfile.DispatchCol(step), vertexfile.UpdateCol(step)
+	for _, m := range batch {
+		v := int64(m.Dst)
+		slot := eng.vf.Load(ucol, v)
+		first := vertexfile.Stale(slot)
+		var cur uint64
+		if first {
+			// First message of this superstep: the previous value lives
+			// in the dispatch column (paper §IV-F).
+			cur = vertexfile.Payload(eng.vf.Load(dcol, v))
+		} else {
+			cur = vertexfile.Payload(slot)
+		}
+		newVal, changed := eng.prog.Compute(v, cur, m.Val, first)
+		if changed {
+			eng.vf.Store(ucol, v, vertexfile.Pack(newVal, false))
+			c.updates++
+		}
+	}
+	eng.putBatch(batch)
+}

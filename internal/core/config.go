@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// OwnerFunc maps a destination vertex to the computing worker that owns
+// it (must be a pure function).
+type OwnerFunc func(dst graph.VertexID, workers int) int
+
+// ModOwner is the default vertex-to-worker assignment (dst mod workers).
+func ModOwner(dst graph.VertexID, workers int) int { return int(dst) % workers }
+
+// BlockOwner assigns contiguous vertex blocks to workers, an alternative
+// with better locality but potentially unbalanced write load.
+func BlockOwner(numVertices int64) OwnerFunc {
+	return func(dst graph.VertexID, workers int) int {
+		w := int(int64(dst) * int64(workers) / numVertices)
+		if w >= workers {
+			w = workers - 1
+		}
+		return w
+	}
+}
+
+// IntervalStrategy selects dispatcher interval balancing.
+type IntervalStrategy int
+
+const (
+	// IntervalsByEdges balances dispatcher intervals by edge count
+	// (default).
+	IntervalsByEdges IntervalStrategy = iota
+	// IntervalsByVertices balances by vertex count.
+	IntervalsByVertices
+)
+
+// Config tunes the engine. The zero value selects sensible defaults.
+type Config struct {
+	// Dispatchers is the number of dispatcher actors (default: half the
+	// available CPUs, at least 1). The edge file is partitioned across
+	// them by edge count.
+	Dispatchers int
+
+	// Computers is the number of computing worker actors (default: half
+	// the available CPUs, at least 1). Vertex v is owned by worker
+	// v mod Computers, so writers never conflict (paper §V-A).
+	Computers int
+
+	// BatchSize is the number of messages accumulated per destination
+	// worker before the batch is put into its mailbox (default 512).
+	BatchSize int
+
+	// MailboxCap is the per-worker mailbox capacity in batches
+	// (default 64). Bounded mailboxes give dispatchers backpressure.
+	MailboxCap int
+
+	// MaxSupersteps caps the run (default 100). The engine also halts as
+	// soon as a superstep neither sends messages nor updates vertices.
+	MaxSupersteps int
+
+	// SequentialPhases disables the paper's dispatch/compute overlap:
+	// computing workers buffer incoming messages and only process them
+	// after all dispatchers finish, emulating the conventional BSP model
+	// the paper argues against (§III-A). For ablation experiments.
+	SequentialPhases bool
+
+	// DisableReconcile skips the barrier-time column reconciliation
+	// (see package vertexfile). Only sound for programs in which every
+	// vertex that will ever be read is re-updated each superstep.
+	// For ablation experiments.
+	DisableReconcile bool
+
+	// DisableSync skips the durable header sync at superstep boundaries,
+	// trading the paper's lightweight fault tolerance for speed.
+	DisableSync bool
+
+	// DisableCombining turns off dispatcher-side message combining even
+	// when the program implements Combiner. For ablation experiments.
+	DisableCombining bool
+
+	// Owner assigns each destination vertex to a computing worker. The
+	// default is the paper's "average assignment by mod according to the
+	// vertex id" (§V-A); any pure function of (vertex, workers) works —
+	// ownership only has to be deterministic so no two workers ever
+	// write the same vertex.
+	Owner OwnerFunc
+
+	// Intervals selects how the edge file is split across dispatchers:
+	// balanced by edge count (default; the paper's "assign vertices to
+	// the dispatcher worker by the average edges") or by vertex count
+	// (the paper's "simple mod algorithm" alternative).
+	Intervals IntervalStrategy
+
+	// SuperstepTimeout bounds how long the manager waits for any single
+	// worker notification within a superstep (the paper's manager
+	// "monitors workers", §V-C). Zero disables the watchdog. On timeout
+	// the run aborts with an error; a wedged user program's goroutines
+	// cannot be forcibly killed, so Run may still block in cleanup until
+	// they return.
+	SuperstepTimeout time.Duration
+
+	// Digests, when set, computes an FNV-1a digest of the committed
+	// column after every superstep (StepStats.Digest). For integer-valued
+	// programs (BFS, CC, label propagation) digests are identical across
+	// any worker count, batch size, or engine — a cheap cross-run and
+	// cross-engine equivalence check. Float programs accumulate in
+	// message order and may differ in the low bits.
+	Digests bool
+
+	// Progress, when non-nil, receives per-superstep statistics as the
+	// run proceeds.
+	Progress func(StepStats)
+}
+
+func (c Config) withDefaults() Config {
+	half := runtime.GOMAXPROCS(0) / 2
+	if half < 1 {
+		half = 1
+	}
+	if c.Dispatchers <= 0 {
+		c.Dispatchers = half
+	}
+	if c.Computers <= 0 {
+		c.Computers = half
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 512
+	}
+	if c.MailboxCap <= 0 {
+		c.MailboxCap = 64
+	}
+	if c.MaxSupersteps <= 0 {
+		c.MaxSupersteps = 100
+	}
+	if c.Owner == nil {
+		c.Owner = ModOwner
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Dispatchers > 4096 || c.Computers > 4096 {
+		return fmt.Errorf("core: unreasonable worker count (%d dispatchers, %d computers)", c.Dispatchers, c.Computers)
+	}
+	return nil
+}
+
+// StepStats records one superstep's activity.
+type StepStats struct {
+	Step      int64
+	Messages  int64   // messages generated by dispatchers
+	Delivered int64   // messages delivered after combining (== Messages without a Combiner)
+	Updates   int64   // vertex values written
+	Aggregate float64 // the program's global aggregate (programs implementing Aggregator)
+	Digest    uint64  // FNV-1a of the committed column (Config.Digests)
+	Duration  time.Duration
+}
+
+// Result summarizes a run.
+type Result struct {
+	Supersteps int         // supersteps executed in this run
+	Converged  bool        // true if the run halted before MaxSupersteps
+	Messages   int64       // total messages generated
+	Delivered  int64       // total messages delivered after combining
+	Updates    int64       // total vertex updates
+	Steps      []StepStats // per-superstep statistics
+	Duration   time.Duration
+
+	// DispatcherMessages[i] is the total number of messages dispatcher i
+	// generated; ComputerUpdates[i] the total updates computing worker i
+	// applied. Together they expose the load balance of the paper's §V-A
+	// assignment strategies.
+	DispatcherMessages []int64
+	ComputerUpdates    []int64
+}

@@ -1,0 +1,23 @@
+package core
+
+import "repro/internal/vertexfile"
+
+// digest hashes the payloads of the column committed by superstep step
+// (the next superstep's dispatch column) with FNV-1a, giving a canonical
+// fingerprint of the computation state.
+func (e *Engine) digest(step int64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	col := vertexfile.DispatchCol(step + 1)
+	h := uint64(offset64)
+	for v := int64(0); v < e.vf.NumVertices(); v++ {
+		p := vertexfile.Payload(e.vf.Load(col, v))
+		for i := 0; i < 8; i++ {
+			h ^= (p >> (8 * i)) & 0xFF
+			h *= prime64
+		}
+	}
+	return h
+}

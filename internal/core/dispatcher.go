@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/vertexfile"
+)
+
+// dispatcher is the paper's dispatcher worker (Algorithm 2). It owns one
+// interval of the CSR edge file and, each superstep, streams it
+// sequentially, generating messages for the out-edges of fresh vertices.
+type dispatcher struct {
+	id       int
+	eng      *Engine
+	interval graph.Interval
+
+	// per-computer outgoing batches, reused across supersteps
+	bufs []([]Message)
+
+	delivered int64 // messages delivered this superstep (post-combining)
+}
+
+// Execute is the dispatcher's actor loop: block on a command, run the
+// superstep, notify the manager, repeat until SYSTEM_OVER.
+func (d *dispatcher) Execute() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: dispatcher %d: panic: %v", d.id, r)
+			// Unblock the manager, which is waiting for DISPATCH_OVER.
+			d.eng.toManager.Put(workerMsg{kind: kindFailed, from: d.id, err: err}) //nolint:errcheck
+		}
+	}()
+	d.bufs = make([][]Message, len(d.eng.toComp))
+	for {
+		cmd, ok := d.eng.toDisp[d.id].Get()
+		if !ok || cmd.kind == kindSystemOver {
+			return nil
+		}
+		if cmd.kind != kindIterationStart {
+			return fmt.Errorf("core: dispatcher %d: unexpected command %v", d.id, cmd.kind)
+		}
+		d.delivered = 0
+		sent, err := d.runSuperstep(cmd.step)
+		if err != nil {
+			d.eng.toManager.Put(workerMsg{kind: kindFailed, from: d.id, err: err}) //nolint:errcheck
+			return err
+		}
+		over := workerMsg{kind: kindDispatchOver, from: d.id, count: sent, count2: d.delivered}
+		if err := d.eng.toManager.Put(over); err != nil {
+			return err
+		}
+	}
+}
+
+func (d *dispatcher) runSuperstep(step int64) (sent int64, err error) {
+	eng := d.eng
+	col := vertexfile.DispatchCol(step)
+	weighted := eng.gf.Weighted()
+	cur := eng.gf.Cursor(d.interval)
+	for {
+		v, deg, edges, ok := cur.Next()
+		if !ok {
+			break
+		}
+		if eng.aborted.Load() {
+			return sent, fmt.Errorf("core: dispatcher %d: run aborted", d.id)
+		}
+		slot := eng.vf.Load(col, v)
+		if vertexfile.Stale(slot) {
+			continue // not updated last superstep: skip vertex and edges
+		}
+		payload := vertexfile.Payload(slot)
+		for i := 0; i < int(deg); i++ {
+			dst, w := graph.DecodeEdge(edges, i, weighted)
+			msgVal, send := eng.prog.GenMsg(v, payload, deg, dst, w)
+			if !send {
+				continue
+			}
+			if err := d.send(dst, msgVal); err != nil {
+				return sent, err
+			}
+			sent++
+		}
+		// Consume: invalidate so the vertex is skipped until recomputed
+		// (paper Algorithm 2, setHighestBitTo1).
+		eng.vf.Store(col, v, slot|vertexfile.StaleBit)
+	}
+	if err := cur.Err(); err != nil {
+		return sent, err
+	}
+	return sent, d.flush()
+}
+
+// send buffers a message for the computing worker owning dst, flushing
+// the batch when full.
+func (d *dispatcher) send(dst graph.VertexID, val uint64) error {
+	w := d.eng.cfg.Owner(dst, len(d.bufs))
+	if d.bufs[w] == nil {
+		d.bufs[w] = d.eng.getBatch()
+	}
+	d.bufs[w] = append(d.bufs[w], Message{Dst: dst, Val: val})
+	if len(d.bufs[w]) >= d.eng.cfg.BatchSize {
+		return d.dispatchBatch(w)
+	}
+	return nil
+}
+
+func (d *dispatcher) dispatchBatch(w int) error {
+	b := d.bufs[w]
+	d.bufs[w] = nil
+	if c := d.eng.combiner; c != nil {
+		b = CombineBatch(b, c)
+	}
+	d.delivered += int64(len(b))
+	return d.eng.toComp[w].Put(workerMsg{kind: kindData, batch: b})
+}
+
+// flush sends all partial batches at the end of the interval.
+func (d *dispatcher) flush() error {
+	for w := range d.bufs {
+		if len(d.bufs[w]) > 0 {
+			if err := d.dispatchBatch(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/actor"
+	"repro/internal/graph"
+	"repro/internal/vertexfile"
+)
+
+// control message kinds of the paper's command protocol (§V-C).
+type msgKind int
+
+const (
+	kindData           msgKind = iota // batch of vertex update messages
+	kindIterationStart                // manager -> dispatcher
+	kindDispatchOver                  // dispatcher -> manager
+	kindComputeOver                   // manager -> computer (barrier) and ack back
+	kindSystemOver                    // manager -> everyone: shut down
+	kindFailed                        // worker -> manager: actor died
+)
+
+// workerMsg is the single envelope type flowing between actors. Control
+// fields are interpreted per kind.
+type workerMsg struct {
+	kind   msgKind
+	step   int64
+	batch  []Message // kindData
+	from   int       // sender worker id
+	count  int64     // dispatchOver: messages generated; computeOver ack: updates
+	count2 int64     // dispatchOver: messages delivered after combining
+	err    error     // kindFailed
+}
+
+// Engine runs a Program over an on-disk CSR graph and a two-column vertex
+// value file using the actor-based BSP model.
+type Engine struct {
+	gf   *graph.File
+	vf   *vertexfile.File
+	prog Program
+	cfg  Config
+
+	combiner   Combiner   // non-nil when the program combines and combining is enabled
+	aggregator Aggregator // non-nil when the program aggregates
+	system     *actor.System
+	toManager  *actor.Mailbox[workerMsg]
+	toDisp     []*actor.Mailbox[workerMsg]
+	toComp     []*actor.Mailbox[workerMsg]
+	intervals  []graph.Interval
+
+	batchPool sync.Pool
+
+	// aborted is set when the run is being torn down early (watchdog or
+	// failure); dispatchers poll it between vertices so a wedged or
+	// long-running superstep unwinds promptly instead of streaming its
+	// whole interval.
+	aborted atomic.Bool
+
+	// crashAfterStep, when >= 0, aborts the run after the dispatch phase
+	// of that superstep without committing it — simulating a crash for
+	// fault-tolerance tests. Set only from tests.
+	crashAfterStep int64
+}
+
+// ErrCrashInjected is returned by Run when a test-injected crash fires.
+var ErrCrashInjected = errors.New("core: injected crash")
+
+// New creates an engine. The graph file and value file must describe the
+// same vertex set.
+func New(gf *graph.File, vf *vertexfile.File, prog Program, cfg Config) (*Engine, error) {
+	if gf.NumVertices != vf.NumVertices() {
+		return nil, fmt.Errorf("core: graph has %d vertices but value file has %d", gf.NumVertices, vf.NumVertices())
+	}
+	if prog == nil {
+		return nil, fmt.Errorf("core: nil program")
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		gf:             gf,
+		vf:             vf,
+		prog:           prog,
+		cfg:            cfg,
+		crashAfterStep: -1,
+	}
+	e.batchPool.New = func() any { return make([]Message, 0, cfg.BatchSize) }
+	if c, ok := prog.(Combiner); ok && !cfg.DisableCombining {
+		e.combiner = c
+	}
+	if a, ok := prog.(Aggregator); ok {
+		e.aggregator = a
+	}
+	// Access-pattern hints (paper §IV-C: the edge file is streamed
+	// sequentially, vertex values are hit at random). Best-effort.
+	gf.AdviseSequential() //nolint:errcheck
+	vf.AdviseRandom()     //nolint:errcheck
+	return e, nil
+}
+
+// CreateValueFile initializes a value file for prog at path, sized for gf.
+func CreateValueFile(path string, gf *graph.File, prog Program) (*vertexfile.File, error) {
+	return vertexfile.Create(path, gf.NumVertices, prog.Init)
+}
+
+func (e *Engine) getBatch() []Message {
+	return e.batchPool.Get().([]Message)[:0]
+}
+
+func (e *Engine) putBatch(b []Message) {
+	if cap(b) > 0 {
+		e.batchPool.Put(b[:0]) //nolint:staticcheck // slices are pointer-shaped enough here
+	}
+}
+
+// Run executes supersteps starting at the value file's current epoch
+// until the program converges (a superstep with no messages and no
+// updates) or MaxSupersteps have run. It may be called again to continue
+// a computation.
+func (e *Engine) Run() (*Result, error) {
+	cfg := e.cfg
+	e.aborted.Store(false)
+	e.system = actor.NewSystem("gpsa", actor.RestartPolicy{})
+	e.toManager = actor.NewMailbox[workerMsg](cfg.Dispatchers + cfg.Computers + 1)
+	if cfg.Intervals == IntervalsByVertices {
+		e.intervals = e.gf.PartitionByVertices(cfg.Dispatchers)
+	} else {
+		e.intervals = e.gf.Partition(cfg.Dispatchers)
+	}
+
+	e.toDisp = make([]*actor.Mailbox[workerMsg], len(e.intervals))
+	for i := range e.toDisp {
+		e.toDisp[i] = actor.NewMailbox[workerMsg](1)
+	}
+	e.toComp = make([]*actor.Mailbox[workerMsg], cfg.Computers)
+	for i := range e.toComp {
+		e.toComp[i] = actor.NewMailbox[workerMsg](cfg.MailboxCap)
+	}
+
+	for i := range e.toDisp {
+		d := &dispatcher{id: i, eng: e, interval: e.intervals[i]}
+		e.system.Spawn(fmt.Sprintf("dispatcher-%d", i), d)
+	}
+	for i := range e.toComp {
+		c := &computer{id: i, eng: e}
+		e.system.Spawn(fmt.Sprintf("computer-%d", i), c)
+	}
+
+	res, runErr := e.managerLoop()
+
+	// SYSTEM_OVER: stop all workers, then collect them. The abort flag
+	// unwinds dispatchers that are still mid-interval.
+	e.aborted.Store(true)
+	for _, mb := range e.toDisp {
+		mb.Put(workerMsg{kind: kindSystemOver}) //nolint:errcheck // closing anyway
+		mb.Close()
+	}
+	for _, mb := range e.toComp {
+		mb.Put(workerMsg{kind: kindSystemOver}) //nolint:errcheck
+		mb.Close()
+	}
+	waitErr := e.system.Wait()
+	e.toManager.Close()
+
+	if runErr != nil {
+		return res, runErr
+	}
+	if waitErr != nil {
+		return res, waitErr
+	}
+	return res, nil
+}
+
+// managerGet receives the next worker notification, honoring the
+// watchdog timeout.
+func (e *Engine) managerGet(phase string) (workerMsg, error) {
+	if e.cfg.SuperstepTimeout <= 0 {
+		m, ok := e.toManager.Get()
+		if !ok {
+			return workerMsg{}, errors.New("core: manager mailbox closed")
+		}
+		return m, nil
+	}
+	m, ok := e.toManager.GetTimeout(e.cfg.SuperstepTimeout)
+	if !ok {
+		return workerMsg{}, fmt.Errorf("core: superstep watchdog: no worker notification within %v during %s", e.cfg.SuperstepTimeout, phase)
+	}
+	return m, nil
+}
+
+// managerLoop is the paper's Algorithm 1.
+func (e *Engine) managerLoop() (*Result, error) {
+	res := &Result{
+		DispatcherMessages: make([]int64, len(e.toDisp)),
+		ComputerUpdates:    make([]int64, len(e.toComp)),
+	}
+	runStart := time.Now()
+	for n := 0; n < e.cfg.MaxSupersteps; n++ {
+		step := e.vf.Epoch()
+		if err := e.vf.Begin(step, !e.cfg.DisableSync); err != nil {
+			return res, err
+		}
+		t0 := time.Now()
+
+		// ITERATION_START to every dispatcher.
+		for _, mb := range e.toDisp {
+			if err := mb.Put(workerMsg{kind: kindIterationStart, step: step}); err != nil {
+				return res, err
+			}
+		}
+
+		// Collect DISPATCH_OVER from every dispatcher. Computing workers
+		// are processing concurrently the whole time (the overlap).
+		var messages, delivered int64
+		for i := 0; i < len(e.toDisp); i++ {
+			m, err := e.managerGet("dispatch")
+			if err != nil {
+				return res, err
+			}
+			switch m.kind {
+			case kindDispatchOver:
+				messages += m.count
+				delivered += m.count2
+				res.DispatcherMessages[m.from] += m.count
+			case kindFailed:
+				return res, m.err
+			default:
+				return res, fmt.Errorf("core: manager got unexpected %v during dispatch", m.kind)
+			}
+		}
+
+		if e.crashAfterStep >= 0 && step >= e.crashAfterStep {
+			// Simulated crash: abandon the superstep without commit. The
+			// value file keeps its in-progress state.
+			return res, ErrCrashInjected
+		}
+
+		// Barrier: COMPUTE_OVER to every computing worker; they reply
+		// after draining everything queued before it (FIFO).
+		for _, mb := range e.toComp {
+			if err := mb.Put(workerMsg{kind: kindComputeOver, step: step}); err != nil {
+				return res, err
+			}
+		}
+		var updates int64
+		for i := 0; i < len(e.toComp); i++ {
+			m, err := e.managerGet("compute barrier")
+			if err != nil {
+				return res, err
+			}
+			switch m.kind {
+			case kindComputeOver:
+				updates += m.count
+				res.ComputerUpdates[m.from] += m.count
+			case kindFailed:
+				return res, m.err
+			default:
+				return res, fmt.Errorf("core: manager got unexpected %v during compute barrier", m.kind)
+			}
+		}
+
+		var aggDone bool
+		var aggVal float64
+		if e.aggregator != nil {
+			aggVal = e.aggregate(e.aggregator, step)
+			aggDone = e.aggregator.AggConverged(step, aggVal)
+		}
+
+		if err := e.vf.Commit(step, !e.cfg.DisableReconcile, !e.cfg.DisableSync); err != nil {
+			return res, err
+		}
+
+		var digest uint64
+		if e.cfg.Digests {
+			digest = e.digest(step)
+		}
+
+		st := StepStats{Step: step, Messages: messages, Delivered: delivered, Updates: updates, Aggregate: aggVal, Digest: digest, Duration: time.Since(t0)}
+		res.Steps = append(res.Steps, st)
+		res.Supersteps++
+		res.Messages += messages
+		res.Delivered += delivered
+		res.Updates += updates
+		if e.cfg.Progress != nil {
+			e.cfg.Progress(st)
+		}
+
+		if (messages == 0 && updates == 0) || aggDone {
+			res.Converged = true
+			break
+		}
+	}
+	res.Duration = time.Since(runStart)
+	return res, nil
+}

@@ -1,0 +1,69 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Dataset describes one of the paper's input graphs (Table I).
+type Dataset struct {
+	Name     string
+	Vertices int64
+	Edges    int64
+}
+
+// The paper's datasets, exact Table I dimensions.
+var (
+	Google      = Dataset{Name: "google", Vertices: 875713, Edges: 5105039}
+	SocPokec    = Dataset{Name: "soc-pokec", Vertices: 1632803, Edges: 30622564}
+	LiveJournal = Dataset{Name: "soc-liveJournal", Vertices: 4847571, Edges: 68993773}
+	Twitter2010 = Dataset{Name: "twitter-2010", Vertices: 41652230, Edges: 1468365182}
+)
+
+// PaperDatasets lists Table I in the paper's order.
+var PaperDatasets = []Dataset{Google, SocPokec, LiveJournal, Twitter2010}
+
+// Scaled returns the dataset shrunk by 1/denom in both dimensions (at
+// least 2 vertices, 1 edge), renamed to record the scale.
+func (d Dataset) Scaled(denom int64) Dataset {
+	if denom <= 1 {
+		return d
+	}
+	s := Dataset{
+		Name:     fmt.Sprintf("%s@1/%d", d.Name, denom),
+		Vertices: d.Vertices / denom,
+		Edges:    d.Edges / denom,
+	}
+	if s.Vertices < 2 {
+		s.Vertices = 2
+	}
+	if s.Edges < 1 {
+		s.Edges = 1
+	}
+	return s
+}
+
+// AvgDegree returns edges per vertex.
+func (d Dataset) AvgDegree() float64 {
+	if d.Vertices == 0 {
+		return 0
+	}
+	return float64(d.Edges) / float64(d.Vertices)
+}
+
+// Generate materializes a deterministic R-MAT graph with the dataset's
+// dimensions.
+func (d Dataset) Generate(seed int64) (*graph.CSR, error) {
+	return RMATGraph(RMATConfig{Vertices: d.Vertices, Edges: d.Edges, Seed: seed})
+}
+
+// FindDataset looks a dataset up by its Table I name.
+func FindDataset(name string) (Dataset, bool) {
+	for _, d := range PaperDatasets {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Dataset{}, false
+}

@@ -1,0 +1,208 @@
+package gen
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestRMATDeterministic(t *testing.T) {
+	cfg := RMATConfig{Vertices: 1000, Edges: 5000, Seed: 7}
+	a, err := RMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || len(a) != 5000 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c, err := RMAT(RMATConfig{Vertices: 1000, Edges: 5000, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestRMATIdsInRange(t *testing.T) {
+	// 1000 is not a power of two: rejection sampling must keep every id
+	// below it.
+	edges, err := RMAT(RMATConfig{Vertices: 1000, Edges: 20000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		if int64(e.Src) >= 1000 || int64(e.Dst) >= 1000 {
+			t.Fatalf("edge %v out of range", e)
+		}
+	}
+}
+
+func TestRMATSkewedDegrees(t *testing.T) {
+	// The point of R-MAT: a heavy-tailed out-degree distribution. The top
+	// 1% of vertices must own far more than 1% of edges (uniform graphs
+	// give ~1%).
+	g, err := RMATGraph(RMATConfig{Vertices: 4096, Edges: 65536, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	degs := make([]int, g.NumVertices)
+	for v := int64(0); v < g.NumVertices; v++ {
+		degs[v] = int(g.OutDegree(graph.VertexID(v)))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	top := 0
+	for _, d := range degs[:41] { // top 1%
+		top += d
+	}
+	share := float64(top) / float64(g.NumEdges)
+	if share < 0.08 {
+		t.Fatalf("top 1%% of vertices own only %.1f%% of edges; distribution not skewed", share*100)
+	}
+}
+
+func TestRMATWeighted(t *testing.T) {
+	edges, err := RMAT(RMATConfig{Vertices: 64, Edges: 500, Seed: 2, Weighted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		if e.Weight <= 0 || e.Weight > 1 {
+			t.Fatalf("weight %g outside (0, 1]", e.Weight)
+		}
+	}
+}
+
+func TestRMATRejectsBadConfig(t *testing.T) {
+	if _, err := RMAT(RMATConfig{Vertices: 0, Edges: 10}); err == nil {
+		t.Fatal("zero vertices accepted")
+	}
+	if _, err := RMAT(RMATConfig{Vertices: 10, Edges: 10, A: 0.8, B: 0.2, C: 0.2}); err == nil {
+		t.Fatal("probabilities summing above 1 accepted")
+	}
+	if _, err := RMAT(RMATConfig{Vertices: 10, Edges: 10, A: -0.1, B: 0.5, C: 0.5}); err == nil {
+		t.Fatal("negative probability accepted")
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	edges, err := ErdosRenyi(100, 1000, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 1000 {
+		t.Fatalf("got %d edges", len(edges))
+	}
+	for _, e := range edges {
+		if int64(e.Src) >= 100 || int64(e.Dst) >= 100 {
+			t.Fatalf("edge %v out of range", e)
+		}
+	}
+	if _, err := ErdosRenyi(0, 1, 0, false); err == nil {
+		t.Fatal("zero vertices accepted")
+	}
+}
+
+func TestPaperDatasetDimensions(t *testing.T) {
+	// Exact Table I numbers.
+	want := map[string][2]int64{
+		"google":          {875713, 5105039},
+		"soc-pokec":       {1632803, 30622564},
+		"soc-liveJournal": {4847571, 68993773},
+		"twitter-2010":    {41652230, 1468365182},
+	}
+	if len(PaperDatasets) != 4 {
+		t.Fatalf("%d paper datasets, want 4", len(PaperDatasets))
+	}
+	for _, d := range PaperDatasets {
+		w, ok := want[d.Name]
+		if !ok {
+			t.Fatalf("unexpected dataset %q", d.Name)
+		}
+		if d.Vertices != w[0] || d.Edges != w[1] {
+			t.Fatalf("%s = (%d, %d), want (%d, %d)", d.Name, d.Vertices, d.Edges, w[0], w[1])
+		}
+	}
+}
+
+func TestDatasetScaled(t *testing.T) {
+	s := Twitter2010.Scaled(64)
+	if s.Vertices != 41652230/64 || s.Edges != 1468365182/64 {
+		t.Fatalf("scaled = %+v", s)
+	}
+	if s.Name != "twitter-2010@1/64" {
+		t.Fatalf("scaled name = %q", s.Name)
+	}
+	if g := Google.Scaled(1); g != Google {
+		t.Fatal("scale 1 must be identity")
+	}
+	tiny := Dataset{Name: "t", Vertices: 10, Edges: 5}.Scaled(100)
+	if tiny.Vertices < 2 || tiny.Edges < 1 {
+		t.Fatalf("over-scaled dataset degenerate: %+v", tiny)
+	}
+}
+
+func TestFindDataset(t *testing.T) {
+	if d, ok := FindDataset("soc-pokec"); !ok || d != SocPokec {
+		t.Fatalf("FindDataset(soc-pokec) = %+v, %v", d, ok)
+	}
+	if _, ok := FindDataset("nope"); ok {
+		t.Fatal("FindDataset(nope) succeeded")
+	}
+}
+
+func TestDatasetGenerateMatchesDims(t *testing.T) {
+	d := Google.Scaled(256)
+	g, err := d.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices != d.Vertices || g.NumEdges != d.Edges {
+		t.Fatalf("generated (%d, %d), want (%d, %d)", g.NumVertices, g.NumEdges, d.Vertices, d.Edges)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RMAT always produces exactly the requested number of
+// in-range edges for any valid configuration.
+func TestRMATDimensionsProperty(t *testing.T) {
+	fn := func(seed int64, vRaw uint16, eRaw uint16) bool {
+		v := int64(vRaw%2000) + 1
+		e := int64(eRaw % 2000)
+		edges, err := RMAT(RMATConfig{Vertices: v, Edges: e, Seed: seed})
+		if err != nil {
+			return false
+		}
+		if int64(len(edges)) != e {
+			return false
+		}
+		for _, ed := range edges {
+			if int64(ed.Src) >= v || int64(ed.Dst) >= v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

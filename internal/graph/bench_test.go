@@ -1,0 +1,131 @@
+package graph
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mmap"
+)
+
+func benchGraphFile(b *testing.B, v int64, e int) *File {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	edges := make([]Edge, e)
+	for i := range edges {
+		edges[i] = Edge{Src: VertexID(rng.Int63n(v)), Dst: VertexID(rng.Int63n(v))}
+	}
+	g, err := FromEdges(edges, v, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "g.gpsa")
+	if err := WriteFile(path, g); err != nil {
+		b.Fatal(err)
+	}
+	f, err := OpenFile(path, mmap.ModeAuto)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { f.Close() })
+	return f
+}
+
+// BenchmarkCursorScan measures the dispatcher's sequential edge-stream
+// rate over the memory-mapped CSR file.
+func BenchmarkCursorScan(b *testing.B) {
+	f := benchGraphFile(b, 1<<16, 1<<20)
+	b.SetBytes(int64(f.NumEdges * 4))
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		c := f.Cursor(f.WholeInterval())
+		for {
+			_, deg, edges, ok := c.Next()
+			if !ok {
+				break
+			}
+			for j := 0; j < int(deg); j++ {
+				d, _ := DecodeEdge(edges, j, false)
+				sink += uint64(d)
+			}
+		}
+		if c.Err() != nil {
+			b.Fatal(c.Err())
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkFromEdges measures in-memory CSR construction (counting sort).
+func BenchmarkFromEdges(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	const v, e = 1 << 14, 1 << 18
+	edges := make([]Edge, e)
+	for i := range edges {
+		edges[i] = Edge{Src: VertexID(rng.Int63n(v)), Dst: VertexID(rng.Int63n(v))}
+	}
+	b.SetBytes(e * 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromEdges(edges, v, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPartition measures interval computation from the sidecar
+// index.
+func BenchmarkPartition(b *testing.B) {
+	f := benchGraphFile(b, 1<<16, 1<<19)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ivs := f.Partition(16); len(ivs) == 0 {
+			b.Fatal("no intervals")
+		}
+	}
+}
+
+// BenchmarkCursorScanCompact measures the varint-decode streaming rate of
+// the compact (version 2) format, for comparison with BenchmarkCursorScan.
+func BenchmarkCursorScanCompact(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	const v, e = 1 << 16, 1 << 20
+	edges := make([]Edge, e)
+	for i := range edges {
+		edges[i] = Edge{Src: VertexID(rng.Int63n(v)), Dst: VertexID(rng.Int63n(v))}
+	}
+	g, err := FromEdges(edges, v, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "g2.gpsa")
+	if err := WriteFileCompact(path, g); err != nil {
+		b.Fatal(err)
+	}
+	f, err := OpenFile(path, mmap.ModeAuto)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { f.Close() })
+	b.SetBytes(int64(f.NumEdges * 4))
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		c := f.Cursor(f.WholeInterval())
+		for {
+			_, deg, raw, ok := c.Next()
+			if !ok {
+				break
+			}
+			for j := 0; j < int(deg); j++ {
+				d, _ := DecodeEdge(raw, j, false)
+				sink += uint64(d)
+			}
+		}
+		if c.Err() != nil {
+			b.Fatal(c.Err())
+		}
+	}
+	_ = sink
+}

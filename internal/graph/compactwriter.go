@@ -1,0 +1,159 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// CompactWriter streams a compact (version 2) CSR file vertex by vertex,
+// mirroring Writer's interface so converters can target either format.
+// Destinations are sorted per vertex as required by delta encoding.
+type CompactWriter struct {
+	w        *bufio.Writer
+	f        *os.File
+	idxPath  string
+	weighted bool
+
+	numVertices int64
+	numEdges    int64
+	stride      int64
+
+	nextVertex int64
+	cumEdges   int64
+	byteOff    int64
+	index      []IndexEntry
+
+	pairs []edgeSortPair
+}
+
+type edgeSortPair struct {
+	dst VertexID
+	w   float32
+}
+
+// NewCompactWriter creates path (and path+".idx" at Finish) in the
+// compact format.
+func NewCompactWriter(path string, numVertices, numEdges int64, weighted bool) (*CompactWriter, error) {
+	if numVertices < 0 || numVertices > MaxVertices {
+		return nil, fmt.Errorf("graph: compact writer: vertex count %d out of range", numVertices)
+	}
+	if numEdges < 0 {
+		return nil, fmt.Errorf("graph: compact writer: negative edge count")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: compact writer: %w", err)
+	}
+	w := &CompactWriter{
+		w:           bufio.NewWriterSize(f, 1<<20),
+		f:           f,
+		idxPath:     path + ".idx",
+		weighted:    weighted,
+		numVertices: numVertices,
+		numEdges:    numEdges,
+		stride:      indexStride(numVertices),
+	}
+	var hdr [headerBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:], fileMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], fileVersionCompact)
+	var flags uint64
+	if weighted {
+		flags |= flagWeighted
+	}
+	binary.LittleEndian.PutUint64(hdr[8:], flags)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(numVertices))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(numEdges))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("graph: compact writer header: %w", err)
+	}
+	return w, nil
+}
+
+func (w *CompactWriter) putUvarint(x uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], x)
+	if _, err := w.w.Write(buf[:n]); err != nil {
+		return err
+	}
+	w.byteOff += int64(n)
+	return nil
+}
+
+// AppendVertex writes the record for the next vertex; semantics match
+// Writer.AppendVertex.
+func (w *CompactWriter) AppendVertex(dsts []VertexID, weights []float32) error {
+	if w.nextVertex >= w.numVertices {
+		return fmt.Errorf("graph: compact writer: vertex %d beyond declared count %d", w.nextVertex, w.numVertices)
+	}
+	if w.weighted != (weights != nil) {
+		return fmt.Errorf("graph: compact writer: weights presence mismatch (file weighted=%v)", w.weighted)
+	}
+	if weights != nil && len(weights) != len(dsts) {
+		return fmt.Errorf("graph: compact writer: %d weights for %d edges", len(weights), len(dsts))
+	}
+	if w.nextVertex%w.stride == 0 {
+		w.index = append(w.index, IndexEntry{FirstVertex: w.nextVertex, WordOff: w.byteOff, CumEdges: w.cumEdges})
+	}
+	w.pairs = w.pairs[:0]
+	for i, d := range dsts {
+		if int64(d) >= w.numVertices {
+			return fmt.Errorf("graph: compact writer: vertex %d edge targets %d outside [0,%d)", w.nextVertex, d, w.numVertices)
+		}
+		p := edgeSortPair{dst: d}
+		if weights != nil {
+			p.w = weights[i]
+		}
+		w.pairs = append(w.pairs, p)
+	}
+	sort.Slice(w.pairs, func(i, j int) bool { return w.pairs[i].dst < w.pairs[j].dst })
+
+	if err := w.putUvarint(uint64(len(w.pairs))); err != nil {
+		return err
+	}
+	prev := uint64(0)
+	for _, p := range w.pairs {
+		if err := w.putUvarint(uint64(p.dst) - prev); err != nil {
+			return err
+		}
+		prev = uint64(p.dst)
+	}
+	if w.weighted {
+		var wb [4]byte
+		for _, p := range w.pairs {
+			binary.LittleEndian.PutUint32(wb[:], math.Float32bits(p.w))
+			if _, err := w.w.Write(wb[:]); err != nil {
+				return err
+			}
+			w.byteOff += 4
+		}
+	}
+	w.nextVertex++
+	w.cumEdges += int64(len(w.pairs))
+	return nil
+}
+
+// Finish flushes the file and writes the sidecar index.
+func (w *CompactWriter) Finish() error {
+	if w.nextVertex != w.numVertices {
+		w.f.Close()
+		return fmt.Errorf("graph: compact writer: %d vertices appended, declared %d", w.nextVertex, w.numVertices)
+	}
+	if w.cumEdges != w.numEdges {
+		w.f.Close()
+		return fmt.Errorf("graph: compact writer: %d edges appended, declared %d", w.cumEdges, w.numEdges)
+	}
+	w.index = append(w.index, IndexEntry{FirstVertex: w.numVertices, WordOff: w.byteOff, CumEdges: w.cumEdges})
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("graph: compact writer flush: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("graph: compact writer close: %w", err)
+	}
+	return writeIndex(w.idxPath, w.stride, w.index)
+}

@@ -1,0 +1,607 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/mmap"
+)
+
+// On-disk CSR format (paper Fig. 4, "a CSR file with vertex degrees"):
+//
+//	header (40 bytes, little endian):
+//	  magic       uint32  "GPSA"
+//	  version     uint32
+//	  flags       uint64  bit 0: weighted
+//	  numVertices uint64
+//	  numEdges    uint64
+//	  reserved    uint64
+//	records, one per vertex in id order:
+//	  degree      uint32
+//	  edges       degree × uint32 destination
+//	              (weighted: degree × [uint32 destination, float32 bits])
+//	  sentinel    uint32 = 0xFFFFFFFF   (the paper's "-1" separator)
+//
+// A sidecar index file (path + ".idx") records, every stride vertices, the
+// word offset of the vertex's record within the record region and the
+// cumulative edge count, enabling O(1) balanced partitioning of the edge
+// stream across dispatcher actors without materializing indptr.
+
+const (
+	fileMagic   = 0x41535047 // "GPSA"
+	fileVersion = 1
+	idxMagic    = 0x58445047 // "GPDX"
+
+	flagWeighted = 1 << 0
+
+	headerBytes = 40
+)
+
+// IndexEntry locates the record of FirstVertex within the record region.
+type IndexEntry struct {
+	FirstVertex int64
+	WordOff     int64 // offset in 4-byte words from the record region start
+	CumEdges    int64 // edges of all vertices before FirstVertex
+}
+
+// Interval is a contiguous range of vertices assigned to one dispatcher:
+// ids [FirstVertex, EndVertex) occupying words [StartWord, EndWord) of the
+// record region and containing Edges edges. This is the paper's
+// "interval" structure (§V-D).
+type Interval struct {
+	FirstVertex int64
+	EndVertex   int64
+	StartWord   int64
+	EndWord     int64
+	Edges       int64
+}
+
+// Writer streams a CSR file vertex by vertex, building the sidecar index
+// as it goes. Vertices must be appended in id order, exactly NumVertices
+// of them, with edge counts summing to NumEdges.
+type Writer struct {
+	w        *bufio.Writer
+	f        *os.File
+	idxPath  string
+	weighted bool
+
+	numVertices int64
+	numEdges    int64
+	stride      int64
+
+	nextVertex int64
+	cumEdges   int64
+	wordOff    int64
+	index      []IndexEntry
+
+	scratch [4]byte
+}
+
+// NewWriter creates path (and path+".idx" at Finish) for a graph with the
+// given dimensions.
+func NewWriter(path string, numVertices, numEdges int64, weighted bool) (*Writer, error) {
+	if numVertices < 0 || numVertices > MaxVertices {
+		return nil, fmt.Errorf("graph: writer: vertex count %d out of range", numVertices)
+	}
+	if numEdges < 0 {
+		return nil, fmt.Errorf("graph: writer: negative edge count")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: writer: %w", err)
+	}
+	w := &Writer{
+		w:           bufio.NewWriterSize(f, 1<<20),
+		f:           f,
+		idxPath:     path + ".idx",
+		weighted:    weighted,
+		numVertices: numVertices,
+		numEdges:    numEdges,
+		stride:      indexStride(numVertices),
+	}
+	var hdr [headerBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:], fileMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], fileVersion)
+	var flags uint64
+	if weighted {
+		flags |= flagWeighted
+	}
+	binary.LittleEndian.PutUint64(hdr[8:], flags)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(numVertices))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(numEdges))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("graph: writer header: %w", err)
+	}
+	return w, nil
+}
+
+func indexStride(numVertices int64) int64 {
+	s := numVertices / 8192
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+func (w *Writer) putWord(x uint32) error {
+	binary.LittleEndian.PutUint32(w.scratch[:], x)
+	_, err := w.w.Write(w.scratch[:])
+	w.wordOff++
+	return err
+}
+
+// AppendVertex writes the record for the next vertex. For unweighted
+// graphs weights must be nil; for weighted graphs it must have len(dsts).
+func (w *Writer) AppendVertex(dsts []VertexID, weights []float32) error {
+	if w.nextVertex >= w.numVertices {
+		return fmt.Errorf("graph: writer: vertex %d beyond declared count %d", w.nextVertex, w.numVertices)
+	}
+	if w.weighted != (weights != nil) {
+		return fmt.Errorf("graph: writer: weights presence mismatch (file weighted=%v)", w.weighted)
+	}
+	if weights != nil && len(weights) != len(dsts) {
+		return fmt.Errorf("graph: writer: %d weights for %d edges", len(weights), len(dsts))
+	}
+	if w.nextVertex%w.stride == 0 {
+		w.index = append(w.index, IndexEntry{FirstVertex: w.nextVertex, WordOff: w.wordOff, CumEdges: w.cumEdges})
+	}
+	if err := w.putWord(uint32(len(dsts))); err != nil {
+		return err
+	}
+	for i, d := range dsts {
+		if int64(d) >= w.numVertices {
+			return fmt.Errorf("graph: writer: vertex %d edge targets %d outside [0,%d)", w.nextVertex, d, w.numVertices)
+		}
+		if err := w.putWord(d); err != nil {
+			return err
+		}
+		if w.weighted {
+			if err := w.putWord(math.Float32bits(weights[i])); err != nil {
+				return err
+			}
+		}
+	}
+	if err := w.putWord(Sentinel); err != nil {
+		return err
+	}
+	w.nextVertex++
+	w.cumEdges += int64(len(dsts))
+	return nil
+}
+
+// Finish flushes the data file and writes the sidecar index. It must be
+// called exactly once, after all vertices have been appended.
+func (w *Writer) Finish() error {
+	if w.nextVertex != w.numVertices {
+		w.f.Close()
+		return fmt.Errorf("graph: writer: %d vertices appended, declared %d", w.nextVertex, w.numVertices)
+	}
+	if w.cumEdges != w.numEdges {
+		w.f.Close()
+		return fmt.Errorf("graph: writer: %d edges appended, declared %d", w.cumEdges, w.numEdges)
+	}
+	w.index = append(w.index, IndexEntry{FirstVertex: w.numVertices, WordOff: w.wordOff, CumEdges: w.cumEdges})
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("graph: writer flush: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("graph: writer close: %w", err)
+	}
+	return writeIndex(w.idxPath, w.stride, w.index)
+}
+
+func writeIndex(path string, stride int64, entries []IndexEntry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("graph: index: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], idxMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], fileVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(stride))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(len(entries)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	var rec [24]byte
+	for _, e := range entries {
+		binary.LittleEndian.PutUint64(rec[0:], uint64(e.FirstVertex))
+		binary.LittleEndian.PutUint64(rec[8:], uint64(e.WordOff))
+		binary.LittleEndian.PutUint64(rec[16:], uint64(e.CumEdges))
+		if _, err := bw.Write(rec[:]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readIndex(path string) (stride int64, entries []IndexEntry, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var hdr [24]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("graph: index header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != idxMagic {
+		return 0, nil, fmt.Errorf("graph: %s: bad index magic", path)
+	}
+	stride = int64(binary.LittleEndian.Uint64(hdr[8:]))
+	n := int64(binary.LittleEndian.Uint64(hdr[16:]))
+	entries = make([]IndexEntry, 0, n)
+	var rec [24]byte
+	for i := int64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return 0, nil, fmt.Errorf("graph: index entry %d: %w", i, err)
+		}
+		entries = append(entries, IndexEntry{
+			FirstVertex: int64(binary.LittleEndian.Uint64(rec[0:])),
+			WordOff:     int64(binary.LittleEndian.Uint64(rec[8:])),
+			CumEdges:    int64(binary.LittleEndian.Uint64(rec[16:])),
+		})
+	}
+	return stride, entries, nil
+}
+
+// WriteFile writes g to path in the on-disk CSR format (plus sidecar
+// index).
+func WriteFile(path string, g *CSR) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	w, err := NewWriter(path, g.NumVertices, g.NumEdges, g.Weighted())
+	if err != nil {
+		return err
+	}
+	for v := int64(0); v < g.NumVertices; v++ {
+		if err := w.AppendVertex(g.Neighbors(VertexID(v)), g.EdgeWeights(VertexID(v))); err != nil {
+			return err
+		}
+	}
+	return w.Finish()
+}
+
+// File is an opened on-disk CSR graph, memory mapped. It is safe for
+// concurrent cursors.
+type File struct {
+	Path        string
+	NumVertices int64
+	NumEdges    int64
+	weighted    bool
+	version     uint32
+
+	m      *mmap.Map
+	raw    []byte   // whole mapping
+	words  []uint32 // record region (version 1)
+	stride int64
+	index  []IndexEntry
+}
+
+// OpenFile maps the CSR file at path. The sidecar index is loaded if
+// present and rebuilt by a sequential scan otherwise.
+func OpenFile(path string, mode mmap.Mode) (*File, error) {
+	m, err := mmap.Open(path, mmap.Options{Mode: mode})
+	if err != nil {
+		return nil, err
+	}
+	b := m.Bytes()
+	if len(b) < headerBytes {
+		m.Close()
+		return nil, fmt.Errorf("graph: %s: truncated header", path)
+	}
+	if binary.LittleEndian.Uint32(b[0:]) != fileMagic {
+		m.Close()
+		return nil, fmt.Errorf("graph: %s: bad magic", path)
+	}
+	version := binary.LittleEndian.Uint32(b[4:])
+	if version != fileVersion && version != fileVersionCompact {
+		m.Close()
+		return nil, fmt.Errorf("graph: %s: unsupported version %d", path, version)
+	}
+	flags := binary.LittleEndian.Uint64(b[8:])
+	f := &File{
+		Path:        path,
+		NumVertices: int64(binary.LittleEndian.Uint64(b[16:])),
+		NumEdges:    int64(binary.LittleEndian.Uint64(b[24:])),
+		weighted:    flags&flagWeighted != 0,
+		version:     version,
+		m:           m,
+		raw:         b,
+	}
+	if version == fileVersion {
+		nWords := (int64(len(b)) - headerBytes) / 4
+		f.words, err = m.Uint32s(headerBytes, nWords)
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		wantWords := f.NumVertices*2 + f.NumEdges*f.edgeWords()
+		if nWords < wantWords {
+			m.Close()
+			return nil, fmt.Errorf("graph: %s: %d record words, want %d", path, nWords, wantWords)
+		}
+	}
+	if f.stride, f.index, err = readIndex(path + ".idx"); err != nil {
+		if !os.IsNotExist(err) {
+			m.Close()
+			return nil, err
+		}
+		var rerr error
+		if version == fileVersionCompact {
+			rerr = f.rebuildIndexCompact()
+		} else {
+			rerr = f.rebuildIndex()
+		}
+		if rerr != nil {
+			m.Close()
+			return nil, rerr
+		}
+	}
+	if err := f.checkIndex(); err != nil {
+		m.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+func (f *File) edgeWords() int64 {
+	if f.weighted {
+		return 2
+	}
+	return 1
+}
+
+// rebuildIndex scans the record region to reconstruct the sidecar index.
+func (f *File) rebuildIndex() error {
+	f.stride = indexStride(f.NumVertices)
+	f.index = f.index[:0]
+	var off, cum int64
+	ew := f.edgeWords()
+	for v := int64(0); v < f.NumVertices; v++ {
+		if v%f.stride == 0 {
+			f.index = append(f.index, IndexEntry{FirstVertex: v, WordOff: off, CumEdges: cum})
+		}
+		if off >= int64(len(f.words)) {
+			return fmt.Errorf("graph: %s: truncated at vertex %d", f.Path, v)
+		}
+		deg := int64(f.words[off])
+		off += 1 + deg*ew + 1
+		cum += deg
+	}
+	f.index = append(f.index, IndexEntry{FirstVertex: f.NumVertices, WordOff: off, CumEdges: cum})
+	return nil
+}
+
+// checkIndex validates the final index entry against the header counts.
+func (f *File) checkIndex() error {
+	if len(f.index) == 0 {
+		return fmt.Errorf("graph: %s: empty index", f.Path)
+	}
+	last := f.index[len(f.index)-1]
+	if last.FirstVertex != f.NumVertices || last.CumEdges != f.NumEdges {
+		return fmt.Errorf("graph: %s: index terminal entry (%d vertices, %d edges) disagrees with header (%d, %d)",
+			f.Path, last.FirstVertex, last.CumEdges, f.NumVertices, f.NumEdges)
+	}
+	limit := int64(len(f.words))
+	if f.version == fileVersionCompact {
+		limit = int64(len(f.raw)) - headerBytes
+	}
+	if last.WordOff > limit {
+		return fmt.Errorf("graph: %s: index end offset %d beyond record region (%d)", f.Path, last.WordOff, limit)
+	}
+	return nil
+}
+
+// Weighted reports whether edges carry weights.
+func (f *File) Weighted() bool { return f.weighted }
+
+// AdviseSequential hints the kernel that the mapping will be streamed
+// (the dispatcher access pattern); best-effort and a no-op for memory
+// images.
+func (f *File) AdviseSequential() error {
+	if f.m == nil {
+		return nil
+	}
+	return f.m.Advise(mmap.AccessSequential)
+}
+
+// Close unmaps the file (no-op for memory images).
+func (f *File) Close() error {
+	if f.m == nil {
+		return nil
+	}
+	return f.m.Close()
+}
+
+// WholeInterval returns the interval covering the entire graph.
+func (f *File) WholeInterval() Interval {
+	last := f.index[len(f.index)-1]
+	return Interval{
+		FirstVertex: 0,
+		EndVertex:   f.NumVertices,
+		StartWord:   0,
+		EndWord:     last.WordOff,
+		Edges:       f.NumEdges,
+	}
+}
+
+// Partition splits the graph into at most n intervals with approximately
+// equal edge counts (the paper's "assign vertices to the dispatcher
+// worker by the average edges" strategy, §V-A). Interval boundaries snap
+// to index entries; fewer than n intervals are returned when the graph is
+// too small to split further.
+func (f *File) Partition(n int) []Interval {
+	if n < 1 {
+		n = 1
+	}
+	bounds := []IndexEntry{f.index[0]}
+	for k := 1; k < n; k++ {
+		target := f.NumEdges * int64(k) / int64(n)
+		// First index entry with CumEdges >= target.
+		lo, hi := 0, len(f.index)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if f.index[mid].CumEdges < target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		e := f.index[lo]
+		if e.FirstVertex > bounds[len(bounds)-1].FirstVertex && e.FirstVertex < f.NumVertices {
+			bounds = append(bounds, e)
+		}
+	}
+	bounds = append(bounds, f.index[len(f.index)-1])
+
+	ivs := make([]Interval, 0, len(bounds)-1)
+	for i := 0; i+1 < len(bounds); i++ {
+		a, b := bounds[i], bounds[i+1]
+		ivs = append(ivs, Interval{
+			FirstVertex: a.FirstVertex,
+			EndVertex:   b.FirstVertex,
+			StartWord:   a.WordOff,
+			EndWord:     b.WordOff,
+			Edges:       b.CumEdges - a.CumEdges,
+		})
+	}
+	return ivs
+}
+
+// PartitionByVertices splits the graph into at most n intervals with
+// approximately equal vertex counts (the paper's "simple mod algorithm"
+// alternative, §V-A), snapped to index entries.
+func (f *File) PartitionByVertices(n int) []Interval {
+	if n < 1 {
+		n = 1
+	}
+	bounds := []IndexEntry{f.index[0]}
+	for k := 1; k < n; k++ {
+		target := f.NumVertices * int64(k) / int64(n)
+		lo, hi := 0, len(f.index)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if f.index[mid].FirstVertex < target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		e := f.index[lo]
+		if e.FirstVertex > bounds[len(bounds)-1].FirstVertex && e.FirstVertex < f.NumVertices {
+			bounds = append(bounds, e)
+		}
+	}
+	bounds = append(bounds, f.index[len(f.index)-1])
+
+	ivs := make([]Interval, 0, len(bounds)-1)
+	for i := 0; i+1 < len(bounds); i++ {
+		a, b := bounds[i], bounds[i+1]
+		ivs = append(ivs, Interval{
+			FirstVertex: a.FirstVertex,
+			EndVertex:   b.FirstVertex,
+			StartWord:   a.WordOff,
+			EndWord:     b.WordOff,
+			Edges:       b.CumEdges - a.CumEdges,
+		})
+	}
+	return ivs
+}
+
+// Cursor returns a sequential reader over the records of iv. Cursors are
+// single-goroutine objects; compact-format cursors decode into an
+// internal scratch buffer that Next reuses, so the returned edge slice is
+// only valid until the next call.
+func (f *File) Cursor(iv Interval) *Cursor {
+	return &Cursor{
+		words:    f.words,
+		bytes:    f.bytesRegionSafe(),
+		version:  f.version,
+		pos:      iv.StartWord,
+		end:      iv.EndWord,
+		v:        iv.FirstVertex,
+		endV:     iv.EndVertex,
+		weighted: f.weighted,
+	}
+}
+
+func (f *File) bytesRegionSafe() []byte {
+	if len(f.raw) < headerBytes {
+		return nil
+	}
+	return f.raw[headerBytes:]
+}
+
+// Cursor streams vertex records sequentially; this is the access pattern
+// of a GPSA dispatcher actor (§V-D: "the dispatcher worker can identify
+// which vertex it is processing" from the id sequence and offsets).
+type Cursor struct {
+	words    []uint32 // version 1 record region
+	bytes    []byte   // version 2 record region
+	version  uint32
+	pos, end int64
+	v, endV  int64
+	weighted bool
+	scratch  []uint32 // version 2 decode buffer
+	err      error
+}
+
+// Next advances to the next vertex record. edges holds deg raw words for
+// unweighted files and 2×deg interleaved (dst, float32-bits) words for
+// weighted files; it aliases the mapping and must not be retained across
+// Close. ok is false at the end of the interval or on a corrupt record
+// (check Err).
+func (c *Cursor) Next() (v int64, deg uint32, edges []uint32, ok bool) {
+	if c.version == fileVersionCompact {
+		return c.nextCompact()
+	}
+	if c.err != nil || c.v >= c.endV || c.pos >= c.end {
+		return 0, 0, nil, false
+	}
+	deg = c.words[c.pos]
+	ew := int64(1)
+	if c.weighted {
+		ew = 2
+	}
+	recEnd := c.pos + 1 + int64(deg)*ew // sentinel position
+	if recEnd+1 > c.end || recEnd >= int64(len(c.words)) {
+		c.err = fmt.Errorf("graph: cursor: vertex %d record overruns interval", c.v)
+		return 0, 0, nil, false
+	}
+	if c.words[recEnd] != Sentinel {
+		c.err = fmt.Errorf("graph: cursor: vertex %d missing sentinel", c.v)
+		return 0, 0, nil, false
+	}
+	v = c.v
+	edges = c.words[c.pos+1 : recEnd]
+	c.pos = recEnd + 1
+	c.v++
+	return v, deg, edges, true
+}
+
+// Err returns the first corruption error encountered, if any.
+func (c *Cursor) Err() error { return c.err }
+
+// DecodeEdge extracts edge i from a raw edge slice returned by Next.
+func DecodeEdge(edges []uint32, i int, weighted bool) (dst VertexID, w float32) {
+	if weighted {
+		return edges[2*i], math.Float32frombits(edges[2*i+1])
+	}
+	return edges[i], 0
+}

@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ParseEdgeList reads a text edge list (the SNAP dataset format used for
+// the paper's inputs): one "src dst [weight]" pair per line, fields
+// separated by spaces or tabs, lines beginning with '#' or '%' ignored.
+// Vertex ids must be non-negative integers.
+func ParseEdgeList(r io.Reader) ([]Edge, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var edges []Edge
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: edge list line %d: %q: want 'src dst [weight]'", line, text)
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge list line %d: bad source %q: %v", line, fields[0], err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge list line %d: bad destination %q: %v", line, fields[1], err)
+		}
+		e := Edge{Src: VertexID(src), Dst: VertexID(dst)}
+		if len(fields) >= 3 {
+			w, err := strconv.ParseFloat(fields[2], 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: edge list line %d: bad weight %q: %v", line, fields[2], err)
+			}
+			e.Weight = float32(w)
+		}
+		edges = append(edges, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: edge list: %w", err)
+	}
+	return edges, nil
+}
+
+// LoadEdgeListFile reads a text edge-list file.
+func LoadEdgeListFile(path string) ([]Edge, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	defer f.Close()
+	return ParseEdgeList(f)
+}
+
+// ParseAdjacency reads the adjacency format (paper §V-A: "text-based edge
+// list or adjacency graph"): each line is "src n dst1 dst2 ... dstn".
+func ParseAdjacency(r io.Reader) ([]Edge, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var edges []Edge
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: adjacency line %d: %q: want 'src n dst...'", line, text)
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: adjacency line %d: bad source %q: %v", line, fields[0], err)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("graph: adjacency line %d: bad count %q", line, fields[1])
+		}
+		if len(fields) != 2+n {
+			return nil, fmt.Errorf("graph: adjacency line %d: %d destinations listed, %d declared", line, len(fields)-2, n)
+		}
+		for _, f := range fields[2:] {
+			dst, err := strconv.ParseUint(f, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: adjacency line %d: bad destination %q: %v", line, f, err)
+			}
+			edges = append(edges, Edge{Src: VertexID(src), Dst: VertexID(dst)})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: adjacency: %w", err)
+	}
+	return edges, nil
+}
+
+// WriteEdgeList writes edges in the text format ParseEdgeList accepts.
+// Weights are emitted only when weighted is true.
+func WriteEdgeList(w io.Writer, edges []Edge, weighted bool) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range edges {
+		var err error
+		if weighted {
+			_, err = fmt.Fprintf(bw, "%d\t%d\t%g\n", e.Src, e.Dst, e.Weight)
+		} else {
+			_, err = fmt.Fprintf(bw, "%d\t%d\n", e.Src, e.Dst)
+		}
+		if err != nil {
+			return fmt.Errorf("graph: write edge list: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ToEdges flattens a CSR back into an edge list (mainly for tests and
+// format conversion).
+func (g *CSR) ToEdges() []Edge {
+	edges := make([]Edge, 0, g.NumEdges)
+	for v := int64(0); v < g.NumVertices; v++ {
+		ws := g.EdgeWeights(VertexID(v))
+		for i, d := range g.Neighbors(VertexID(v)) {
+			e := Edge{Src: VertexID(v), Dst: d}
+			if ws != nil {
+				e.Weight = ws[i]
+			}
+			edges = append(edges, e)
+		}
+	}
+	return edges
+}

@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseEdgeList(t *testing.T) {
+	in := `# comment line
+% another comment
+
+0	2
+0 3
+1 0 2.5
+`
+	edges, err := ParseEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Edge{{Src: 0, Dst: 2}, {Src: 0, Dst: 3}, {Src: 1, Dst: 0, Weight: 2.5}}
+	if !reflect.DeepEqual(edges, want) {
+		t.Fatalf("edges = %v, want %v", edges, want)
+	}
+}
+
+func TestParseEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"justonefield",
+		"a b",
+		"1 b",
+		"1 2 notaweight",
+		"-1 2",
+	}
+	for _, in := range cases {
+		if _, err := ParseEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseEdgeList(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseAdjacency(t *testing.T) {
+	in := `# adjacency
+0 2 2 3
+1 1 0
+2 0
+`
+	edges, err := ParseAdjacency(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Edge{{Src: 0, Dst: 2}, {Src: 0, Dst: 3}, {Src: 1, Dst: 0}}
+	if !reflect.DeepEqual(edges, want) {
+		t.Fatalf("edges = %v, want %v", edges, want)
+	}
+}
+
+func TestParseAdjacencyErrors(t *testing.T) {
+	cases := []string{
+		"0",
+		"0 2 1",   // declared 2, got 1
+		"0 -1",    // negative count
+		"0 1 bad", // bad destination
+		"bad 1 0", // bad source
+		"0 x 1",   // bad count
+	}
+	for _, in := range cases {
+		if _, err := ParseAdjacency(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseAdjacency(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestWriteEdgeListRoundTrip(t *testing.T) {
+	edges := []Edge{{Src: 3, Dst: 1, Weight: 0.5}, {Src: 0, Dst: 2, Weight: 4}}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, edges, true); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, edges) {
+		t.Fatalf("round trip = %v, want %v", back, edges)
+	}
+
+	buf.Reset()
+	if err := WriteEdgeList(&buf, edges, false); err != nil {
+		t.Fatal(err)
+	}
+	back, err = ParseEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0].Weight != 0 {
+		t.Fatal("unweighted output retained weights")
+	}
+}

@@ -1,0 +1,43 @@
+package graph
+
+import "math"
+
+// NewMemoryFile builds an in-memory image of g in the version 1 record
+// layout, exposing the same File interface the engines consume — cursors,
+// balanced partitioning, the lot — without touching disk. Useful for
+// library embedding and tests; graphs that do not fit in memory should go
+// through WriteFile/OpenFile instead.
+func NewMemoryFile(g *CSR) (*File, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	f := &File{
+		Path:        "(memory)",
+		NumVertices: g.NumVertices,
+		NumEdges:    g.NumEdges,
+		weighted:    g.Weighted(),
+		version:     fileVersion,
+		stride:      indexStride(g.NumVertices),
+	}
+	words := make([]uint32, 0, g.NumVertices*2+g.NumEdges*f.edgeWords())
+	var cum int64
+	for v := int64(0); v < g.NumVertices; v++ {
+		if v%f.stride == 0 {
+			f.index = append(f.index, IndexEntry{FirstVertex: v, WordOff: int64(len(words)), CumEdges: cum})
+		}
+		dsts := g.Neighbors(VertexID(v))
+		ws := g.EdgeWeights(VertexID(v))
+		words = append(words, uint32(len(dsts)))
+		for i, d := range dsts {
+			words = append(words, d)
+			if f.weighted {
+				words = append(words, math.Float32bits(ws[i]))
+			}
+		}
+		words = append(words, Sentinel)
+		cum += int64(len(dsts))
+	}
+	f.index = append(f.index, IndexEntry{FirstVertex: g.NumVertices, WordOff: int64(len(words)), CumEdges: cum})
+	f.words = words
+	return f, nil
+}

@@ -1,0 +1,104 @@
+package graph
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// FileStats summarizes an on-disk CSR graph; computed by one sequential
+// scan of the record region.
+type FileStats struct {
+	NumVertices   int64
+	NumEdges      int64
+	Weighted      bool
+	MaxOutDegree  uint32
+	MaxOutVertex  VertexID
+	ZeroOutDegree int64
+	AvgOutDegree  float64
+	SelfLoops     int64
+	// DegreeHist counts vertices per log2 out-degree bucket: bucket 0 is
+	// degree 0, bucket 1 is degree 1, bucket k (k>1) is [2^(k-1), 2^k).
+	DegreeHist []int64
+}
+
+// Stats scans the graph and returns its summary.
+func (f *File) Stats() (FileStats, error) {
+	st := FileStats{
+		NumVertices: f.NumVertices,
+		NumEdges:    f.NumEdges,
+		Weighted:    f.weighted,
+		DegreeHist:  make([]int64, 34),
+	}
+	c := f.Cursor(f.WholeInterval())
+	for {
+		v, deg, edges, ok := c.Next()
+		if !ok {
+			break
+		}
+		if deg > st.MaxOutDegree {
+			st.MaxOutDegree = deg
+			st.MaxOutVertex = VertexID(v)
+		}
+		if deg == 0 {
+			st.ZeroOutDegree++
+		}
+		st.DegreeHist[degreeBucket(deg)]++
+		for i := 0; i < int(deg); i++ {
+			dst, _ := DecodeEdge(edges, i, f.weighted)
+			if int64(dst) == v {
+				st.SelfLoops++
+			}
+		}
+	}
+	if err := c.Err(); err != nil {
+		return st, err
+	}
+	if st.NumVertices > 0 {
+		st.AvgOutDegree = float64(st.NumEdges) / float64(st.NumVertices)
+	}
+	// Trim empty high buckets.
+	last := len(st.DegreeHist)
+	for last > 1 && st.DegreeHist[last-1] == 0 {
+		last--
+	}
+	st.DegreeHist = st.DegreeHist[:last]
+	return st, nil
+}
+
+func degreeBucket(deg uint32) int {
+	if deg == 0 {
+		return 0
+	}
+	return bits.Len32(deg)
+}
+
+// BucketLabel names a degree-histogram bucket.
+func BucketLabel(bucket int) string {
+	switch bucket {
+	case 0:
+		return "0"
+	case 1:
+		return "1"
+	default:
+		return fmt.Sprintf("%d-%d", 1<<(bucket-1), 1<<bucket-1)
+	}
+}
+
+// String renders the stats for human consumption.
+func (st FileStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "vertices:      %d\n", st.NumVertices)
+	fmt.Fprintf(&b, "edges:         %d (weighted: %v, self-loops: %d)\n", st.NumEdges, st.Weighted, st.SelfLoops)
+	fmt.Fprintf(&b, "avg out-deg:   %.2f\n", st.AvgOutDegree)
+	fmt.Fprintf(&b, "max out-deg:   %d (vertex %d)\n", st.MaxOutDegree, st.MaxOutVertex)
+	fmt.Fprintf(&b, "zero out-deg:  %d\n", st.ZeroOutDegree)
+	fmt.Fprintf(&b, "out-degree histogram:\n")
+	for i, n := range st.DegreeHist {
+		if n == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %12s: %d\n", BucketLabel(i), n)
+	}
+	return b.String()
+}

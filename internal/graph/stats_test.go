@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mmap"
+)
+
+func TestFileStats(t *testing.T) {
+	g, err := FromEdges([]Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 0, Dst: 0}, // self-loop
+		{Src: 1, Dst: 2},
+	}, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenFile(writeTemp(t, g), mmap.ModeAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st, err := f.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumVertices != 4 || st.NumEdges != 4 {
+		t.Fatalf("dims (%d, %d)", st.NumVertices, st.NumEdges)
+	}
+	if st.MaxOutDegree != 3 || st.MaxOutVertex != 0 {
+		t.Fatalf("max degree %d at %d", st.MaxOutDegree, st.MaxOutVertex)
+	}
+	if st.ZeroOutDegree != 2 { // vertices 2 and 3
+		t.Fatalf("zero out-degree = %d, want 2", st.ZeroOutDegree)
+	}
+	if st.SelfLoops != 1 {
+		t.Fatalf("self-loops = %d, want 1", st.SelfLoops)
+	}
+	if st.AvgOutDegree != 1 {
+		t.Fatalf("avg out-degree = %g", st.AvgOutDegree)
+	}
+	// Histogram: deg 0 ×2, deg 1 ×1, deg 3 ×1 (bucket 2 = 2-3).
+	if st.DegreeHist[0] != 2 || st.DegreeHist[1] != 1 || st.DegreeHist[2] != 1 {
+		t.Fatalf("histogram = %v", st.DegreeHist)
+	}
+	out := st.String()
+	for _, want := range []string{"vertices:", "self-loops: 1", "2-3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered stats missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDegreeBuckets(t *testing.T) {
+	cases := map[uint32]int{0: 0, 1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4, 1 << 20: 21}
+	for deg, want := range cases {
+		if got := degreeBucket(deg); got != want {
+			t.Errorf("degreeBucket(%d) = %d, want %d", deg, got, want)
+		}
+	}
+	if BucketLabel(0) != "0" || BucketLabel(1) != "1" || BucketLabel(3) != "4-7" {
+		t.Fatalf("bucket labels wrong: %q %q %q", BucketLabel(0), BucketLabel(1), BucketLabel(3))
+	}
+}

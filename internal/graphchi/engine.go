@@ -1,0 +1,387 @@
+package graphchi
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/mmap"
+)
+
+// Program is a GraphChi-style vertex update function: it reads in-edge
+// values, writes out-edge values, and mutates the vertex value.
+type Program interface {
+	// InitVertex supplies the initial vertex value and whether the vertex
+	// is scheduled for the first superstep.
+	InitVertex(v int64) (value uint64, scheduled bool)
+	// Update recomputes one vertex. Returning true schedules the
+	// vertex's out-neighbors for the next superstep.
+	Update(v *Vertex) (scheduleNeighbors bool)
+}
+
+// Vertex is the update function's view of one vertex.
+type Vertex struct {
+	id    int64
+	value uint64
+	in    []edgeSlot
+	out   []edgeSlot
+	dirty bool
+}
+
+// edgeSlot locates one edge record in a loaded buffer.
+type edgeSlot struct {
+	buf []edgeRec
+	i   int32
+}
+
+// ID returns the vertex id.
+func (v *Vertex) ID() int64 { return v.id }
+
+// Value returns the current vertex value.
+func (v *Vertex) Value() uint64 { return v.value }
+
+// SetValue replaces the vertex value.
+func (v *Vertex) SetValue(x uint64) { v.value = x }
+
+// NumIn returns the in-degree.
+func (v *Vertex) NumIn() int { return len(v.in) }
+
+// InVal returns in-edge i's value.
+func (v *Vertex) InVal(i int) uint64 { s := v.in[i]; return s.buf[s.i].Val }
+
+// InSrc returns in-edge i's source vertex.
+func (v *Vertex) InSrc(i int) graph.VertexID { s := v.in[i]; return s.buf[s.i].Src }
+
+// NumOut returns the out-degree.
+func (v *Vertex) NumOut() int { return len(v.out) }
+
+// OutDst returns out-edge i's destination vertex.
+func (v *Vertex) OutDst(i int) graph.VertexID { s := v.out[i]; return s.buf[s.i].Dst }
+
+// OutVal returns out-edge i's current value.
+func (v *Vertex) OutVal(i int) uint64 { s := v.out[i]; return s.buf[s.i].Val }
+
+// SetOutVal writes out-edge i's value (how GraphChi programs communicate
+// with neighbors).
+func (v *Vertex) SetOutVal(i int, val uint64) {
+	s := v.out[i]
+	s.buf[s.i].Val = val
+	v.dirty = true
+}
+
+// Config tunes the engine.
+type Config struct {
+	// MaxSupersteps caps the run (default 100). The engine halts early
+	// when no vertex is scheduled.
+	MaxSupersteps int
+	// Parallelism bounds concurrent vertex updates within an interval
+	// (default 1: GraphChi's deterministic sequential order). Values > 1
+	// update "safe" vertices — those with no intra-interval edges — in
+	// parallel, exactly GraphChi's multithreaded execution rule: vertices
+	// sharing an edge record inside the interval stay sequential, so
+	// results are identical to the sequential order.
+	Parallelism int
+	// Progress, when non-nil, receives per-superstep stats.
+	Progress func(StepStats)
+}
+
+// StepStats records one superstep.
+type StepStats struct {
+	Step            int
+	UpdatedVertices int64
+	EdgesRead       int64
+	Duration        time.Duration
+}
+
+// Result summarizes a run.
+type Result struct {
+	Supersteps int
+	Converged  bool
+	Updated    int64
+	EdgesRead  int64
+	Duration   time.Duration
+	Steps      []StepStats
+}
+
+// Engine executes programs over a sharded layout with parallel sliding
+// windows. Vertex values live in a memory-mapped file in the layout
+// directory (GraphChi's vertex data file); call Close when done.
+type Engine struct {
+	layout *Layout
+	prog   Program
+	cfg    Config
+
+	valMap    *mmap.Map
+	vals      []uint64
+	sched     []bool
+	nextSched []bool
+}
+
+// NewEngine prepares an engine; vertex values and the scheduling bitmap
+// are (re)initialized from the program.
+func NewEngine(layout *Layout, prog Program, cfg Config) (*Engine, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("graphchi: nil program")
+	}
+	if cfg.MaxSupersteps <= 0 {
+		cfg.MaxSupersteps = 100
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 1
+	}
+	vm, err := mmap.Create(filepath.Join(layout.Dir, "values.bin"), 8*layout.NumVertices, mmap.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("graphchi: vertex data file: %w", err)
+	}
+	vals, err := vm.Uint64s(0, layout.NumVertices)
+	if err != nil {
+		vm.Close()
+		return nil, err
+	}
+	e := &Engine{
+		layout:    layout,
+		prog:      prog,
+		cfg:       cfg,
+		valMap:    vm,
+		vals:      vals,
+		sched:     make([]bool, layout.NumVertices),
+		nextSched: make([]bool, layout.NumVertices),
+	}
+	for v := int64(0); v < layout.NumVertices; v++ {
+		e.vals[v], e.sched[v] = prog.InitVertex(v)
+	}
+	return e, nil
+}
+
+// Close flushes and unmaps the vertex data file.
+func (e *Engine) Close() error {
+	if e.valMap == nil {
+		return nil
+	}
+	err := e.valMap.Close()
+	e.valMap = nil
+	e.vals = nil
+	return err
+}
+
+// Value returns vertex v's current value.
+func (e *Engine) Value(v int64) uint64 { return e.vals[v] }
+
+// Values returns a copy of all vertex values.
+func (e *Engine) Values() []uint64 {
+	out := make([]uint64, len(e.vals))
+	copy(out, e.vals)
+	return out
+}
+
+// Run executes supersteps until convergence or the step cap.
+func (e *Engine) Run() (*Result, error) {
+	res := &Result{}
+	start := time.Now()
+	for step := 0; step < e.cfg.MaxSupersteps; step++ {
+		t0 := time.Now()
+		updated, edgesRead, err := e.superstep()
+		if err != nil {
+			return res, err
+		}
+		st := StepStats{Step: step, UpdatedVertices: updated, EdgesRead: edgesRead, Duration: time.Since(t0)}
+		res.Steps = append(res.Steps, st)
+		res.Supersteps++
+		res.Updated += updated
+		res.EdgesRead += edgesRead
+		if e.cfg.Progress != nil {
+			e.cfg.Progress(st)
+		}
+		if updated == 0 {
+			res.Converged = true
+			break
+		}
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// superstep runs one PSW pass over all intervals.
+func (e *Engine) superstep() (updated, edgesRead int64, err error) {
+	p := e.layout.P()
+	for i := 0; i < p; i++ {
+		lo, hi := e.layout.Intervals[i], e.layout.Intervals[i+1]
+		if !anyScheduled(e.sched[lo:hi]) {
+			continue
+		}
+		u, er, err := e.execInterval(i)
+		if err != nil {
+			return updated, edgesRead, err
+		}
+		updated += u
+		edgesRead += er
+	}
+	e.sched, e.nextSched = e.nextSched, e.sched
+	clearBools(e.nextSched)
+	return updated, edgesRead, nil
+}
+
+func anyScheduled(b []bool) bool {
+	for _, x := range b {
+		if x {
+			return true
+		}
+	}
+	return false
+}
+
+func clearBools(b []bool) {
+	for i := range b {
+		b[i] = false
+	}
+}
+
+// execInterval loads the memory shard and sliding windows for interval i,
+// updates its scheduled vertices, and writes everything back.
+func (e *Engine) execInterval(i int) (updated, edgesRead int64, err error) {
+	l := e.layout
+	p := l.P()
+	lo, hi := l.Intervals[i], l.Intervals[i+1]
+
+	// 1. Memory shard: all in-edges of interval i.
+	mem, err := l.shards[i].readRange(p, 0, l.shards[i].numEdges)
+	if err != nil {
+		return 0, 0, err
+	}
+	edgesRead += int64(len(mem))
+
+	// 2. Sliding windows: interval i's out-edges in every other shard.
+	// The window of shard i itself lies inside the memory shard.
+	wins := make([][]edgeRec, p)
+	winFrom := make([]int64, p)
+	for j := 0; j < p; j++ {
+		from, to := l.shards[j].index[i], l.shards[j].index[i+1]
+		winFrom[j] = from
+		if j == i {
+			wins[j] = mem[from:to]
+			continue
+		}
+		w, err := l.shards[j].readRange(p, from, to)
+		if err != nil {
+			return 0, 0, err
+		}
+		wins[j] = w
+		edgesRead += int64(len(w))
+	}
+
+	// 3. Per-vertex edge indexes for the interval.
+	n := int(hi - lo)
+	inIdx := make([][]edgeSlot, n)
+	for k := range mem {
+		d := int64(mem[k].Dst) - lo
+		inIdx[d] = append(inIdx[d], edgeSlot{buf: mem, i: int32(k)})
+	}
+	outIdx := make([][]edgeSlot, n)
+	for j := 0; j < p; j++ {
+		w := wins[j]
+		for k := range w {
+			s := int64(w[k].Src) - lo
+			outIdx[s] = append(outIdx[s], edgeSlot{buf: w, i: int32(k)})
+		}
+	}
+
+	// 4. Vertex updates. Vertices with an intra-interval edge ("critical"
+	// in GraphChi's terms — they share edge records with other interval
+	// vertices) run sequentially in id order; the rest may run in
+	// parallel, which cannot change the outcome because they share no
+	// records with any concurrently updated vertex.
+	critical := make([]bool, n)
+	for k := range wins[i] {
+		// Edges with both endpoints inside the interval: the memory
+		// shard's own sliding window.
+		e := &wins[i][k]
+		critical[int64(e.Src)-lo] = true
+		critical[int64(e.Dst)-lo] = true
+	}
+
+	anyDirty := false
+	runVertex := func(d int) (dirty bool, scheduled []graph.VertexID) {
+		v := lo + int64(d)
+		vert := Vertex{id: v, value: e.vals[v], in: inIdx[d], out: outIdx[d]}
+		schedule := e.prog.Update(&vert)
+		e.vals[v] = vert.value
+		if schedule {
+			scheduled = make([]graph.VertexID, 0, len(outIdx[d]))
+			for _, s := range outIdx[d] {
+				scheduled = append(scheduled, s.buf[s.i].Dst)
+			}
+		}
+		return vert.dirty, scheduled
+	}
+
+	if e.cfg.Parallelism <= 1 {
+		for d := 0; d < n; d++ {
+			if !e.sched[lo+int64(d)] {
+				continue
+			}
+			dirty, scheduled := runVertex(d)
+			updated++
+			anyDirty = anyDirty || dirty
+			for _, dst := range scheduled {
+				e.nextSched[dst] = true
+			}
+		}
+	} else {
+		// Phase 1: critical vertices, sequential, id order.
+		var safe []int
+		for d := 0; d < n; d++ {
+			if !e.sched[lo+int64(d)] {
+				continue
+			}
+			if critical[d] {
+				dirty, scheduled := runVertex(d)
+				updated++
+				anyDirty = anyDirty || dirty
+				for _, dst := range scheduled {
+					e.nextSched[dst] = true
+				}
+			} else {
+				safe = append(safe, d)
+			}
+		}
+		// Phase 2: safe vertices in parallel.
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, e.cfg.Parallelism)
+		for _, d := range safe {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(d int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				dirty, scheduled := runVertex(d)
+				mu.Lock()
+				updated++
+				anyDirty = anyDirty || dirty
+				for _, dst := range scheduled {
+					e.nextSched[dst] = true
+				}
+				mu.Unlock()
+			}(d)
+		}
+		wg.Wait()
+	}
+
+	// 5. Write back the memory shard and dirty windows.
+	if anyDirty {
+		if err := l.shards[i].writeRange(p, 0, mem); err != nil {
+			return updated, edgesRead, err
+		}
+		for j := 0; j < p; j++ {
+			if j == i {
+				continue
+			}
+			if err := l.shards[j].writeRange(p, winFrom[j], wins[j]); err != nil {
+				return updated, edgesRead, err
+			}
+		}
+	}
+	return updated, edgesRead, nil
+}

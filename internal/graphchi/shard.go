@@ -1,0 +1,319 @@
+package graphchi
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// edgeRec is one on-disk shard record: a directed edge and its mutable
+// value.
+type edgeRec struct {
+	Src graph.VertexID
+	Dst graph.VertexID
+	Val uint64
+}
+
+const edgeRecBytes = 16
+
+const shardMagic = 0x44485347 // "GSHD"
+
+// shardMeta describes one shard file: edges with Dst in one interval,
+// sorted by Src. index[i] is the position of the first edge with
+// Src >= intervals[i], so the sliding window for interval i is
+// records [index[i], index[i+1]).
+type shardMeta struct {
+	path     string
+	numEdges int64
+	index    []int64 // len = P+1
+}
+
+// Layout describes a sharded graph on disk.
+type Layout struct {
+	Dir         string
+	NumVertices int64
+	NumEdges    int64
+	Intervals   []int64 // vertex interval boundaries, len P+1
+	shards      []shardMeta
+}
+
+// P returns the number of intervals/shards.
+func (l *Layout) P() int { return len(l.Intervals) - 1 }
+
+// intervalOf returns the interval index containing vertex v.
+func (l *Layout) intervalOf(v graph.VertexID) int {
+	// Intervals are sorted; binary search for the last boundary <= v.
+	i := sort.Search(len(l.Intervals)-1, func(i int) bool { return l.Intervals[i+1] > int64(v) })
+	return i
+}
+
+// EdgeInit supplies the initial value stored on each edge at sharding
+// time (GraphChi programs receive their first "messages" this way).
+type EdgeInit func(src int64, outDeg uint32, dst graph.VertexID, weight float32) uint64
+
+// Shard partitions g into nshards intervals balanced by in-edge count and
+// writes shard files into dir. The returned layout is also persisted as
+// dir/meta.
+func Shard(g *graph.CSR, dir string, nshards int, initEdge EdgeInit) (*Layout, error) {
+	if nshards < 1 {
+		nshards = 1
+	}
+	if g.NumVertices == 0 {
+		return nil, fmt.Errorf("graphchi: empty graph")
+	}
+	if initEdge == nil {
+		initEdge = func(int64, uint32, graph.VertexID, float32) uint64 { return 0 }
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("graphchi: %w", err)
+	}
+
+	// Choose interval boundaries balancing in-edges.
+	indeg := make([]int64, g.NumVertices)
+	for v := int64(0); v < g.NumVertices; v++ {
+		for _, d := range g.Neighbors(graph.VertexID(v)) {
+			indeg[d]++
+		}
+	}
+	intervals := make([]int64, 1, nshards+1)
+	target := (g.NumEdges + int64(nshards) - 1) / int64(nshards)
+	var acc int64
+	for v := int64(0); v < g.NumVertices; v++ {
+		acc += indeg[v]
+		if acc >= target && len(intervals) < nshards && v+1 < g.NumVertices {
+			intervals = append(intervals, v+1)
+			acc = 0
+		}
+	}
+	intervals = append(intervals, g.NumVertices)
+	p := len(intervals) - 1
+
+	layout := &Layout{Dir: dir, NumVertices: g.NumVertices, NumEdges: g.NumEdges, Intervals: intervals}
+
+	// Bucket edges per destination shard. Source-sorted order falls out
+	// naturally from iterating vertices in id order.
+	buckets := make([][]edgeRec, p)
+	for v := int64(0); v < g.NumVertices; v++ {
+		deg := g.OutDegree(graph.VertexID(v))
+		ws := g.EdgeWeights(graph.VertexID(v))
+		for i, d := range g.Neighbors(graph.VertexID(v)) {
+			var w float32
+			if ws != nil {
+				w = ws[i]
+			}
+			s := layout.intervalOf(d)
+			buckets[s] = append(buckets[s], edgeRec{
+				Src: graph.VertexID(v),
+				Dst: d,
+				Val: initEdge(v, deg, d, w),
+			})
+		}
+	}
+
+	layout.shards = make([]shardMeta, p)
+	for s := 0; s < p; s++ {
+		meta, err := writeShard(filepath.Join(dir, fmt.Sprintf("shard-%03d.bin", s)), buckets[s], intervals)
+		if err != nil {
+			return nil, err
+		}
+		layout.shards[s] = meta
+	}
+	if err := layout.saveMeta(); err != nil {
+		return nil, err
+	}
+	return layout, nil
+}
+
+func writeShard(path string, edges []edgeRec, intervals []int64) (shardMeta, error) {
+	// Edges arrive source-sorted; index[i] is the position of the first
+	// edge with Src >= intervals[i], so interval i's sliding window is
+	// records [index[i], index[i+1]).
+	index := make([]int64, len(intervals))
+	pos := 0
+	for i := range intervals {
+		for pos < len(edges) && int64(edges[pos].Src) < intervals[i] {
+			pos++
+		}
+		index[i] = int64(pos)
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return shardMeta{}, fmt.Errorf("graphchi: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], shardMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(intervals)))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(edges)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		f.Close()
+		return shardMeta{}, err
+	}
+	var idx [8]byte
+	for _, off := range index {
+		binary.LittleEndian.PutUint64(idx[:], uint64(off))
+		if _, err := bw.Write(idx[:]); err != nil {
+			f.Close()
+			return shardMeta{}, err
+		}
+	}
+	var rec [edgeRecBytes]byte
+	for _, e := range edges {
+		binary.LittleEndian.PutUint32(rec[0:], e.Src)
+		binary.LittleEndian.PutUint32(rec[4:], e.Dst)
+		binary.LittleEndian.PutUint64(rec[8:], e.Val)
+		if _, err := bw.Write(rec[:]); err != nil {
+			f.Close()
+			return shardMeta{}, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return shardMeta{}, err
+	}
+	if err := f.Close(); err != nil {
+		return shardMeta{}, err
+	}
+	return shardMeta{path: path, numEdges: int64(len(edges)), index: index}, nil
+}
+
+func (l *Layout) metaPath() string { return filepath.Join(l.Dir, "meta") }
+
+func (l *Layout) saveMeta() error {
+	f, err := os.Create(l.metaPath())
+	if err != nil {
+		return fmt.Errorf("graphchi: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	write64 := func(x int64) { binary.Write(bw, binary.LittleEndian, x) } //nolint:errcheck // flushed below
+	write64(l.NumVertices)
+	write64(l.NumEdges)
+	write64(int64(len(l.Intervals)))
+	for _, b := range l.Intervals {
+		write64(b)
+	}
+	for _, s := range l.shards {
+		write64(s.numEdges)
+		for _, off := range s.index {
+			write64(off)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// OpenLayout loads a sharded graph previously written by Shard.
+func OpenLayout(dir string) (*Layout, error) {
+	f, err := os.Open(filepath.Join(dir, "meta"))
+	if err != nil {
+		return nil, fmt.Errorf("graphchi: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	read64 := func() (int64, error) {
+		var x int64
+		err := binary.Read(br, binary.LittleEndian, &x)
+		return x, err
+	}
+	l := &Layout{Dir: dir}
+	if l.NumVertices, err = read64(); err != nil {
+		return nil, fmt.Errorf("graphchi: meta: %w", err)
+	}
+	if l.NumEdges, err = read64(); err != nil {
+		return nil, fmt.Errorf("graphchi: meta: %w", err)
+	}
+	nb, err := read64()
+	if err != nil || nb < 2 || nb > 1<<20 {
+		return nil, fmt.Errorf("graphchi: meta: bad interval count %d (%v)", nb, err)
+	}
+	l.Intervals = make([]int64, nb)
+	for i := range l.Intervals {
+		if l.Intervals[i], err = read64(); err != nil {
+			return nil, fmt.Errorf("graphchi: meta: %w", err)
+		}
+	}
+	p := int(nb) - 1
+	l.shards = make([]shardMeta, p)
+	for s := 0; s < p; s++ {
+		if l.shards[s].numEdges, err = read64(); err != nil {
+			return nil, fmt.Errorf("graphchi: meta: %w", err)
+		}
+		l.shards[s].index = make([]int64, nb)
+		for i := range l.shards[s].index {
+			if l.shards[s].index[i], err = read64(); err != nil {
+				return nil, fmt.Errorf("graphchi: meta: %w", err)
+			}
+		}
+		l.shards[s].path = filepath.Join(dir, fmt.Sprintf("shard-%03d.bin", s))
+	}
+	return l, nil
+}
+
+// shard I/O helpers ----------------------------------------------------
+
+func (s *shardMeta) headerBytes(p int) int64 { return 16 + 8*int64(p+1) }
+
+// readRange reads edge records [from, to) of the shard.
+func (s *shardMeta) readRange(p int, from, to int64) ([]edgeRec, error) {
+	if from > to || to > s.numEdges {
+		return nil, fmt.Errorf("graphchi: read range [%d, %d) of %d edges", from, to, s.numEdges)
+	}
+	n := to - from
+	if n == 0 {
+		return nil, nil
+	}
+	f, err := os.Open(s.path)
+	if err != nil {
+		return nil, fmt.Errorf("graphchi: %w", err)
+	}
+	defer f.Close()
+	buf := make([]byte, n*edgeRecBytes)
+	if _, err := f.ReadAt(buf, s.headerBytes(p)+from*edgeRecBytes); err != nil {
+		return nil, fmt.Errorf("graphchi: read %s: %w", s.path, err)
+	}
+	out := make([]edgeRec, n)
+	for i := range out {
+		b := buf[i*edgeRecBytes:]
+		out[i] = edgeRec{
+			Src: binary.LittleEndian.Uint32(b[0:]),
+			Dst: binary.LittleEndian.Uint32(b[4:]),
+			Val: binary.LittleEndian.Uint64(b[8:]),
+		}
+	}
+	return out, nil
+}
+
+// writeRange writes edge records back at position from.
+func (s *shardMeta) writeRange(p int, from int64, recs []edgeRec) error {
+	if from+int64(len(recs)) > s.numEdges {
+		return fmt.Errorf("graphchi: write range overruns shard")
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	f, err := os.OpenFile(s.path, os.O_WRONLY, 0)
+	if err != nil {
+		return fmt.Errorf("graphchi: %w", err)
+	}
+	defer f.Close()
+	buf := make([]byte, len(recs)*edgeRecBytes)
+	for i, e := range recs {
+		b := buf[i*edgeRecBytes:]
+		binary.LittleEndian.PutUint32(b[0:], e.Src)
+		binary.LittleEndian.PutUint32(b[4:], e.Dst)
+		binary.LittleEndian.PutUint64(b[8:], e.Val)
+	}
+	if _, err := f.WriteAt(buf, s.headerBytes(p)+from*edgeRecBytes); err != nil {
+		return fmt.Errorf("graphchi: write %s: %w", s.path, err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,9 @@
+//go:build !linux && !darwin
+
+package metrics
+
+import "time"
+
+// ProcessCPUTime is unavailable on this platform; samples report zero CPU
+// and callers fall back to wall-clock-only reporting.
+func ProcessCPUTime() time.Duration { return 0 }

@@ -1,0 +1,22 @@
+//go:build linux || darwin
+
+package metrics
+
+import (
+	"syscall"
+	"time"
+)
+
+// ProcessCPUTime returns the total user+system CPU time consumed by this
+// process, via getrusage(2).
+func ProcessCPUTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return timevalDuration(ru.Utime) + timevalDuration(ru.Stime)
+}
+
+func timevalDuration(tv syscall.Timeval) time.Duration {
+	return time.Duration(tv.Sec)*time.Second + time.Duration(tv.Usec)*time.Microsecond
+}

@@ -1,0 +1,53 @@
+// Package metrics measures process CPU consumption for the paper's
+// CPU-utilization experiment (Fig. 11): X-Stream burns all cores all the
+// time, GraphChi under-uses them, and GPSA's usage tracks the workload.
+package metrics
+
+import (
+	"runtime"
+	"time"
+)
+
+// CPUSample reports CPU consumption over a sampling window.
+type CPUSample struct {
+	Wall     time.Duration // window length
+	CPU      time.Duration // process CPU time consumed in the window
+	Cores    float64       // average cores busy (CPU/Wall)
+	Percent  float64       // Cores as a percentage of available CPUs
+	MaxCores int           // available CPUs (GOMAXPROCS)
+}
+
+// CPUSampler measures process CPU time between samples.
+type CPUSampler struct {
+	lastWall time.Time
+	lastCPU  time.Duration
+}
+
+// StartCPUSampler begins a measurement window.
+func StartCPUSampler() *CPUSampler {
+	return &CPUSampler{lastWall: time.Now(), lastCPU: ProcessCPUTime()}
+}
+
+// Sample closes the current window, returns its consumption, and starts
+// the next window.
+func (s *CPUSampler) Sample() CPUSample {
+	nowWall, nowCPU := time.Now(), ProcessCPUTime()
+	wall := nowWall.Sub(s.lastWall)
+	cpu := nowCPU - s.lastCPU
+	s.lastWall, s.lastCPU = nowWall, nowCPU
+	max := runtime.GOMAXPROCS(0)
+	out := CPUSample{Wall: wall, CPU: cpu, MaxCores: max}
+	if wall > 0 {
+		out.Cores = cpu.Seconds() / wall.Seconds()
+		out.Percent = 100 * out.Cores / float64(max)
+	}
+	return out
+}
+
+// MeasureCPU runs fn and returns its result sample: wall time, CPU time,
+// and average core usage while fn ran.
+func MeasureCPU(fn func()) CPUSample {
+	s := StartCPUSampler()
+	fn()
+	return s.Sample()
+}

@@ -1,0 +1,37 @@
+//go:build linux
+
+package mmap
+
+import (
+	"fmt"
+	"syscall"
+)
+
+// Advise hints the kernel about the mapping's access pattern via
+// madvise(2). GPSA uses AccessSequential for the CSR edge file its
+// dispatchers stream and AccessRandom for the vertex value file its
+// computing workers probe.
+func (m *Map) Advise(pattern Access) error {
+	if m.heap || len(m.data) == 0 {
+		return nil // heap-backed: nothing to advise
+	}
+	var advice int
+	switch pattern {
+	case AccessSequential:
+		advice = syscall.MADV_SEQUENTIAL
+	case AccessRandom:
+		advice = syscall.MADV_RANDOM
+	case AccessWillNeed:
+		advice = syscall.MADV_WILLNEED
+	case AccessNormal:
+		advice = syscall.MADV_NORMAL
+	default:
+		return fmt.Errorf("mmap: unknown access pattern %d", pattern)
+	}
+	_, _, errno := syscall.Syscall(syscall.SYS_MADVISE,
+		uintptr(addrOf(m.data)), uintptr(len(m.data)), uintptr(advice))
+	if errno != 0 {
+		return fmt.Errorf("mmap: madvise: %w", errno)
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+//go:build linux
+
+package mmap
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+const (
+	osMapSupported = true
+	maxMapSize     = 1 << 46 // 64 TiB, far beyond any dataset here
+)
+
+func newOSMap(f *os.File, size int64, writable bool) (*Map, error) {
+	prot := syscall.PROT_READ
+	if writable {
+		prot |= syscall.PROT_WRITE
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), prot, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mmap: %s: %w", f.Name(), err)
+	}
+	return &Map{f: f, data: data, writable: writable}, nil
+}
+
+func (m *Map) msync() error {
+	if len(m.data) == 0 {
+		return nil
+	}
+	_, _, errno := syscall.Syscall(syscall.SYS_MSYNC,
+		uintptr(addrOf(m.data)), uintptr(len(m.data)), uintptr(syscall.MS_SYNC))
+	if errno != 0 {
+		return fmt.Errorf("mmap: msync: %w", errno)
+	}
+	return nil
+}
+
+func (m *Map) munmap() error {
+	if len(m.data) == 0 {
+		return nil
+	}
+	if err := syscall.Munmap(m.data); err != nil {
+		return fmt.Errorf("mmap: munmap: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+//go:build !linux
+
+package mmap
+
+import (
+	"fmt"
+	"os"
+)
+
+const (
+	osMapSupported = false
+	maxMapSize     = 1 << 40
+)
+
+func newOSMap(f *os.File, size int64, writable bool) (*Map, error) {
+	return nil, fmt.Errorf("mmap: OS mapping not supported on this platform")
+}
+
+func (m *Map) msync() error  { return nil }
+func (m *Map) munmap() error { return nil }

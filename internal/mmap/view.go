@@ -1,0 +1,42 @@
+package mmap
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// addrOf returns the address of the first byte of b. b must be non-empty.
+func addrOf(b []byte) uintptr {
+	return uintptr(unsafe.Pointer(&b[0]))
+}
+
+// Uint64s reinterprets region [off, off+8*n) of the mapping as a []uint64.
+// The mapping must outlive the returned slice. Offsets must be 8-byte
+// aligned relative to the start of the mapping (which mmap page-aligns, so
+// absolute alignment holds too).
+func (m *Map) Uint64s(off, n int64) ([]uint64, error) {
+	if off < 0 || n < 0 || off+8*n > int64(len(m.data)) {
+		return nil, fmt.Errorf("mmap: uint64 view [%d, +%d words) out of range (len %d)", off, n, len(m.data))
+	}
+	if off%8 != 0 {
+		return nil, fmt.Errorf("mmap: uint64 view offset %d not 8-byte aligned", off)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&m.data[off])), n), nil
+}
+
+// Uint32s reinterprets region [off, off+4*n) of the mapping as a []uint32.
+func (m *Map) Uint32s(off, n int64) ([]uint32, error) {
+	if off < 0 || n < 0 || off+4*n > int64(len(m.data)) {
+		return nil, fmt.Errorf("mmap: uint32 view [%d, +%d words) out of range (len %d)", off, n, len(m.data))
+	}
+	if off%4 != 0 {
+		return nil, fmt.Errorf("mmap: uint32 view offset %d not 4-byte aligned", off)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&m.data[off])), n), nil
+}

@@ -1,0 +1,76 @@
+package preprocess
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestAdjacencyToCSR(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "adj.txt")
+	content := "# adjacency\n0 2 2 3\n2 1 0\n1 0\n"
+	if err := os.WriteFile(in, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "g.gpsa")
+	st, err := AdjacencyToCSR(in, out, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumVertices != 4 || st.NumEdges != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	adj, _, _, _ := readBack(t, out, false)
+	if !reflect.DeepEqual(adj[0], []graph.VertexID{2, 3}) {
+		t.Fatalf("adj[0] = %v", adj[0])
+	}
+	if !reflect.DeepEqual(adj[2], []graph.VertexID{0}) {
+		t.Fatalf("adj[2] = %v", adj[2])
+	}
+	if len(adj[1]) != 0 {
+		t.Fatalf("adj[1] = %v, want empty", adj[1])
+	}
+}
+
+func TestAdjacencyRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	cases := []string{
+		"0 2 1\n",     // fewer destinations than declared
+		"0 1 2 extra", // trailing garbage
+		"x 1 0\n",     // bad source
+		"0 x 1\n",     // bad degree
+	}
+	for i, bad := range cases {
+		in := filepath.Join(dir, "bad.txt")
+		if err := os.WriteFile(in, []byte(bad), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := AdjacencyToCSR(in, filepath.Join(dir, "out.gpsa"), Options{}); err == nil {
+			t.Errorf("case %d (%q): conversion succeeded", i, bad)
+		}
+	}
+}
+
+func TestAdjacencyOutOfOrderLines(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "adj.txt")
+	if err := os.WriteFile(in, []byte("3 1 0\n0 1 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "g.gpsa")
+	st, err := AdjacencyToCSR(in, out, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumVertices != 4 || st.NumEdges != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	adj, _, _, _ := readBack(t, out, false)
+	if !reflect.DeepEqual(adj[3], []graph.VertexID{0}) || !reflect.DeepEqual(adj[0], []graph.VertexID{3}) {
+		t.Fatalf("adj = %v", adj)
+	}
+}

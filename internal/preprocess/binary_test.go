@@ -1,0 +1,73 @@
+package preprocess
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestBinaryEdgeListRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	edges := []graph.Edge{{Src: 2, Dst: 0}, {Src: 0, Dst: 1}, {Src: 0, Dst: 2}}
+	in := filepath.Join(dir, "edges.bin")
+	f, err := os.Create(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinaryEdgeList(f, edges, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out := filepath.Join(dir, "g.gpsa")
+	st, err := BinaryEdgeListToCSR(in, out, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumVertices != 3 || st.NumEdges != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	adj, _, _, _ := readBack(t, out, false)
+	if !reflect.DeepEqual(adj[0], []graph.VertexID{1, 2}) || !reflect.DeepEqual(adj[2], []graph.VertexID{0}) {
+		t.Fatalf("adj = %v", adj)
+	}
+}
+
+func TestBinaryEdgeListWeighted(t *testing.T) {
+	dir := t.TempDir()
+	edges := []graph.Edge{{Src: 0, Dst: 1, Weight: 1.5}, {Src: 1, Dst: 0, Weight: 0.25}}
+	in := filepath.Join(dir, "edges.bin")
+	f, err := os.Create(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinaryEdgeList(f, edges, true); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	out := filepath.Join(dir, "g.gpsa")
+	if _, err := BinaryEdgeListToCSR(in, out, Options{Weighted: true}); err != nil {
+		t.Fatal(err)
+	}
+	_, wts, _, _ := readBack(t, out, true)
+	if wts[0][0] != 1.5 || wts[1][0] != 0.25 {
+		t.Fatalf("weights = %v", wts)
+	}
+}
+
+func TestBinaryEdgeListRejectsTruncated(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bad.bin")
+	if err := os.WriteFile(in, []byte{1, 2, 3, 4, 5}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BinaryEdgeListToCSR(in, filepath.Join(dir, "g.gpsa"), Options{}); err == nil {
+		t.Fatal("truncated binary input accepted")
+	}
+}

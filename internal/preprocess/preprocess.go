@@ -1,0 +1,425 @@
+// Package preprocess converts raw edge-list inputs into the on-disk CSR
+// format GPSA streams (paper §V-B). Edge-list inputs are not grouped by
+// source vertex, so conversion performs an external sort: the input is
+// read once into bounded sorted runs on disk, which are then k-way merged
+// directly into the CSR writer. Memory use is O(run size + |V|) — the
+// per-vertex degree table — regardless of edge count, so inputs larger
+// than RAM convert fine (the same discipline GraphChi's sharder uses).
+package preprocess
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Options tunes conversion.
+type Options struct {
+	// ChunkEdges bounds the in-memory sorted-run size (default 1<<22,
+	// 48 MiB of records).
+	ChunkEdges int
+	// Weighted retains the third edge-list column as float32 weights.
+	Weighted bool
+	// Compact writes the varint-delta compact CSR format (version 2)
+	// instead of the plain word format.
+	Compact bool
+	// TempDir holds the sorted runs (default: alongside the output).
+	TempDir string
+	// NumVertices forces the vertex-id space; 0 infers max(id)+1.
+	NumVertices int64
+}
+
+// Stats reports what a conversion did.
+type Stats struct {
+	NumVertices int64
+	NumEdges    int64
+	Runs        int // sorted runs merged
+}
+
+const runRecBytes = 12 // src, dst uint32 + weight float32
+
+// EdgeListToCSR converts the text edge list at inputPath into a CSR file
+// at outputPath (plus sidecar index).
+func EdgeListToCSR(inputPath, outputPath string, opt Options) (*Stats, error) {
+	in, err := os.Open(inputPath)
+	if err != nil {
+		return nil, fmt.Errorf("preprocess: %w", err)
+	}
+	defer in.Close()
+	return ConvertEdgeStream(newTextEdgeReader(in), outputPath, opt)
+}
+
+// EdgesToCSR converts an in-memory edge list (convenience path for tests
+// and small graphs).
+func EdgesToCSR(edges []graph.Edge, outputPath string, opt Options) (*Stats, error) {
+	return ConvertEdgeStream(&sliceEdgeReader{edges: edges}, outputPath, opt)
+}
+
+// EdgeReader yields edges one at a time; io.EOF terminates the stream.
+type EdgeReader interface {
+	ReadEdge() (graph.Edge, error)
+}
+
+type sliceEdgeReader struct {
+	edges []graph.Edge
+	i     int
+}
+
+func (r *sliceEdgeReader) ReadEdge() (graph.Edge, error) {
+	if r.i >= len(r.edges) {
+		return graph.Edge{}, io.EOF
+	}
+	e := r.edges[r.i]
+	r.i++
+	return e, nil
+}
+
+// textEdgeReader parses the SNAP text format incrementally.
+type textEdgeReader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+func newTextEdgeReader(r io.Reader) *textEdgeReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	return &textEdgeReader{sc: sc}
+}
+
+func (t *textEdgeReader) ReadEdge() (graph.Edge, error) {
+	for t.sc.Scan() {
+		t.line++
+		b := t.sc.Bytes()
+		// Trim and skip comments/blank lines without allocating.
+		i := 0
+		for i < len(b) && (b[i] == ' ' || b[i] == '\t' || b[i] == '\r') {
+			i++
+		}
+		if i == len(b) || b[i] == '#' || b[i] == '%' {
+			continue
+		}
+		e, err := parseEdgeLine(b[i:])
+		if err != nil {
+			return graph.Edge{}, fmt.Errorf("preprocess: line %d: %w", t.line, err)
+		}
+		return e, nil
+	}
+	if err := t.sc.Err(); err != nil {
+		return graph.Edge{}, err
+	}
+	return graph.Edge{}, io.EOF
+}
+
+func parseEdgeLine(b []byte) (graph.Edge, error) {
+	src, rest, err := parseUint(b)
+	if err != nil {
+		return graph.Edge{}, fmt.Errorf("bad source: %v", err)
+	}
+	dst, rest, err := parseUint(rest)
+	if err != nil {
+		return graph.Edge{}, fmt.Errorf("bad destination: %v", err)
+	}
+	e := graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dst)}
+	// Optional weight column.
+	for len(rest) > 0 && (rest[0] == ' ' || rest[0] == '\t') {
+		rest = rest[1:]
+	}
+	if len(rest) > 0 && rest[0] != '\r' {
+		var w float64
+		if _, err := fmt.Sscanf(string(rest), "%g", &w); err != nil {
+			return graph.Edge{}, fmt.Errorf("bad weight %q: %v", rest, err)
+		}
+		e.Weight = float32(w)
+	}
+	return e, nil
+}
+
+func parseUint(b []byte) (uint64, []byte, error) {
+	i := 0
+	for i < len(b) && (b[i] == ' ' || b[i] == '\t') {
+		i++
+	}
+	start := i
+	var x uint64
+	for i < len(b) && b[i] >= '0' && b[i] <= '9' {
+		x = x*10 + uint64(b[i]-'0')
+		if x > uint64(graph.MaxVertices) {
+			return 0, nil, fmt.Errorf("id overflows 32 bits")
+		}
+		i++
+	}
+	if i == start {
+		return 0, nil, fmt.Errorf("expected integer in %q", b)
+	}
+	return x, b[i:], nil
+}
+
+// ConvertEdgeStream drives the full external-sort conversion.
+func ConvertEdgeStream(r EdgeReader, outputPath string, opt Options) (*Stats, error) {
+	if opt.ChunkEdges <= 0 {
+		opt.ChunkEdges = 1 << 22
+	}
+	if opt.TempDir == "" {
+		opt.TempDir = filepath.Dir(outputPath)
+	}
+
+	// Pass 1: sorted runs + degree counting + vertex-count inference.
+	runs, degrees, numVertices, numEdges, err := buildRuns(r, opt)
+	defer removeRuns(runs)
+	if err != nil {
+		return nil, err
+	}
+	if opt.NumVertices > 0 {
+		if opt.NumVertices < numVertices {
+			return nil, fmt.Errorf("preprocess: input has vertex ids up to %d but NumVertices is %d", numVertices-1, opt.NumVertices)
+		}
+		numVertices = opt.NumVertices
+	}
+	if numVertices == 0 {
+		numVertices = 1 // an empty input still yields a valid 1-vertex file
+	}
+
+	// Pass 2: k-way merge into the CSR writer.
+	var w recordWriter
+	if opt.Compact {
+		w, err = graph.NewCompactWriter(outputPath, numVertices, numEdges, opt.Weighted)
+	} else {
+		w, err = graph.NewWriter(outputPath, numVertices, numEdges, opt.Weighted)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := mergeRuns(runs, w, numVertices, degrees, opt.Weighted); err != nil {
+		return nil, err
+	}
+	return &Stats{NumVertices: numVertices, NumEdges: numEdges, Runs: len(runs)}, nil
+}
+
+// recordWriter is the per-vertex sink shared by both CSR formats.
+type recordWriter interface {
+	AppendVertex(dsts []graph.VertexID, weights []float32) error
+	Finish() error
+}
+
+type runFile struct{ path string }
+
+func removeRuns(runs []runFile) {
+	for _, r := range runs {
+		os.Remove(r.path)
+	}
+}
+
+func buildRuns(r EdgeReader, opt Options) (runs []runFile, degrees []uint32, numVertices, numEdges int64, err error) {
+	buf := make([]graph.Edge, 0, opt.ChunkEdges)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		sort.Slice(buf, func(i, j int) bool { return buf[i].Src < buf[j].Src })
+		f, err := os.CreateTemp(opt.TempDir, "gpsa-run-*.bin")
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriterSize(f, 1<<20)
+		var rec [runRecBytes]byte
+		for _, e := range buf {
+			binary.LittleEndian.PutUint32(rec[0:], e.Src)
+			binary.LittleEndian.PutUint32(rec[4:], e.Dst)
+			binary.LittleEndian.PutUint32(rec[8:], math.Float32bits(e.Weight))
+			if _, err := bw.Write(rec[:]); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		runs = append(runs, runFile{path: f.Name()})
+		buf = buf[:0]
+		return nil
+	}
+
+	grow := func(v graph.VertexID) {
+		if int64(v) >= numVertices {
+			numVertices = int64(v) + 1
+		}
+		for int64(len(degrees)) < numVertices {
+			degrees = append(degrees, 0)
+		}
+	}
+
+	for {
+		e, rerr := r.ReadEdge()
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return runs, nil, 0, 0, rerr
+		}
+		grow(e.Src)
+		grow(e.Dst)
+		degrees[e.Src]++
+		numEdges++
+		buf = append(buf, e)
+		if len(buf) >= opt.ChunkEdges {
+			if err := flush(); err != nil {
+				return runs, nil, 0, 0, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return runs, nil, 0, 0, err
+	}
+	return runs, degrees, numVertices, numEdges, nil
+}
+
+// runCursor streams one sorted run during the merge.
+type runCursor struct {
+	br   *bufio.Reader
+	f    *os.File
+	cur  graph.Edge
+	done bool
+}
+
+func (c *runCursor) advance() error {
+	var rec [runRecBytes]byte
+	if _, err := io.ReadFull(c.br, rec[:]); err != nil {
+		if err == io.EOF {
+			c.done = true
+			return nil
+		}
+		return err
+	}
+	c.cur = graph.Edge{
+		Src:    binary.LittleEndian.Uint32(rec[0:]),
+		Dst:    binary.LittleEndian.Uint32(rec[4:]),
+		Weight: math.Float32frombits(binary.LittleEndian.Uint32(rec[8:])),
+	}
+	return nil
+}
+
+type cursorHeap []*runCursor
+
+func (h cursorHeap) Len() int           { return len(h) }
+func (h cursorHeap) Less(i, j int) bool { return h[i].cur.Src < h[j].cur.Src }
+func (h cursorHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *cursorHeap) Push(x any)        { *h = append(*h, x.(*runCursor)) }
+func (h *cursorHeap) Pop() any {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}
+
+func mergeRuns(runs []runFile, w recordWriter, numVertices int64, degrees []uint32, weighted bool) error {
+	h := &cursorHeap{}
+	for _, rf := range runs {
+		f, err := os.Open(rf.path)
+		if err != nil {
+			return err
+		}
+		c := &runCursor{f: f, br: bufio.NewReaderSize(f, 1<<20)}
+		if err := c.advance(); err != nil {
+			f.Close()
+			return err
+		}
+		if c.done {
+			f.Close()
+			continue
+		}
+		*h = append(*h, c)
+	}
+	defer func() {
+		for _, c := range *h {
+			c.f.Close()
+		}
+	}()
+	heap.Init(h)
+
+	var dsts []graph.VertexID
+	var weights []float32
+	next := int64(0) // next vertex to append
+
+	emitUpTo := func(v int64) error {
+		// Append empty records for vertices with no out-edges.
+		for ; next < v; next++ {
+			var wts []float32
+			if weighted {
+				wts = []float32{}
+			}
+			if next < int64(len(degrees)) && degrees[next] != 0 {
+				return fmt.Errorf("preprocess: internal: vertex %d expected %d edges, merge produced none", next, degrees[next])
+			}
+			if err := w.AppendVertex(nil, wts); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	flushVertex := func(v int64) error {
+		if err := emitUpTo(v); err != nil {
+			return err
+		}
+		var wts []float32
+		if weighted {
+			wts = weights
+		}
+		if err := w.AppendVertex(dsts, wts); err != nil {
+			return err
+		}
+		next = v + 1
+		dsts = dsts[:0]
+		weights = weights[:0]
+		return nil
+	}
+
+	curV := int64(-1)
+	for h.Len() > 0 {
+		c := (*h)[0]
+		e := c.cur
+		if int64(e.Src) != curV {
+			if curV >= 0 {
+				if err := flushVertex(curV); err != nil {
+					return err
+				}
+			}
+			curV = int64(e.Src)
+		}
+		dsts = append(dsts, e.Dst)
+		if weighted {
+			weights = append(weights, e.Weight)
+		}
+		if err := c.advance(); err != nil {
+			return err
+		}
+		if c.done {
+			c.f.Close()
+			heap.Pop(h)
+		} else {
+			heap.Fix(h, 0)
+		}
+	}
+	if curV >= 0 {
+		if err := flushVertex(curV); err != nil {
+			return err
+		}
+	}
+	if err := emitUpTo(numVertices); err != nil {
+		return err
+	}
+	return w.Finish()
+}

@@ -1,0 +1,295 @@
+package preprocess
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mmap"
+)
+
+// readBack loads a converted CSR file into adjacency form.
+func readBack(t *testing.T, path string, weighted bool) (map[int64][]graph.VertexID, map[int64][]float32, int64, int64) {
+	t.Helper()
+	f, err := graph.OpenFile(path, mmap.ModeAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	adj := make(map[int64][]graph.VertexID)
+	wts := make(map[int64][]float32)
+	c := f.Cursor(f.WholeInterval())
+	for {
+		v, deg, raw, ok := c.Next()
+		if !ok {
+			break
+		}
+		for i := 0; i < int(deg); i++ {
+			d, w := graph.DecodeEdge(raw, i, weighted)
+			adj[v] = append(adj[v], d)
+			wts[v] = append(wts[v], w)
+		}
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return adj, wts, f.NumVertices, f.NumEdges
+}
+
+func TestEdgesToCSRSmall(t *testing.T) {
+	edges := []graph.Edge{
+		{Src: 3, Dst: 1}, {Src: 0, Dst: 2}, {Src: 0, Dst: 3}, {Src: 3, Dst: 0},
+	}
+	out := filepath.Join(t.TempDir(), "g.gpsa")
+	st, err := EdgesToCSR(edges, out, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumVertices != 4 || st.NumEdges != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	adj, _, nv, ne := readBack(t, out, false)
+	if nv != 4 || ne != 4 {
+		t.Fatalf("file dims (%d, %d)", nv, ne)
+	}
+	if !reflect.DeepEqual(adj[0], []graph.VertexID{2, 3}) {
+		t.Fatalf("adj[0] = %v", adj[0])
+	}
+	if !reflect.DeepEqual(adj[3], []graph.VertexID{1, 0}) {
+		t.Fatalf("adj[3] = %v", adj[3])
+	}
+}
+
+func TestEdgeListTextConversion(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "edges.txt")
+	content := "# a comment\n0\t2\n0 3\n\n% other comment\n2 1\n"
+	if err := os.WriteFile(in, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "g.gpsa")
+	st, err := EdgeListToCSR(in, out, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumVertices != 4 || st.NumEdges != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	adj, _, _, _ := readBack(t, out, false)
+	if !reflect.DeepEqual(adj[0], []graph.VertexID{2, 3}) || !reflect.DeepEqual(adj[2], []graph.VertexID{1}) {
+		t.Fatalf("adj = %v", adj)
+	}
+}
+
+func TestEdgeListWeighted(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "edges.txt")
+	if err := os.WriteFile(in, []byte("0 1 2.5\n1 0 0.25\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "g.gpsa")
+	if _, err := EdgeListToCSR(in, out, Options{Weighted: true}); err != nil {
+		t.Fatal(err)
+	}
+	_, wts, _, _ := readBack(t, out, true)
+	if wts[0][0] != 2.5 || wts[1][0] != 0.25 {
+		t.Fatalf("weights = %v", wts)
+	}
+}
+
+func TestEdgeListRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	for i, bad := range []string{"x y\n", "1\n", "1 2 notaweight\n", "99999999999 1\n"} {
+		in := filepath.Join(dir, "bad.txt")
+		if err := os.WriteFile(in, []byte(bad), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := EdgeListToCSR(in, filepath.Join(dir, "out.gpsa"), Options{}); err == nil {
+			t.Errorf("case %d (%q): conversion succeeded", i, bad)
+		}
+	}
+}
+
+func TestEmptyInputYieldsValidFile(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(in, []byte("# nothing\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "g.gpsa")
+	st, err := EdgeListToCSR(in, out, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumEdges != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	_, _, nv, ne := readBack(t, out, false)
+	if nv != 1 || ne != 0 {
+		t.Fatalf("file dims (%d, %d)", nv, ne)
+	}
+}
+
+func TestForcedVertexCount(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.gpsa")
+	st, err := EdgesToCSR([]graph.Edge{{Src: 0, Dst: 1}}, out, Options{NumVertices: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumVertices != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if _, err := EdgesToCSR([]graph.Edge{{Src: 0, Dst: 9}}, out, Options{NumVertices: 5}); err == nil {
+		t.Fatal("too-small forced vertex count accepted")
+	}
+}
+
+func TestMultiRunExternalSort(t *testing.T) {
+	// Tiny chunk size forces many sorted runs and a real k-way merge.
+	edges, err := gen.RMAT(gen.RMATConfig{Vertices: 300, Edges: 5000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "g.gpsa")
+	st, err := EdgesToCSR(edges, out, Options{ChunkEdges: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Runs < 30 {
+		t.Fatalf("expected many runs, got %d", st.Runs)
+	}
+	want, err := graph.FromEdges(edges, st.NumVertices, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj, _, _, ne := readBack(t, out, false)
+	if ne != int64(len(edges)) {
+		t.Fatalf("edge count %d, want %d", ne, len(edges))
+	}
+	for v := int64(0); v < want.NumVertices; v++ {
+		got := append([]graph.VertexID(nil), adj[v]...)
+		exp := append([]graph.VertexID(nil), want.Neighbors(graph.VertexID(v))...)
+		sortIDs(got)
+		sortIDs(exp)
+		if !reflect.DeepEqual(got, exp) {
+			t.Fatalf("vertex %d: %v, want %v", v, got, exp)
+		}
+	}
+	// Temp runs must be cleaned up.
+	entries, err := os.ReadDir(filepath.Dir(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if len(e.Name()) > 8 && e.Name()[:8] == "gpsa-run" {
+			t.Fatalf("leftover run file %s", e.Name())
+		}
+	}
+}
+
+func sortIDs(s []graph.VertexID) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Property: conversion through the external sort equals direct in-memory
+// CSR construction for any random edge list and chunk size.
+func TestConversionEquivalenceProperty(t *testing.T) {
+	dir := t.TempDir()
+	n := 0
+	fn := func(seed int64, eRaw uint16, chunkRaw uint8) bool {
+		n++
+		rng := rand.New(rand.NewSource(seed))
+		v := int64(40)
+		edges := make([]graph.Edge, int(eRaw%600))
+		for i := range edges {
+			edges[i] = graph.Edge{Src: graph.VertexID(rng.Int63n(v)), Dst: graph.VertexID(rng.Int63n(v))}
+		}
+		out := filepath.Join(dir, "p.gpsa")
+		_, err := EdgesToCSR(edges, out, Options{ChunkEdges: int(chunkRaw%64) + 1, NumVertices: v})
+		if err != nil {
+			t.Logf("convert: %v", err)
+			return false
+		}
+		want, err := graph.FromEdges(edges, v, false)
+		if err != nil {
+			return false
+		}
+		f, err := graph.OpenFile(out, mmap.ModeAuto)
+		if err != nil {
+			return false
+		}
+		defer f.Close()
+		c := f.Cursor(f.WholeInterval())
+		for {
+			vid, deg, raw, ok := c.Next()
+			if !ok {
+				break
+			}
+			got := make([]graph.VertexID, deg)
+			for i := range got {
+				got[i], _ = graph.DecodeEdge(raw, i, false)
+			}
+			exp := append([]graph.VertexID(nil), want.Neighbors(graph.VertexID(vid))...)
+			sortIDs(got)
+			sortIDs(exp)
+			if len(got) != len(exp) {
+				return false
+			}
+			if len(got) > 0 && !reflect.DeepEqual(got, exp) {
+				return false
+			}
+		}
+		return c.Err() == nil
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactOutputMatchesPlain(t *testing.T) {
+	edges, err := gen.RMAT(gen.RMATConfig{Vertices: 300, Edges: 4000, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	plain, compact := filepath.Join(dir, "p.gpsa"), filepath.Join(dir, "c.gpsa")
+	if _, err := EdgesToCSR(edges, plain, Options{ChunkEdges: 256}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EdgesToCSR(edges, compact, Options{ChunkEdges: 256, Compact: true}); err != nil {
+		t.Fatal(err)
+	}
+	pa, _, pv, pe := readBack(t, plain, false)
+	ca, _, cv, ce := readBack(t, compact, false)
+	if pv != cv || pe != ce {
+		t.Fatalf("dims differ: (%d,%d) vs (%d,%d)", pv, pe, cv, ce)
+	}
+	for v := int64(0); v < pv; v++ {
+		a := append([]graph.VertexID(nil), pa[v]...)
+		b := append([]graph.VertexID(nil), ca[v]...)
+		sortIDs(a)
+		sortIDs(b)
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d: %d vs %d edges", v, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d adjacency differs", v)
+			}
+		}
+	}
+	ps, _ := os.Stat(plain)
+	cs, _ := os.Stat(compact)
+	if cs.Size() >= ps.Size() {
+		t.Fatalf("compact (%d) not smaller than plain (%d)", cs.Size(), ps.Size())
+	}
+}

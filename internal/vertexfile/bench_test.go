@@ -1,0 +1,55 @@
+package vertexfile
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func benchFile(b *testing.B, n int64) *File {
+	b.Helper()
+	f, err := Create(filepath.Join(b.TempDir(), "v.gpvf"), n, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { f.Close() })
+	return f
+}
+
+// BenchmarkLoadStore measures the per-slot cost of the atomic mmap
+// accesses on the computing workers' hot path.
+func BenchmarkLoadStore(b *testing.B) {
+	f := benchFile(b, 1<<16)
+	mask := int64(1<<16 - 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := int64(i) & mask
+		slot := f.Load(0, v)
+		f.Store(1, v, slot|StaleBit)
+	}
+}
+
+// BenchmarkReconcile measures the barrier-time column reconciliation
+// sweep (the O(|V|) correctness pass DESIGN.md documents).
+func BenchmarkReconcile(b *testing.B) {
+	f := benchFile(b, 1<<20)
+	b.SetBytes(16 << 20) // two columns of 8-byte slots
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Reconcile(int64(i))
+	}
+}
+
+// BenchmarkCommitDurable measures a committed superstep including msync.
+func BenchmarkCommitDurable(b *testing.B) {
+	f := benchFile(b, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step := int64(i)
+		if err := f.Begin(step, true); err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Commit(step, true, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,365 @@
+// Package vertexfile implements GPSA's memory-mapped vertex value file
+// (paper §IV-D/F, Fig. 5).
+//
+// The file stores two 64-bit value slots per vertex — two "columns" that
+// alternate roles every superstep: in superstep s the dispatch column
+// (s mod 2) is read by dispatcher actors, and the update column (1 - s
+// mod 2) is written by computing actors. The highest bit of each slot is
+// the paper's update flag: 1 ("stale") means the vertex was not updated in
+// the previous superstep and is skipped by dispatchers; 0 ("fresh") means
+// its new value must be dispatched.
+//
+// Correctness note (a deviation from the paper's literal protocol,
+// recorded in DESIGN.md): if a vertex is updated in superstep s but
+// receives no message in superstep s+1, its newest value sits in a column
+// that becomes the *update* column of superstep s+2 and would be silently
+// overwritten on the next first-message, and the paper's first-message
+// rule ("fetch value from the message sending column") would then resurrect
+// a value that is two supersteps old. This package therefore maintains the
+// invariant that *at the start of every superstep the dispatch column
+// holds the newest payload of every vertex*, by copying, at the superstep
+// barrier, the dispatch-column payload over every update-column slot that
+// stayed stale (Reconcile). The pass is sequential, O(|V|), raceless
+// (it runs between supersteps), and is also what makes the paper's
+// lightweight fault tolerance sound: the dispatch column of the crashed
+// superstep is a complete, payload-immutable snapshot of the previous
+// superstep's state.
+package vertexfile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/mmap"
+)
+
+const (
+	// StaleBit is the paper's "highest bit": set = not updated in the
+	// last superstep.
+	StaleBit uint64 = 1 << 63
+	// PayloadMask extracts the 63-bit payload from a slot.
+	PayloadMask = StaleBit - 1
+
+	fileMagic   = 0x46565047 // "GPVF"
+	fileVersion = 1
+	headerBytes = 64
+
+	stateClean   = 0
+	stateRunning = 1
+)
+
+// Stale reports whether a slot carries the stale flag.
+func Stale(slot uint64) bool { return slot&StaleBit != 0 }
+
+// Payload extracts the 63-bit payload of a slot.
+func Payload(slot uint64) uint64 { return slot & PayloadMask }
+
+// Pack combines a payload with a staleness flag. The payload must fit in
+// 63 bits.
+func Pack(payload uint64, stale bool) uint64 {
+	p := payload & PayloadMask
+	if stale {
+		p |= StaleBit
+	}
+	return p
+}
+
+// PackFloat64 encodes a non-negative float64 as a slot payload. Bit 63 of
+// a non-negative IEEE 754 double is zero, so the numeric bits pass through
+// unchanged; negative values would collide with the flag and are rejected.
+func PackFloat64(v float64) (uint64, error) {
+	if v < 0 || math.Signbit(v) {
+		return 0, fmt.Errorf("vertexfile: negative value %g cannot share a slot with the flag bit", v)
+	}
+	return math.Float64bits(v), nil
+}
+
+// UnpackFloat64 decodes a payload written by PackFloat64.
+func UnpackFloat64(p uint64) float64 { return math.Float64frombits(p & PayloadMask) }
+
+// File is an open vertex value file. All slot accesses are atomic 64-bit
+// loads and stores, making the dispatcher's flag writes and the computing
+// workers' reads race-free without locks.
+type File struct {
+	path string
+	m    *mmap.Map
+
+	numVertices int64
+	slots       []uint64 // 2*numVertices, interleaved: slot(v, col) = slots[2v+col]
+	header      []uint64 // first headerBytes/8 words of the mapping
+}
+
+// Create builds a new value file for numVertices vertices. init supplies
+// each vertex's initial payload and whether the vertex starts active
+// (fresh): PageRank activates every vertex, BFS only the root. Both
+// columns receive the initial payload, so the dispatch-column invariant
+// holds from superstep 0.
+func Create(path string, numVertices int64, init func(v int64) (payload uint64, active bool)) (*File, error) {
+	if numVertices <= 0 {
+		return nil, fmt.Errorf("vertexfile: create %s: non-positive vertex count %d", path, numVertices)
+	}
+	if init == nil {
+		init = func(int64) (uint64, bool) { return 0, true }
+	}
+	size := headerBytes + 16*numVertices
+	m, err := mmap.Create(path, size, mmap.Options{})
+	if err != nil {
+		return nil, err
+	}
+	f, err := newFile(path, m, numVertices)
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	b := m.Bytes()
+	binary.LittleEndian.PutUint32(b[0:], fileMagic)
+	binary.LittleEndian.PutUint32(b[4:], fileVersion)
+	binary.LittleEndian.PutUint64(b[8:], uint64(numVertices))
+	f.setEpoch(0)
+	f.setState(stateClean)
+	for v := int64(0); v < numVertices; v++ {
+		payload, active := init(v)
+		// Column 0 is superstep 0's dispatch column: fresh for active
+		// vertices. Column 1 is its update column: stale ("not yet
+		// updated"), which is also the first-message detector.
+		f.Store(0, v, Pack(payload, !active))
+		f.Store(1, v, Pack(payload, true))
+	}
+	if err := m.Sync(); err != nil {
+		m.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// Open maps an existing value file. Files that crashed mid-superstep are
+// opened as-is; call Recover to roll back to the last completed superstep.
+func Open(path string) (*File, error) {
+	m, err := mmap.Open(path, mmap.Options{Writable: true})
+	if err != nil {
+		return nil, err
+	}
+	b := m.Bytes()
+	if len(b) < headerBytes {
+		m.Close()
+		return nil, fmt.Errorf("vertexfile: %s: truncated header", path)
+	}
+	if binary.LittleEndian.Uint32(b[0:]) != fileMagic {
+		m.Close()
+		return nil, fmt.Errorf("vertexfile: %s: bad magic", path)
+	}
+	if v := binary.LittleEndian.Uint32(b[4:]); v != fileVersion {
+		m.Close()
+		return nil, fmt.Errorf("vertexfile: %s: unsupported version %d", path, v)
+	}
+	n := int64(binary.LittleEndian.Uint64(b[8:]))
+	if want := headerBytes + 16*n; int64(len(b)) < want {
+		m.Close()
+		return nil, fmt.Errorf("vertexfile: %s: %d bytes, want %d for %d vertices", path, len(b), want, n)
+	}
+	f, err := newFile(path, m, n)
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// NewMemory builds a purely in-memory value store with the same
+// interface: Begin/Commit/Reconcile/Recover all work, with durability
+// syncs as no-ops. Pairs with graph.NewMemoryFile for zero-file library
+// embedding.
+func NewMemory(numVertices int64, init func(v int64) (payload uint64, active bool)) (*File, error) {
+	if numVertices <= 0 {
+		return nil, fmt.Errorf("vertexfile: memory store: non-positive vertex count %d", numVertices)
+	}
+	if init == nil {
+		init = func(int64) (uint64, bool) { return 0, true }
+	}
+	f := &File{
+		path:        "(memory)",
+		numVertices: numVertices,
+		slots:       make([]uint64, 2*numVertices),
+		header:      make([]uint64, headerBytes/8),
+	}
+	for v := int64(0); v < numVertices; v++ {
+		payload, active := init(v)
+		f.Store(0, v, Pack(payload, !active))
+		f.Store(1, v, Pack(payload, true))
+	}
+	return f, nil
+}
+
+func newFile(path string, m *mmap.Map, numVertices int64) (*File, error) {
+	header, err := m.Uint64s(0, headerBytes/8)
+	if err != nil {
+		return nil, err
+	}
+	slots, err := m.Uint64s(headerBytes, 2*numVertices)
+	if err != nil {
+		return nil, err
+	}
+	return &File{path: path, m: m, numVertices: numVertices, slots: slots, header: header}, nil
+}
+
+// NumVertices returns the vertex count.
+func (f *File) NumVertices() int64 { return f.numVertices }
+
+// Epoch returns the number of completed supersteps; the next superstep to
+// run is Epoch() itself, and its dispatch column is DispatchCol(Epoch()).
+func (f *File) Epoch() int64 { return int64(atomic.LoadUint64(&f.header[2])) }
+
+func (f *File) setEpoch(e int64) { atomic.StoreUint64(&f.header[2], uint64(e)) }
+
+func (f *File) state() uint64     { return atomic.LoadUint64(&f.header[3]) }
+func (f *File) setState(s uint64) { atomic.StoreUint64(&f.header[3], s) }
+
+// InProgress reports whether the file records an uncommitted superstep
+// (i.e. the writer crashed or is still running).
+func (f *File) InProgress() bool { return f.state() == stateRunning }
+
+// DispatchCol returns the dispatch (read) column for a superstep.
+func DispatchCol(step int64) int { return int(step & 1) }
+
+// UpdateCol returns the update (write) column for a superstep.
+func UpdateCol(step int64) int { return int(step&1) ^ 1 }
+
+// Load atomically reads slot (v, col).
+func (f *File) Load(col int, v int64) uint64 {
+	return atomic.LoadUint64(&f.slots[2*v+int64(col)])
+}
+
+// Store atomically writes slot (v, col).
+func (f *File) Store(col int, v int64, slot uint64) {
+	atomic.StoreUint64(&f.slots[2*v+int64(col)], slot)
+}
+
+// Begin marks superstep step as in progress; durable additionally syncs
+// the mapping so a crash is detectable. It must be called with the step
+// equal to the current epoch.
+func (f *File) Begin(step int64, durable bool) error {
+	if step != f.Epoch() {
+		return fmt.Errorf("vertexfile: begin superstep %d, but epoch is %d", step, f.Epoch())
+	}
+	f.setState(stateRunning)
+	if !durable {
+		return nil
+	}
+	return f.Sync()
+}
+
+// Commit reconciles the columns, advances the epoch past step, and
+// records completion (durably when durable is set). reconcile may be
+// disabled for ablation runs of programs whose every active vertex is
+// re-updated each superstep.
+func (f *File) Commit(step int64, reconcile, durable bool) error {
+	if step != f.Epoch() {
+		return fmt.Errorf("vertexfile: commit superstep %d, but epoch is %d", step, f.Epoch())
+	}
+	if reconcile {
+		f.Reconcile(step)
+	}
+	f.setEpoch(step + 1)
+	f.setState(stateClean)
+	if !durable {
+		return nil
+	}
+	return f.Sync()
+}
+
+// Reconcile restores the cross-superstep invariants after superstep step:
+//
+//  1. For every vertex whose update-column slot stayed stale (not updated
+//     in step), the dispatch-column payload is copied over it, so the
+//     update column — the next superstep's dispatch column — holds the
+//     newest payload of every vertex.
+//  2. Every dispatch-column slot is re-marked stale: that column becomes
+//     the next superstep's update column, whose stale flag doubles as the
+//     first-message detector. (Dispatchers also stale consumed slots as
+//     they go, per paper Algorithm 2; this sweep additionally covers
+//     vertices that were skipped.)
+func (f *File) Reconcile(step int64) {
+	d, u := DispatchCol(step), UpdateCol(step)
+	for v := int64(0); v < f.numVertices; v++ {
+		slot := f.Load(u, v)
+		if Stale(slot) {
+			f.Store(u, v, Payload(f.Load(d, v))|StaleBit)
+		}
+		f.Store(d, v, f.Load(d, v)|StaleBit)
+	}
+}
+
+// Recover rolls a crashed file back to the start of the interrupted
+// superstep and returns that superstep number. The dispatch column of the
+// crashed superstep is payload-immutable during execution (computing
+// actors only write the update column; dispatchers only toggle flags), so
+// it is a complete snapshot of the previous superstep's state. Because
+// dispatchers may already have consumed (re-staled) some fresh marks, the
+// rollback conservatively re-activates every vertex: redundant dispatches
+// are harmless for the idempotent programs GPSA targets (the paper's
+// recovery story, Fig. 6, has the same property). On a clean file Recover
+// is a no-op returning the current epoch.
+func (f *File) Recover() (int64, error) {
+	step := f.Epoch()
+	if !f.InProgress() {
+		return step, nil
+	}
+	d, u := DispatchCol(step), UpdateCol(step)
+	for v := int64(0); v < f.numVertices; v++ {
+		p := Payload(f.Load(d, v))
+		f.Store(d, v, p) // fresh: conservatively re-activate
+		f.Store(u, v, p|StaleBit)
+	}
+	f.setState(stateClean)
+	if err := f.Sync(); err != nil {
+		return 0, err
+	}
+	return step, nil
+}
+
+// Value returns the newest payload of v. It must only be called between
+// supersteps (after Commit), when the dispatch column of the next
+// superstep holds the newest payload of every vertex.
+func (f *File) Value(v int64) uint64 {
+	return Payload(f.Load(DispatchCol(f.Epoch()), v))
+}
+
+// Values copies the newest payload of every vertex into a fresh slice.
+func (f *File) Values() []uint64 {
+	out := make([]uint64, f.numVertices)
+	col := DispatchCol(f.Epoch())
+	for v := int64(0); v < f.numVertices; v++ {
+		out[v] = Payload(f.Load(col, v))
+	}
+	return out
+}
+
+// AdviseRandom hints the kernel that slots will be accessed at random
+// (the computing workers' pattern); best-effort, no-op for memory stores.
+func (f *File) AdviseRandom() error {
+	if f.m == nil {
+		return nil
+	}
+	return f.m.Advise(mmap.AccessRandom)
+}
+
+// Sync flushes the mapping (no-op for memory stores).
+func (f *File) Sync() error {
+	if f.m == nil {
+		return nil
+	}
+	return f.m.Sync()
+}
+
+// Close flushes and unmaps the file (no-op for memory stores).
+func (f *File) Close() error {
+	if f.m == nil {
+		return nil
+	}
+	return f.m.Close()
+}
+
+// Path returns the backing file path.
+func (f *File) Path() string { return f.path }

@@ -1,0 +1,557 @@
+// Package xstream is a faithful-in-structure reimplementation of the
+// X-Stream baseline the paper compares against (Roy et al., SOSP'13): an
+// edge-centric scatter–gather engine over streaming partitions.
+//
+// The vertex set is split into K ranges ("streaming partitions"); each
+// partition owns an on-disk edge file holding every edge whose source
+// lies in the range. A superstep is two phases:
+//
+//   - Scatter: every partition's edge file is streamed sequentially in
+//     its entirety — X-Stream has no per-vertex index, so inactive edges
+//     are read and discarded, the behaviour that makes it lose the
+//     paper's BFS/CC comparisons on selective workloads. Updates
+//     (destination, value) produced for active sources are appended to
+//     the destination partition's update file.
+//
+//   - Gather: each partition streams its update file and folds the
+//     updates into its vertex values; update files are then truncated.
+//
+// Phases run partitions in parallel across all available CPUs with no
+// idle time, reproducing X-Stream's near-100% CPU utilization (paper
+// Fig. 11). Vertex programs are the same core.Program interface the GPSA
+// engine runs, so cross-engine results are directly comparable.
+package xstream
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+const (
+	edgeRecBytes = 12         // src, dst uint32 + weight float32
+	updRecBytes  = 12         // dst uint32 + value uint64
+	metaMagic    = 0x4d545358 // "XSTM"
+)
+
+// Layout is a preprocessed on-disk edge layout.
+type Layout struct {
+	Dir         string
+	NumVertices int64
+	NumEdges    int64
+	K           int
+	Weighted    bool
+	OutDeg      []uint32
+	edgeCounts  []int64
+}
+
+func (l *Layout) edgePath(p int) string {
+	return filepath.Join(l.Dir, fmt.Sprintf("edges-%03d.bin", p))
+}
+func (l *Layout) updPath(p int) string {
+	return filepath.Join(l.Dir, fmt.Sprintf("updates-%03d.bin", p))
+}
+
+// partitionOf maps a vertex to its streaming partition.
+func (l *Layout) partitionOf(v graph.VertexID) int {
+	return int(int64(v) * int64(l.K) / l.NumVertices)
+}
+
+// Preprocess writes g into dir as K per-source-partition edge files plus
+// metadata (vertex count and out-degrees, which X-Stream keeps in vertex
+// state for programs like PageRank).
+func Preprocess(g *graph.CSR, dir string, k int) (*Layout, error) {
+	if g.NumVertices == 0 {
+		return nil, fmt.Errorf("xstream: empty graph")
+	}
+	if k < 1 {
+		k = 1
+	}
+	if int64(k) > g.NumVertices {
+		k = int(g.NumVertices)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("xstream: %w", err)
+	}
+	l := &Layout{
+		Dir:         dir,
+		NumVertices: g.NumVertices,
+		NumEdges:    g.NumEdges,
+		K:           k,
+		Weighted:    g.Weighted(),
+		OutDeg:      make([]uint32, g.NumVertices),
+		edgeCounts:  make([]int64, k),
+	}
+	writers := make([]*bufio.Writer, k)
+	files := make([]*os.File, k)
+	for p := 0; p < k; p++ {
+		f, err := os.Create(l.edgePath(p))
+		if err != nil {
+			return nil, fmt.Errorf("xstream: %w", err)
+		}
+		files[p] = f
+		writers[p] = bufio.NewWriterSize(f, 1<<20)
+	}
+	var rec [edgeRecBytes]byte
+	for v := int64(0); v < g.NumVertices; v++ {
+		l.OutDeg[v] = g.OutDegree(graph.VertexID(v))
+		p := l.partitionOf(graph.VertexID(v))
+		ws := g.EdgeWeights(graph.VertexID(v))
+		for i, d := range g.Neighbors(graph.VertexID(v)) {
+			var w float32
+			if ws != nil {
+				w = ws[i]
+			}
+			binary.LittleEndian.PutUint32(rec[0:], uint32(v))
+			binary.LittleEndian.PutUint32(rec[4:], d)
+			binary.LittleEndian.PutUint32(rec[8:], math.Float32bits(w))
+			if _, err := writers[p].Write(rec[:]); err != nil {
+				return nil, fmt.Errorf("xstream: %w", err)
+			}
+			l.edgeCounts[p]++
+		}
+	}
+	for p := 0; p < k; p++ {
+		if err := writers[p].Flush(); err != nil {
+			return nil, fmt.Errorf("xstream: %w", err)
+		}
+		if err := files[p].Close(); err != nil {
+			return nil, fmt.Errorf("xstream: %w", err)
+		}
+	}
+	if err := l.saveMeta(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func (l *Layout) metaPath() string { return filepath.Join(l.Dir, "meta") }
+
+func (l *Layout) saveMeta() error {
+	f, err := os.Create(l.metaPath())
+	if err != nil {
+		return fmt.Errorf("xstream: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	hdr := make([]byte, 40)
+	binary.LittleEndian.PutUint32(hdr[0:], metaMagic)
+	flags := uint32(0)
+	if l.Weighted {
+		flags = 1
+	}
+	binary.LittleEndian.PutUint32(hdr[4:], flags)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(l.NumVertices))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(l.NumEdges))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(l.K))
+	if _, err := bw.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	var b8 [8]byte
+	for _, c := range l.edgeCounts {
+		binary.LittleEndian.PutUint64(b8[:], uint64(c))
+		if _, err := bw.Write(b8[:]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	var b4 [4]byte
+	for _, d := range l.OutDeg {
+		binary.LittleEndian.PutUint32(b4[:], d)
+		if _, err := bw.Write(b4[:]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// OpenLayout loads a preprocessed layout from dir.
+func OpenLayout(dir string) (*Layout, error) {
+	f, err := os.Open(filepath.Join(dir, "meta"))
+	if err != nil {
+		return nil, fmt.Errorf("xstream: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	hdr := make([]byte, 40)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("xstream: meta: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != metaMagic {
+		return nil, fmt.Errorf("xstream: %s: bad meta magic", dir)
+	}
+	l := &Layout{
+		Dir:         dir,
+		Weighted:    binary.LittleEndian.Uint32(hdr[4:]) != 0,
+		NumVertices: int64(binary.LittleEndian.Uint64(hdr[8:])),
+		NumEdges:    int64(binary.LittleEndian.Uint64(hdr[16:])),
+		K:           int(binary.LittleEndian.Uint64(hdr[24:])),
+	}
+	if l.K < 1 || l.NumVertices <= 0 {
+		return nil, fmt.Errorf("xstream: meta: bad dimensions")
+	}
+	l.edgeCounts = make([]int64, l.K)
+	var b8 [8]byte
+	for p := range l.edgeCounts {
+		if _, err := io.ReadFull(br, b8[:]); err != nil {
+			return nil, fmt.Errorf("xstream: meta: %w", err)
+		}
+		l.edgeCounts[p] = int64(binary.LittleEndian.Uint64(b8[:]))
+	}
+	l.OutDeg = make([]uint32, l.NumVertices)
+	var b4 [4]byte
+	for v := range l.OutDeg {
+		if _, err := io.ReadFull(br, b4[:]); err != nil {
+			return nil, fmt.Errorf("xstream: meta: %w", err)
+		}
+		l.OutDeg[v] = binary.LittleEndian.Uint32(b4[:])
+	}
+	return l, nil
+}
+
+// Config tunes the engine.
+type Config struct {
+	// MaxSupersteps caps the run (default 100).
+	MaxSupersteps int
+	// InMemory buffers update lists in memory instead of spilling them to
+	// per-partition files. The real X-Stream supports both in-memory and
+	// out-of-core operation; out-of-core (the default here) is what the
+	// paper benchmarks against.
+	InMemory bool
+	// Workers bounds phase parallelism (default GOMAXPROCS — X-Stream
+	// saturates the machine).
+	Workers int
+	// Progress receives per-superstep stats.
+	Progress func(StepStats)
+}
+
+// StepStats records one superstep.
+type StepStats struct {
+	Step         int
+	EdgesStreamd int64
+	Updates      int64
+	Duration     time.Duration
+}
+
+// Result summarizes a run.
+type Result struct {
+	Supersteps    int
+	Converged     bool
+	EdgesStreamed int64
+	Updates       int64
+	Duration      time.Duration
+	Steps         []StepStats
+}
+
+// Engine executes a core.Program edge-centrically.
+type Engine struct {
+	l    *Layout
+	prog core.Program
+	cfg  Config
+
+	vals    []uint64
+	newVals []uint64
+	active  []bool
+	touched []bool
+
+	updMu  []sync.Mutex
+	upd    []*os.File // out-of-core update spill files
+	updMem [][]byte   // in-memory update buffers (Config.InMemory)
+}
+
+// NewEngine initializes vertex state from the program and opens the
+// update files.
+func NewEngine(l *Layout, prog core.Program, cfg Config) (*Engine, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("xstream: nil program")
+	}
+	if cfg.MaxSupersteps <= 0 {
+		cfg.MaxSupersteps = 100
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		l:       l,
+		prog:    prog,
+		cfg:     cfg,
+		vals:    make([]uint64, l.NumVertices),
+		newVals: make([]uint64, l.NumVertices),
+		active:  make([]bool, l.NumVertices),
+		touched: make([]bool, l.NumVertices),
+		updMu:   make([]sync.Mutex, l.K),
+		upd:     make([]*os.File, l.K),
+	}
+	for v := int64(0); v < l.NumVertices; v++ {
+		e.vals[v], e.active[v] = prog.Init(v)
+	}
+	if cfg.InMemory {
+		e.updMem = make([][]byte, l.K)
+		return e, nil
+	}
+	for p := 0; p < l.K; p++ {
+		f, err := os.OpenFile(l.updPath(p), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("xstream: %w", err)
+		}
+		e.upd[p] = f
+	}
+	return e, nil
+}
+
+// Close releases the update files.
+func (e *Engine) Close() error {
+	var first error
+	for _, f := range e.upd {
+		if f == nil {
+			continue
+		}
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Value returns vertex v's current value.
+func (e *Engine) Value(v int64) uint64 { return e.vals[v] }
+
+// Values returns a copy of all vertex values.
+func (e *Engine) Values() []uint64 {
+	out := make([]uint64, len(e.vals))
+	copy(out, e.vals)
+	return out
+}
+
+// Run executes supersteps until no updates flow or the cap is reached.
+func (e *Engine) Run() (*Result, error) {
+	res := &Result{}
+	start := time.Now()
+	for step := 0; step < e.cfg.MaxSupersteps; step++ {
+		t0 := time.Now()
+		streamed, written, err := e.scatter()
+		if err != nil {
+			return res, err
+		}
+		updates, err := e.gather()
+		if err != nil {
+			return res, err
+		}
+		st := StepStats{Step: step, EdgesStreamd: streamed, Updates: updates, Duration: time.Since(t0)}
+		res.Steps = append(res.Steps, st)
+		res.Supersteps++
+		res.EdgesStreamed += streamed
+		res.Updates += updates
+		if e.cfg.Progress != nil {
+			e.cfg.Progress(st)
+		}
+		if written == 0 && updates == 0 {
+			res.Converged = true
+			break
+		}
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// scatter streams every partition's whole edge file, emitting updates for
+// edges whose source is active.
+func (e *Engine) scatter() (streamed, written int64, err error) {
+	var mu sync.Mutex
+	var firstErr error
+	var totStreamed, totWritten int64
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, e.cfg.Workers)
+	for p := 0; p < e.l.K; p++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(p int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			s, w, err := e.scatterPartition(p)
+			mu.Lock()
+			totStreamed += s
+			totWritten += w
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	return totStreamed, totWritten, firstErr
+}
+
+func (e *Engine) scatterPartition(p int) (streamed, written int64, err error) {
+	f, err := os.Open(e.l.edgePath(p))
+	if err != nil {
+		return 0, 0, fmt.Errorf("xstream: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+
+	// Local per-destination-partition buffers, flushed under the update
+	// file locks (X-Stream's in-memory update buffers).
+	bufs := make([][]byte, e.l.K)
+	flush := func(q int) error {
+		if len(bufs[q]) == 0 {
+			return nil
+		}
+		e.updMu[q].Lock()
+		var werr error
+		if e.updMem != nil {
+			e.updMem[q] = append(e.updMem[q], bufs[q]...)
+		} else {
+			_, werr = e.upd[q].Write(bufs[q])
+		}
+		e.updMu[q].Unlock()
+		bufs[q] = bufs[q][:0]
+		return werr
+	}
+
+	var rec [edgeRecBytes]byte
+	for {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return streamed, written, fmt.Errorf("xstream: edge stream %d: %w", p, err)
+		}
+		streamed++
+		src := binary.LittleEndian.Uint32(rec[0:])
+		if !e.active[src] {
+			continue // edge-centric: the edge was still read from disk
+		}
+		dst := binary.LittleEndian.Uint32(rec[4:])
+		w := math.Float32frombits(binary.LittleEndian.Uint32(rec[8:]))
+		msg, send := e.prog.GenMsg(int64(src), e.vals[src], e.l.OutDeg[src], dst, w)
+		if !send {
+			continue
+		}
+		q := e.l.partitionOf(dst)
+		var u [updRecBytes]byte
+		binary.LittleEndian.PutUint32(u[0:], dst)
+		binary.LittleEndian.PutUint64(u[4:], msg)
+		bufs[q] = append(bufs[q], u[:]...)
+		written++
+		if len(bufs[q]) >= 1<<20 {
+			if err := flush(q); err != nil {
+				return streamed, written, err
+			}
+		}
+	}
+	for q := range bufs {
+		if err := flush(q); err != nil {
+			return streamed, written, err
+		}
+	}
+	return streamed, written, nil
+}
+
+// gather streams every partition's update file, folding updates into its
+// vertices, then truncates the files and commits the new values.
+func (e *Engine) gather() (int64, error) {
+	var mu sync.Mutex
+	var firstErr error
+	var total int64
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, e.cfg.Workers)
+	for p := 0; p < e.l.K; p++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(p int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			n, err := e.gatherPartition(p)
+			mu.Lock()
+			total += n
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return total, firstErr
+	}
+
+	// Commit: activate updated vertices, install their new values, reset
+	// the update files for the next superstep.
+	for v := range e.vals {
+		if e.touched[v] {
+			e.vals[v] = e.newVals[v]
+			e.active[v] = true
+			e.touched[v] = false
+		} else {
+			e.active[v] = false
+		}
+	}
+	for p := 0; p < e.l.K; p++ {
+		if e.updMem != nil {
+			e.updMem[p] = e.updMem[p][:0]
+			continue
+		}
+		if err := e.upd[p].Truncate(0); err != nil {
+			return total, fmt.Errorf("xstream: %w", err)
+		}
+		if _, err := e.upd[p].Seek(0, io.SeekStart); err != nil {
+			return total, fmt.Errorf("xstream: %w", err)
+		}
+	}
+	return total, nil
+}
+
+func (e *Engine) gatherPartition(p int) (int64, error) {
+	var br io.Reader
+	if e.updMem != nil {
+		br = bytes.NewReader(e.updMem[p])
+	} else {
+		if _, err := e.upd[p].Seek(0, io.SeekStart); err != nil {
+			return 0, fmt.Errorf("xstream: %w", err)
+		}
+		br = bufio.NewReaderSize(e.upd[p], 1<<20)
+	}
+	var rec [updRecBytes]byte
+	var updates int64
+	for {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return updates, fmt.Errorf("xstream: update stream %d: %w", p, err)
+		}
+		dst := int64(binary.LittleEndian.Uint32(rec[0:]))
+		msg := binary.LittleEndian.Uint64(rec[4:])
+		first := !e.touched[dst]
+		cur := e.vals[dst]
+		if !first {
+			cur = e.newVals[dst]
+		}
+		nv, changed := e.prog.Compute(dst, cur, msg, first)
+		if changed {
+			e.newVals[dst] = nv
+			e.touched[dst] = true
+			updates++
+		}
+	}
+	return updates, nil
+}
