@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench repro examples clean
+.PHONY: all build test race vet fmt bench repro examples check clean
 
 all: build test
 
@@ -14,6 +14,12 @@ test:
 
 race:
 	$(GO) test -race ./internal/actor ./internal/core ./internal/cluster ./internal/xstream
+
+# The full pre-merge gate: vet plus the entire test suite under the race
+# detector (includes the fault-injection recovery tests).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...

@@ -34,6 +34,8 @@ func main() {
 		dispatchers = flag.Int("dispatchers", 0, "dispatcher actors (0 = auto)")
 		computers   = flag.Int("computers", 0, "computing actors (0 = auto)")
 		values      = flag.String("values", "", "persistent vertex value file (enables crash recovery)")
+		retries     = flag.Int("retries", 0, "retry a failed superstep up to N times with rollback (0 = fail fast)")
+		watchdog    = flag.Duration("watchdog", 0, "abort a superstep when a worker is silent this long (0 = off)")
 		dump        = flag.String("dump", "", "write per-vertex results as 'vertex<TAB>value' lines to this file")
 		verbose     = flag.Bool("v", false, "print per-superstep progress")
 	)
@@ -49,6 +51,8 @@ func main() {
 		Dispatchers: *dispatchers,
 		Computers:   *computers,
 		ValuesPath:  *values,
+		StepRetries: *retries,
+		Watchdog:    *watchdog,
 	}
 	if *verbose {
 		opts.Progress = func(s gpsa.StepStats) {
@@ -107,6 +111,9 @@ func main() {
 
 	fmt.Printf("ran %d supersteps in %v (%d messages, %d updates, converged=%v)\n",
 		res.Supersteps, res.Duration, res.Messages, res.Updates, res.Converged)
+	if res.Retries > 0 {
+		fmt.Printf("recovered from %d superstep failure(s) by rollback and retry\n", res.Retries)
+	}
 	if *dump != "" {
 		if err := dumpScores(*dump, scores); err != nil {
 			fmt.Fprintf(os.Stderr, "gpsa: %v\n", err)

@@ -1,10 +1,17 @@
 // Fault tolerance: the paper's §IV-G lightweight recovery. The vertex
 // value file keeps one payload-immutable column per superstep, so a
 // computation can stop (or crash) and resume from the last committed
-// superstep without checkpoint traffic. This example runs connected
-// components in two halves against a persistent value file and verifies
-// the resumed run finishes with exactly the same labels as an
-// uninterrupted one.
+// superstep without checkpoint traffic.
+//
+// The example demonstrates both recovery paths:
+//
+//  1. Cross-process: run connected components in two halves against a
+//     persistent value file and verify the resumed run finishes with
+//     exactly the same labels as an uninterrupted one.
+//  2. In-process: arm the fault-injection framework so a computing actor
+//     panics mid-superstep AND a commit tears its header, and let the
+//     supervised engine roll the superstep back and retry — no resume,
+//     no operator, identical labels.
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 	"path/filepath"
 
 	"repro"
+	"repro/internal/fault"
 	"repro/internal/gen"
 	"repro/internal/graph"
 )
@@ -74,6 +82,33 @@ func main() {
 		log.Fatalf("recovered labels differ from the uninterrupted run at %d vertices", mismatches)
 	}
 	fmt.Printf("recovered run matches the uninterrupted run on all %d vertices\n", vals.NumVertices())
+
+	// Phase 3: automatic in-process recovery. A computing actor dies on
+	// its 200th applied message and the third commit tears its header;
+	// with StepRetries set, the engine rolls each failed superstep back
+	// to its immutable dispatch column and re-executes it.
+	plan := fault.NewPlan(0,
+		fault.Injection{Site: fault.SiteComputerMsg, After: 200},
+		fault.Injection{Site: fault.SiteCommitTorn, After: 3},
+	)
+	fault.Activate(plan)
+	vals2, res, err := gpsa.Run(path, ccProgram{}, gpsa.RunOptions{StepRetries: 3})
+	fault.Deactivate()
+	if err != nil {
+		log.Fatalf("supervised run did not recover: %v", err)
+	}
+	defer vals2.Close()
+	fmt.Printf("phase 3: injected %d computer panic(s) and %d torn commit(s); engine retried %d superstep(s)\n",
+		plan.Fired(fault.SiteComputerMsg), plan.Fired(fault.SiteCommitTorn), res.Retries)
+	if res.Retries == 0 {
+		log.Fatal("expected at least one supervised retry")
+	}
+	for v := int64(0); v < vals2.NumVertices(); v++ {
+		if gpsa.VertexID(vals2.Uint(v)) != want[v] {
+			log.Fatalf("supervised run differs from the uninterrupted run at vertex %d", v)
+		}
+	}
+	fmt.Printf("supervised run matches the uninterrupted run on all %d vertices\n", vals2.NumVertices())
 }
 
 // ccProgram is the connected-components vertex program, written out

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -86,16 +87,26 @@ type RunOptions struct {
 	// required to use crash recovery across processes. Empty means a
 	// temporary file that is removed when Values is closed.
 	ValuesPath string
+	// StepRetries is how many times a failed superstep (worker panic,
+	// watchdog timeout, torn commit) is rolled back and re-executed
+	// in-process before the run fails. 0 disables supervised recovery.
+	StepRetries int
+	// Watchdog bounds how long the engine waits for any single worker
+	// notification within a superstep; 0 disables it. Combine with
+	// StepRetries to retry supersteps that time out.
+	Watchdog time.Duration
 	// Progress, when non-nil, receives per-superstep statistics.
 	Progress func(StepStats)
 }
 
 func (o RunOptions) engineConfig() core.Config {
 	return core.Config{
-		Dispatchers:   o.Dispatchers,
-		Computers:     o.Computers,
-		MaxSupersteps: o.Supersteps,
-		Progress:      o.Progress,
+		Dispatchers:      o.Dispatchers,
+		Computers:        o.Computers,
+		MaxSupersteps:    o.Supersteps,
+		MaxStepRetries:   o.StepRetries,
+		SuperstepTimeout: o.Watchdog,
+		Progress:         o.Progress,
 	}
 }
 

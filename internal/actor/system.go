@@ -5,6 +5,8 @@ import (
 	"runtime/debug"
 	"sort"
 	"sync"
+
+	"repro/internal/fault"
 )
 
 // Actor is a unit of concurrent execution. Execute typically loops reading
@@ -151,19 +153,28 @@ func (s *System) executeOnce(a Actor) (err error, stack []byte) {
 			stack = debug.Stack()
 		}
 	}()
+	fault.Panic(fault.SiteActorExecute)
 	return a.Execute(), nil
 }
 
 // Wait blocks until every actor spawned so far (and any they spawn while
-// waiting) has terminated, then returns the first failure, if any.
+// waiting) has terminated, then returns the name-ordered first failure,
+// if any — the same ordering as Failures, so which failure surfaces does
+// not depend on goroutine scheduling.
 func (s *System) Wait() error {
 	s.wg.Wait()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.failures) > 0 {
-		return s.failures[0]
+	if len(s.failures) == 0 {
+		return nil
 	}
-	return nil
+	first := s.failures[0]
+	for _, f := range s.failures[1:] {
+		if f.Name < first.Name {
+			first = f
+		}
+	}
+	return first
 }
 
 // Failures returns all recorded failures, ordered by actor name for

@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/fault"
 )
 
 func TestSystemWaitCollectsActors(t *testing.T) {
@@ -129,6 +131,46 @@ func TestSystemNameCollisionsGetUniqueRefs(t *testing.T) {
 	close(block)
 	if err := s.Wait(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestSystemWaitFirstFailureIsNameOrdered(t *testing.T) {
+	// "zz" fails first in wall-clock time, but Wait must surface the
+	// name-ordered first failure ("aa") so which error a caller sees does
+	// not depend on goroutine scheduling.
+	s := NewSystem("test", RestartPolicy{})
+	zz := s.SpawnFunc("zz", func() error { return errors.New("late alphabet, early crash") })
+	<-zz.Done()
+	s.SpawnFunc("aa", func() error { return errors.New("early alphabet") })
+	err := s.Wait()
+	if err == nil || !strings.Contains(err.Error(), `"aa"`) {
+		t.Fatalf("Wait = %v, want the aa failure", err)
+	}
+	if fs := s.Failures(); len(fs) != 2 || fs[0].Name != "aa" || fs[1].Name != "zz" {
+		t.Fatalf("Failures = %+v, want name-ordered [aa zz]", fs)
+	}
+}
+
+func TestSystemInjectedExecutePanicIsRestarted(t *testing.T) {
+	// The actor.execute.panic site kills the actor the moment it is
+	// scheduled; the restart policy must revive it and the second
+	// incarnation runs normally.
+	fault.Activate(fault.NewPlan(0, fault.Injection{Site: fault.SiteActorExecute}))
+	defer fault.Deactivate()
+	s := NewSystem("test", RestartPolicy{MaxRestarts: 1})
+	var runs atomic.Int32
+	ref := s.SpawnFunc("victim", func() error {
+		runs.Add(1)
+		return nil
+	})
+	if err := s.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("actor body ran %d times, want 1 (first incarnation died before Execute)", runs.Load())
+	}
+	if ref.Restarts() != 1 {
+		t.Fatalf("Restarts = %d, want 1", ref.Restarts())
 	}
 }
 

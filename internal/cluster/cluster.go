@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -21,6 +22,15 @@ type Config struct {
 	Node NodeConfig
 	// WorkDir holds per-node value files (default: temp, removed after).
 	WorkDir string
+	// HeartbeatInterval is how often idle nodes ping the coordinator
+	// (default 500ms; negative disables). Propagated to Node when the
+	// node config leaves it zero.
+	HeartbeatInterval time.Duration
+	// NodeTimeout is how long the coordinator tolerates total silence
+	// from a node — no protocol frame and no heartbeat — before failing
+	// the superstep with a labelled error (default 15s; negative
+	// disables).
+	NodeTimeout time.Duration
 }
 
 // Run executes prog over the on-disk CSR graph at graphPath on an
@@ -32,6 +42,15 @@ func Run(graphPath string, prog core.Program, cfg Config) (*Result, []uint64, er
 	}
 	if cfg.MaxSupersteps <= 0 {
 		cfg.MaxSupersteps = 100
+	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if cfg.NodeTimeout == 0 {
+		cfg.NodeTimeout = 15 * time.Second
+	}
+	if cfg.Node.HeartbeatInterval == 0 {
+		cfg.Node.HeartbeatInterval = cfg.HeartbeatInterval
 	}
 	workDir := cfg.WorkDir
 	if workDir == "" {
@@ -53,7 +72,7 @@ func Run(graphPath string, prog core.Program, cfg Config) (*Result, []uint64, er
 	gf.Close()
 	total := len(intervals)
 
-	coord, err := newCoordinator("", total)
+	coord, err := newCoordinator("", total, cfg.NodeTimeout)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -32,9 +33,13 @@ type Result struct {
 type coordinator struct {
 	ln    net.Listener
 	nodes []*conn // indexed by node id
+
+	// timeout bounds how long any node may go completely silent on the
+	// control plane (heartbeats count as liveness). Zero disables.
+	timeout time.Duration
 }
 
-func newCoordinator(addr string, total int) (*coordinator, error) {
+func newCoordinator(addr string, total int, timeout time.Duration) (*coordinator, error) {
 	if addr == "" {
 		addr = "127.0.0.1:0"
 	}
@@ -42,7 +47,7 @@ func newCoordinator(addr string, total int) (*coordinator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: coordinator listen: %w", err)
 	}
-	return &coordinator{ln: ln, nodes: make([]*conn, total)}, nil
+	return &coordinator{ln: ln, nodes: make([]*conn, total), timeout: timeout}, nil
 }
 
 func (c *coordinator) addr() string { return c.ln.Addr().String() }
@@ -63,9 +68,11 @@ func (c *coordinator) accept() error {
 		}
 		id, addr, err := parseHello(payload)
 		if err != nil {
+			nc.Close()
 			return err
 		}
 		if int(id) >= len(c.nodes) || c.nodes[id] != nil {
+			nc.Close()
 			return fmt.Errorf("cluster: bad or duplicate node id %d", id)
 		}
 		c.nodes[id] = cn
@@ -105,6 +112,23 @@ func (c *coordinator) run(startStep int64, maxSupersteps int) (*Result, error) {
 	return res, nil
 }
 
+// nodeRead receives the next protocol frame from node i, converting a
+// lost or silent node into a phase-labelled, step-level error instead of
+// a hang: a read error means the node's connection died; a deadline
+// timeout means the node sent nothing at all — not even a heartbeat —
+// for the coordinator's node timeout.
+func (c *coordinator) nodeRead(i int, phase string) (byte, []byte, error) {
+	kind, payload, err := c.nodes[i].readFrameLive(c.timeout)
+	if err == nil {
+		return kind, payload, nil
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return 0, nil, fmt.Errorf("cluster: node %d unresponsive during %s: no frame (not even a heartbeat) within %v", i, phase, c.timeout)
+	}
+	return 0, nil, fmt.Errorf("cluster: node %d lost during %s: %w", i, phase, err)
+}
+
 func (c *coordinator) superstep(step int64) (StepStats, error) {
 	st := StepStats{Step: step}
 	t0 := time.Now()
@@ -113,10 +137,10 @@ func (c *coordinator) superstep(step int64) (StepStats, error) {
 			return st, err
 		}
 	}
-	for i, n := range c.nodes {
-		kind, payload, err := n.readFrame()
+	for i := range c.nodes {
+		kind, payload, err := c.nodeRead(i, "dispatch")
 		if err != nil {
-			return st, fmt.Errorf("cluster: node %d during dispatch: %w", i, err)
+			return st, err
 		}
 		if kind != fDispatchOver {
 			return st, fmt.Errorf("cluster: node %d sent frame %d, want DISPATCH_OVER", i, kind)
@@ -136,10 +160,10 @@ func (c *coordinator) superstep(step int64) (StepStats, error) {
 			return st, err
 		}
 	}
-	for i, n := range c.nodes {
-		kind, payload, err := n.readFrame()
+	for i := range c.nodes {
+		kind, payload, err := c.nodeRead(i, "compute")
 		if err != nil {
-			return st, fmt.Errorf("cluster: node %d during compute: %w", i, err)
+			return st, err
 		}
 		if kind != fComputeOver {
 			return st, fmt.Errorf("cluster: node %d sent frame %d, want COMPUTE_OVER", i, kind)
@@ -161,7 +185,7 @@ func (c *coordinator) gatherValues(numVertices int64) ([]uint64, error) {
 		if err := n.writeFrame(fValuesReq, nil); err != nil {
 			return nil, err
 		}
-		kind, payload, err := n.readFrame()
+		kind, payload, err := c.nodeRead(i, "value gather")
 		if err != nil || kind != fValues {
 			return nil, fmt.Errorf("cluster: node %d values: frame %d (%v)", i, kind, err)
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"time"
 
 	"repro/internal/actor"
 	"repro/internal/core"
@@ -21,6 +22,21 @@ type NodeConfig struct {
 	BatchSize int
 	// DisableSync skips durable superstep syncs of the node's value file.
 	DisableSync bool
+	// HeartbeatInterval is how often the node pings the coordinator's
+	// control connection so silence means death, not idleness
+	// (default 500ms; negative disables).
+	HeartbeatInterval time.Duration
+	// BarrierTimeout bounds how long the node waits at the compute
+	// barrier for peer end-of-stream markers and local computer acks; on
+	// expiry the superstep fails with a labelled error instead of
+	// hanging on a lost peer (default 15s; negative disables).
+	BarrierTimeout time.Duration
+	// PeerRedials is how many times a failed data-plane write redials
+	// the peer before giving up (default 3; negative disables reconnect).
+	PeerRedials int
+	// RedialBackoff is the sleep before the first redial, doubling per
+	// attempt (default 50ms).
+	RedialBackoff time.Duration
 }
 
 func (c NodeConfig) withDefaults() NodeConfig {
@@ -29,6 +45,18 @@ func (c NodeConfig) withDefaults() NodeConfig {
 	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = 512
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if c.BarrierTimeout == 0 {
+		c.BarrierTimeout = 15 * time.Second
+	}
+	if c.PeerRedials == 0 {
+		c.PeerRedials = 3
+	}
+	if c.RedialBackoff <= 0 {
+		c.RedialBackoff = 50 * time.Millisecond
 	}
 	return c
 }
@@ -54,13 +82,15 @@ type node struct {
 	interval  graph.Interval
 	bounds    []int64 // bounds[i] = first vertex of node i; len total+1
 	coord     *conn
-	peers     []*conn // outgoing data connections, indexed by node id (nil for self)
+	peers     []*conn  // outgoing data connections, indexed by node id (nil for self)
+	peerAddrs []string // data addresses from the address book, for redials
 	listener  net.Listener
 	system    *actor.System
 	toComp    []*actor.Mailbox[compMsg]
 	ackCh     chan int64
 	eosCh     chan struct{}
 	failCh    chan error // peer disconnects and computing-actor panics
+	hbStop    chan struct{}
 	statsMsgs int64
 }
 
@@ -134,6 +164,10 @@ func startNode(id, total int, coordAddr, graphPath, valuesPath string,
 }
 
 func (n *node) close() {
+	if n.hbStop != nil {
+		close(n.hbStop)
+		n.hbStop = nil
+	}
 	if n.listener != nil {
 		n.listener.Close()
 	}
@@ -146,7 +180,7 @@ func (n *node) close() {
 		}
 	}
 	for _, mb := range n.toComp {
-		mb.Put(compMsg{done: true}) //nolint:errcheck
+		mb.TryPut(compMsg{done: true})
 		mb.Close()
 	}
 	n.system.Wait() //nolint:errcheck
@@ -170,15 +204,16 @@ func (n *node) acceptLoop() {
 	}
 }
 
-// receive folds one peer's frames into the local computers. An abnormal
-// disconnect is reported on failCh so a node blocked at the barrier can
-// unwind instead of deadlocking on a missing end-of-stream marker.
+// receive folds one peer's frames into the local computers. A read error
+// ends the receiver silently: with sender-side reconnect a dropped
+// connection is routine — the peer redials, a fresh receiver takes over,
+// and a peer that is truly gone is caught by the sender's redial budget
+// and this node's barrier timeout. Malformed frames still fail loudly.
 func (n *node) receive(c *conn) {
 	defer c.Close()
 	for {
 		kind, payload, err := c.readFrame()
 		if err != nil {
-			n.reportFailure(fmt.Errorf("cluster: node %d: peer connection lost: %w", n.id, err))
 			return
 		}
 		switch kind {
@@ -252,6 +287,10 @@ func (n *node) runNode() error {
 			if err := n.dialPeers(addrs); err != nil {
 				return err
 			}
+			if n.cfg.HeartbeatInterval > 0 {
+				n.hbStop = make(chan struct{})
+				go n.heartbeatLoop(n.hbStop)
+			}
 		case fStart:
 			vals, err := readU64s(payload, 1)
 			if err != nil {
@@ -284,22 +323,91 @@ func (n *node) dialPeers(addrs []string) error {
 	if len(addrs) != n.total {
 		return fmt.Errorf("cluster: node %d: address book of %d entries, want %d", n.id, len(addrs), n.total)
 	}
-	for i, a := range addrs {
+	n.peerAddrs = addrs
+	for i := range addrs {
 		if i == n.id {
 			continue
 		}
-		c, err := net.Dial("tcp", a)
-		if err != nil {
-			return fmt.Errorf("cluster: node %d dialing node %d: %w", n.id, i, err)
-		}
-		n.peers[i] = newConn(c)
 		var id [4]byte
 		id[0] = byte(n.id)
-		if err := n.peers[i].writeFrame(fPeerHello, id[:]); err != nil {
+		if err := n.sendPeer(i, fPeerHello, id[:]); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// heartbeatLoop pings the coordinator's control connection until stopped
+// or the connection dies, so the coordinator's node timeout measures
+// liveness rather than per-phase progress.
+func (n *node) heartbeatLoop(stop <-chan struct{}) {
+	t := time.NewTicker(n.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if n.coord.writeFrame(fHeartbeat, nil) != nil {
+				return
+			}
+		}
+	}
+}
+
+// dialPeer establishes a fresh data-plane connection to peer p.
+func (n *node) dialPeer(p int) (*conn, error) {
+	nc, err := net.Dial("tcp", n.peerAddrs[p])
+	if err != nil {
+		return nil, fmt.Errorf("cluster: node %d dialing node %d: %w", n.id, p, err)
+	}
+	c := newConn(nc)
+	c.data = true
+	return c, nil
+}
+
+// sendPeer writes one frame to peer p's data connection, redialing with
+// bounded exponential backoff when the transport fails. The data plane
+// flushes whole frames, and an injected drop fires before anything is
+// buffered, so resending the frame on a fresh connection loses nothing.
+func (n *node) sendPeer(p int, kind byte, payload []byte) error {
+	var err error
+	if n.peers[p] != nil {
+		if err = n.peers[p].writeFrame(kind, payload); err == nil {
+			return nil
+		}
+		if n.cfg.PeerRedials < 0 {
+			return fmt.Errorf("cluster: node %d: peer %d write failed (reconnect disabled): %w", n.id, p, err)
+		}
+	}
+	attempts := n.cfg.PeerRedials
+	if attempts < 1 {
+		attempts = 1 // first-time dials get one attempt even with reconnect disabled
+	}
+	backoff := n.cfg.RedialBackoff
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err != nil {
+			// Only back off after a failure; a first-time dial is instant.
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		c, derr := n.dialPeer(p)
+		if derr != nil {
+			err = derr
+			continue
+		}
+		if derr := c.writeFrame(kind, payload); derr != nil {
+			c.Close()
+			err = derr
+			continue
+		}
+		if n.peers[p] != nil {
+			n.peers[p].Close()
+		}
+		n.peers[p] = c
+		return nil
+	}
+	return fmt.Errorf("cluster: node %d: peer %d unreachable after %d redials: %w", n.id, p, attempts, err)
 }
 
 // dispatchPhase streams the node's interval, routing messages locally or
@@ -332,7 +440,7 @@ func (n *node) dispatchPhase(step int64) error {
 			b = core.CombineBatch(b, n.combiner)
 		}
 		delivered += int64(len(b))
-		return n.peers[p].writeFrame(fBatch, batchPayload(b))
+		return n.sendPeer(p, fBatch, batchPayload(b))
 	}
 
 	for {
@@ -390,11 +498,11 @@ func (n *node) dispatchPhase(step int64) error {
 		}
 	}
 	// End-of-stream on every peer connection, then DISPATCH_OVER.
-	for i, p := range n.peers {
-		if p == nil {
+	for i := range n.peers {
+		if i == n.id {
 			continue
 		}
-		if err := p.writeFrame(fEOS, u64Payload(uint64(step))); err != nil {
+		if err := n.sendPeer(i, fEOS, u64Payload(uint64(step))); err != nil {
 			return fmt.Errorf("cluster: node %d EOS to %d: %w", n.id, i, err)
 		}
 	}
@@ -407,11 +515,22 @@ func (n *node) dispatchPhase(step int64) error {
 // Peer disconnects and computing-actor failures unwind the wait instead
 // of deadlocking it.
 func (n *node) barrierPhase(step int64) error {
+	// One budget for the whole barrier: a lost peer (no end-of-stream)
+	// or a wedged computer fails the superstep with a labelled error
+	// instead of blocking the cluster forever.
+	var timeoutC <-chan time.Time
+	if n.cfg.BarrierTimeout > 0 {
+		tm := time.NewTimer(n.cfg.BarrierTimeout)
+		defer tm.Stop()
+		timeoutC = tm.C
+	}
 	for i := 0; i < n.total-1; i++ {
 		select {
 		case <-n.eosCh:
 		case err := <-n.failCh:
 			return err
+		case <-timeoutC:
+			return fmt.Errorf("cluster: node %d: superstep %d compute barrier timed out after %v waiting for peer end-of-stream", n.id, step, n.cfg.BarrierTimeout)
 		}
 	}
 	for _, mb := range n.toComp {
@@ -426,6 +545,8 @@ func (n *node) barrierPhase(step int64) error {
 			updates += u
 		case err := <-n.failCh:
 			return err
+		case <-timeoutC:
+			return fmt.Errorf("cluster: node %d: superstep %d compute barrier timed out after %v waiting for computer acks", n.id, step, n.cfg.BarrierTimeout)
 		}
 	}
 	if err := n.vf.Commit(step, true, !n.cfg.DisableSync); err != nil {

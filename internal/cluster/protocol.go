@@ -7,8 +7,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 )
 
 // Wire protocol: length-prefixed frames, little endian.
@@ -28,6 +30,7 @@ const (
 	fBatch          = 10 // node -> node: count u32, (dst u32, val u64)*
 	fEOS            = 11 // node -> node: step u64
 	fPeerHello      = 12 // node -> node: sender nodeID u32
+	fHeartbeat      = 13 // node -> coordinator: liveness ping, no payload semantics
 )
 
 const maxFrame = 64 << 20
@@ -38,6 +41,10 @@ const maxFrame = 64 << 20
 type conn struct {
 	c  net.Conn
 	br *bufio.Reader
+
+	// data marks node-to-node data-plane connections, the ones subject to
+	// the fault package's drop/stall injection sites.
+	data bool
 
 	wmu sync.Mutex
 	bw  *bufio.Writer
@@ -53,8 +60,17 @@ func newConn(c net.Conn) *conn {
 
 func (c *conn) Close() error { return c.c.Close() }
 
-// writeFrame sends one frame and flushes it.
+// writeFrame sends one frame and flushes it. On data-plane connections
+// the fault sites fire before anything is buffered, so an injected drop
+// never tears a frame: the sender can redial and resend it whole.
 func (c *conn) writeFrame(kind byte, payload []byte) error {
+	if c.data {
+		fault.Stall(fault.SiteConnStall)
+		if ferr := fault.Error(fault.SiteConnDrop); ferr != nil {
+			c.c.Close()
+			return fmt.Errorf("cluster: injected connection drop: %w", ferr)
+		}
+	}
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	var hdr [5]byte
@@ -84,6 +100,30 @@ func (c *conn) readFrame() (kind byte, payload []byte, err error) {
 		return 0, nil, err
 	}
 	return buf[0], buf[1:], nil
+}
+
+// readFrameLive reads the next non-heartbeat frame, bounding how long the
+// peer may go silent: every received frame — heartbeats included —
+// refreshes the deadline, so a node that is alive but slow to make
+// progress is distinguished from one that is gone. d <= 0 disables the
+// deadline.
+func (c *conn) readFrameLive(d time.Duration) (byte, []byte, error) {
+	for {
+		if d > 0 {
+			c.c.SetReadDeadline(time.Now().Add(d)) //nolint:errcheck
+		}
+		kind, payload, err := c.readFrame()
+		if err != nil {
+			return 0, nil, err
+		}
+		if kind == fHeartbeat {
+			continue
+		}
+		if d > 0 {
+			c.c.SetReadDeadline(time.Time{}) //nolint:errcheck
+		}
+		return kind, payload, nil
+	}
 }
 
 // payload builders --------------------------------------------------------

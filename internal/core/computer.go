@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/vertexfile"
 )
 
@@ -23,10 +24,16 @@ type computer struct {
 func (c *computer) Execute() (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("core: computer %d: panic: %v", c.id, r)
-			c.eng.toManager.Put(workerMsg{kind: kindFailed, from: c.id, err: err}) //nolint:errcheck
+			ferr := fmt.Errorf("core: computer %d: panic: %v", c.id, r)
+			// Unblock the manager, then re-panic so the supervisor's
+			// restart policy decides whether a fresh incarnation takes
+			// over this mailbox.
+			c.eng.toManager.Put(workerMsg{kind: kindFailed, from: c.id, err: ferr}) //nolint:errcheck
+			panic(r)
 		}
 	}()
+	c.updates = 0
+	c.pending = c.pending[:0]
 	for {
 		m, ok := c.eng.toComp[c.id].Get()
 		if !ok {
@@ -49,7 +56,7 @@ func (c *computer) Execute() (err error) {
 			ack := workerMsg{kind: kindComputeOver, from: c.id, count: c.updates}
 			c.updates = 0
 			if err := c.eng.toManager.Put(ack); err != nil {
-				return err
+				return nil // manager mailbox closed: teardown in progress
 			}
 		case kindSystemOver:
 			return nil
@@ -69,6 +76,8 @@ func (c *computer) processBatch(batch []Message) {
 	step := eng.vf.Epoch()
 	dcol, ucol := vertexfile.DispatchCol(step), vertexfile.UpdateCol(step)
 	for _, m := range batch {
+		fault.Panic(fault.SiteComputerMsg)
+		fault.Stall(fault.SiteComputerStall)
 		v := int64(m.Dst)
 		slot := eng.vf.Load(ucol, v)
 		first := vertexfile.Stale(slot)

@@ -95,6 +95,20 @@ type Config struct {
 	// (the paper's "simple mod algorithm" alternative).
 	Intervals IntervalStrategy
 
+	// MaxStepRetries is how many times the manager retries a failed
+	// superstep (worker panic or failure, watchdog timeout, failed
+	// begin/commit) before surfacing the error. Between attempts the
+	// engine tears the worker crew down, rolls the value file back to
+	// the superstep's immutable dispatch column using an exact
+	// active-set snapshot, and respawns the crew. Zero — the default —
+	// disables retries and fails fast.
+	MaxStepRetries int
+
+	// StepRetryBackoff is the sleep before the first retry of a
+	// superstep; it doubles for every further consecutive retry
+	// (default 25ms).
+	StepRetryBackoff time.Duration
+
 	// SuperstepTimeout bounds how long the manager waits for any single
 	// worker notification within a superstep (the paper's manager
 	// "monitors workers", §V-C). Zero disables the watchdog. On timeout
@@ -139,6 +153,9 @@ func (c Config) withDefaults() Config {
 	if c.Owner == nil {
 		c.Owner = ModOwner
 	}
+	if c.StepRetryBackoff <= 0 {
+		c.StepRetryBackoff = 25 * time.Millisecond
+	}
 	return c
 }
 
@@ -164,6 +181,7 @@ type StepStats struct {
 type Result struct {
 	Supersteps int         // supersteps executed in this run
 	Converged  bool        // true if the run halted before MaxSupersteps
+	Retries    int         // supersteps re-executed by supervised recovery
 	Messages   int64       // total messages generated
 	Delivered  int64       // total messages delivered after combining
 	Updates    int64       // total vertex updates

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
+	"repro/internal/actor"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/vertexfile"
 )
@@ -26,9 +29,12 @@ type dispatcher struct {
 func (d *dispatcher) Execute() (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("core: dispatcher %d: panic: %v", d.id, r)
-			// Unblock the manager, which is waiting for DISPATCH_OVER.
-			d.eng.toManager.Put(workerMsg{kind: kindFailed, from: d.id, err: err}) //nolint:errcheck
+			ferr := fmt.Errorf("core: dispatcher %d: panic: %v", d.id, r)
+			// Unblock the manager, which is waiting for DISPATCH_OVER,
+			// then re-panic so the supervisor's restart policy decides
+			// whether a fresh incarnation takes over this mailbox.
+			d.eng.toManager.Put(workerMsg{kind: kindFailed, from: d.id, err: ferr}) //nolint:errcheck
+			panic(r)
 		}
 	}()
 	d.bufs = make([][]Message, len(d.eng.toComp))
@@ -43,14 +49,26 @@ func (d *dispatcher) Execute() (err error) {
 		d.delivered = 0
 		sent, err := d.runSuperstep(cmd.step)
 		if err != nil {
+			if d.aborting(err) {
+				// The manager is already tearing this superstep down;
+				// park for the next command instead of failing.
+				continue
+			}
 			d.eng.toManager.Put(workerMsg{kind: kindFailed, from: d.id, err: err}) //nolint:errcheck
 			return err
 		}
 		over := workerMsg{kind: kindDispatchOver, from: d.id, count: sent, count2: d.delivered}
 		if err := d.eng.toManager.Put(over); err != nil {
-			return err
+			return nil // manager mailbox closed: teardown in progress
 		}
 	}
+}
+
+// aborting reports whether err is teardown fallout rather than a real
+// failure: an explicit abort, a mailbox closed under the dispatcher, or
+// anything that happened after the engine raised the abort flag.
+func (d *dispatcher) aborting(err error) bool {
+	return errors.Is(err, errAborted) || errors.Is(err, actor.ErrMailboxClosed) || d.eng.aborted.Load()
 }
 
 func (d *dispatcher) runSuperstep(step int64) (sent int64, err error) {
@@ -64,7 +82,7 @@ func (d *dispatcher) runSuperstep(step int64) (sent int64, err error) {
 			break
 		}
 		if eng.aborted.Load() {
-			return sent, fmt.Errorf("core: dispatcher %d: run aborted", d.id)
+			return sent, errAborted
 		}
 		slot := eng.vf.Load(col, v)
 		if vertexfile.Stale(slot) {
@@ -95,6 +113,7 @@ func (d *dispatcher) runSuperstep(step int64) (sent int64, err error) {
 // send buffers a message for the computing worker owning dst, flushing
 // the batch when full.
 func (d *dispatcher) send(dst graph.VertexID, val uint64) error {
+	fault.Panic(fault.SiteDispatcherMsg)
 	w := d.eng.cfg.Owner(dst, len(d.bufs))
 	if d.bufs[w] == nil {
 		d.bufs[w] = d.eng.getBatch()

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/actor"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/vertexfile"
 )
@@ -54,20 +55,42 @@ type Engine struct {
 
 	batchPool sync.Pool
 
+	// activeBits snapshots the dispatch column's fresh flags before each
+	// superstep when retries are enabled, so a failed superstep can be
+	// rolled back exactly (vertexfile.Rollback) rather than conservatively.
+	activeBits []uint64
+
 	// aborted is set when the run is being torn down early (watchdog or
 	// failure); dispatchers poll it between vertices so a wedged or
 	// long-running superstep unwinds promptly instead of streaming its
 	// whole interval.
 	aborted atomic.Bool
-
-	// crashAfterStep, when >= 0, aborts the run after the dispatch phase
-	// of that superstep without committing it — simulating a crash for
-	// fault-tolerance tests. Set only from tests.
-	crashAfterStep int64
 }
 
-// ErrCrashInjected is returned by Run when a test-injected crash fires.
+// ErrCrashInjected wraps the fault.SiteStepCrash injection: a simulated
+// whole-process death after the dispatch phase, without commit. Unlike
+// worker failures it is not retried in-process — recovery happens on
+// reopen, exercising the paper's crash model.
 var ErrCrashInjected = errors.New("core: injected crash")
+
+// errAborted is how a dispatcher unwinds when the manager is tearing the
+// superstep down; it signals a clean early exit, not a failure.
+var errAborted = errors.New("core: superstep aborted")
+
+// stepError wraps a superstep failure with its phase and whether the
+// supervised retry path may roll back and re-execute the superstep.
+type stepError struct {
+	step      int64
+	phase     string
+	err       error
+	retryable bool
+}
+
+func (e *stepError) Error() string {
+	return fmt.Sprintf("core: superstep %d (%s): %v", e.step, e.phase, e.err)
+}
+
+func (e *stepError) Unwrap() error { return e.err }
 
 // New creates an engine. The graph file and value file must describe the
 // same vertex set.
@@ -83,11 +106,10 @@ func New(gf *graph.File, vf *vertexfile.File, prog Program, cfg Config) (*Engine
 		return nil, err
 	}
 	e := &Engine{
-		gf:             gf,
-		vf:             vf,
-		prog:           prog,
-		cfg:            cfg,
-		crashAfterStep: -1,
+		gf:   gf,
+		vf:   vf,
+		prog: prog,
+		cfg:  cfg,
 	}
 	e.batchPool.New = func() any { return make([]Message, 0, cfg.BatchSize) }
 	if c, ok := prog.(Combiner); ok && !cfg.DisableCombining {
@@ -118,21 +140,16 @@ func (e *Engine) putBatch(b []Message) {
 	}
 }
 
-// Run executes supersteps starting at the value file's current epoch
-// until the program converges (a superstep with no messages and no
-// updates) or MaxSupersteps have run. It may be called again to continue
-// a computation.
-func (e *Engine) Run() (*Result, error) {
+// spawn builds a fresh worker crew: manager mailbox, per-worker
+// mailboxes, and dispatcher/computer actors under a supervisor whose
+// restart policy revives panicking workers. Retried supersteps always
+// get a fresh crew and fresh mailboxes, so no stale batch from a failed
+// attempt can leak into the retry.
+func (e *Engine) spawn() {
 	cfg := e.cfg
 	e.aborted.Store(false)
-	e.system = actor.NewSystem("gpsa", actor.RestartPolicy{})
+	e.system = actor.NewSystem("gpsa", actor.RestartPolicy{MaxRestarts: cfg.MaxStepRetries + 1})
 	e.toManager = actor.NewMailbox[workerMsg](cfg.Dispatchers + cfg.Computers + 1)
-	if cfg.Intervals == IntervalsByVertices {
-		e.intervals = e.gf.PartitionByVertices(cfg.Dispatchers)
-	} else {
-		e.intervals = e.gf.Partition(cfg.Dispatchers)
-	}
-
 	e.toDisp = make([]*actor.Mailbox[workerMsg], len(e.intervals))
 	for i := range e.toDisp {
 		e.toDisp[i] = actor.NewMailbox[workerMsg](1)
@@ -141,7 +158,6 @@ func (e *Engine) Run() (*Result, error) {
 	for i := range e.toComp {
 		e.toComp[i] = actor.NewMailbox[workerMsg](cfg.MailboxCap)
 	}
-
 	for i := range e.toDisp {
 		d := &dispatcher{id: i, eng: e, interval: e.intervals[i]}
 		e.system.Spawn(fmt.Sprintf("dispatcher-%d", i), d)
@@ -150,23 +166,98 @@ func (e *Engine) Run() (*Result, error) {
 		c := &computer{id: i, eng: e}
 		e.system.Spawn(fmt.Sprintf("computer-%d", i), c)
 	}
+}
 
-	res, runErr := e.managerLoop()
-
-	// SYSTEM_OVER: stop all workers, then collect them. The abort flag
-	// unwinds dispatchers that are still mid-interval.
+// teardown stops and collects the current worker crew. After it returns
+// every worker goroutine has exited (a vertex program wedged in user code
+// may delay that — see Config.SuperstepTimeout). The returned error is
+// the crew's name-ordered first failure, if any.
+func (e *Engine) teardown() error {
+	if e.system == nil {
+		return nil
+	}
+	// SYSTEM_OVER, then close: TryPut so a full mailbox cannot block the
+	// manager — closing releases blocked senders and receivers drain
+	// whatever is buffered before seeing the close. The manager mailbox
+	// closes first so no worker can block on it while being collected;
+	// workers treat a closed manager mailbox as an abort.
 	e.aborted.Store(true)
+	e.toManager.Close()
 	for _, mb := range e.toDisp {
-		mb.Put(workerMsg{kind: kindSystemOver}) //nolint:errcheck // closing anyway
+		mb.TryPut(workerMsg{kind: kindSystemOver})
 		mb.Close()
 	}
 	for _, mb := range e.toComp {
-		mb.Put(workerMsg{kind: kindSystemOver}) //nolint:errcheck
+		mb.TryPut(workerMsg{kind: kindSystemOver})
 		mb.Close()
 	}
 	waitErr := e.system.Wait()
-	e.toManager.Close()
+	e.system = nil
+	return waitErr
+}
 
+// Run executes supersteps starting at the value file's current epoch
+// until the program converges (a superstep with no messages and no
+// updates) or MaxSupersteps have run. It may be called again to continue
+// a computation.
+//
+// When cfg.MaxStepRetries > 0 the run is supervised: a superstep that
+// fails with a retryable error (worker panic or failure, watchdog
+// timeout, failed begin/commit) is aborted, the worker crew is torn down
+// and collected, the value file is rolled back to the superstep's
+// immutable dispatch column, and — after an exponential backoff — the
+// superstep is re-executed with a freshly spawned crew.
+func (e *Engine) Run() (*Result, error) {
+	cfg := e.cfg
+	if cfg.Intervals == IntervalsByVertices {
+		e.intervals = e.gf.PartitionByVertices(cfg.Dispatchers)
+	} else {
+		e.intervals = e.gf.Partition(cfg.Dispatchers)
+	}
+	res := &Result{
+		DispatcherMessages: make([]int64, len(e.intervals)),
+		ComputerUpdates:    make([]int64, cfg.Computers),
+	}
+	if cfg.MaxStepRetries > 0 && e.activeBits == nil {
+		e.activeBits = make([]uint64, (e.vf.NumVertices()+63)/64)
+	}
+
+	e.spawn()
+	runStart := time.Now()
+	retries := 0
+	var runErr error
+	for n := 0; n < cfg.MaxSupersteps; {
+		step := e.vf.Epoch()
+		converged, err := e.runStep(step, res)
+		if err == nil {
+			retries = 0
+			n++
+			if converged {
+				res.Converged = true
+				break
+			}
+			continue
+		}
+		var se *stepError
+		if !errors.As(err, &se) || !se.retryable || retries >= cfg.MaxStepRetries {
+			runErr = err
+			break
+		}
+		// Supervised recovery: quiesce the crew (its failure is the reason
+		// we are here — discard it), roll the value file back to the
+		// superstep's start, back off, and re-run with a fresh crew.
+		retries++
+		res.Retries++
+		e.teardown() //nolint:errcheck
+		if rerr := e.vf.Rollback(step, e.activeBits, !cfg.DisableSync); rerr != nil {
+			runErr = fmt.Errorf("core: rolling back superstep %d after %v: %w", step, err, rerr)
+			break
+		}
+		time.Sleep(retryBackoff(cfg.StepRetryBackoff, retries))
+		e.spawn()
+	}
+	res.Duration = time.Since(runStart)
+	waitErr := e.teardown()
 	if runErr != nil {
 		return res, runErr
 	}
@@ -174,6 +265,16 @@ func (e *Engine) Run() (*Result, error) {
 		return res, waitErr
 	}
 	return res, nil
+}
+
+// retryBackoff doubles the base delay per consecutive retry: base, 2base,
+// 4base, ... (shift-capped so pathological retry budgets cannot overflow).
+func retryBackoff(base time.Duration, retry int) time.Duration {
+	shift := retry - 1
+	if shift > 16 {
+		shift = 16
+	}
+	return base << uint(shift)
 }
 
 // managerGet receives the next worker notification, honoring the
@@ -193,108 +294,111 @@ func (e *Engine) managerGet(phase string) (workerMsg, error) {
 	return m, nil
 }
 
-// managerLoop is the paper's Algorithm 1.
-func (e *Engine) managerLoop() (*Result, error) {
-	res := &Result{
-		DispatcherMessages: make([]int64, len(e.toDisp)),
-		ComputerUpdates:    make([]int64, len(e.toComp)),
+// runStep executes one superstep — the body of the paper's Algorithm 1 —
+// and reports whether the computation converged. Statistics are buffered
+// locally and only merged into res after the commit succeeds, so a
+// retried superstep is counted exactly once.
+func (e *Engine) runStep(step int64, res *Result) (converged bool, err error) {
+	if e.cfg.MaxStepRetries > 0 {
+		e.vf.SnapshotActive(step, e.activeBits)
 	}
-	runStart := time.Now()
-	for n := 0; n < e.cfg.MaxSupersteps; n++ {
-		step := e.vf.Epoch()
-		if err := e.vf.Begin(step, !e.cfg.DisableSync); err != nil {
-			return res, err
-		}
-		t0 := time.Now()
+	if err := e.vf.Begin(step, !e.cfg.DisableSync); err != nil {
+		return false, &stepError{step: step, phase: "begin", err: err, retryable: true}
+	}
+	t0 := time.Now()
 
-		// ITERATION_START to every dispatcher.
-		for _, mb := range e.toDisp {
-			if err := mb.Put(workerMsg{kind: kindIterationStart, step: step}); err != nil {
-				return res, err
-			}
-		}
-
-		// Collect DISPATCH_OVER from every dispatcher. Computing workers
-		// are processing concurrently the whole time (the overlap).
-		var messages, delivered int64
-		for i := 0; i < len(e.toDisp); i++ {
-			m, err := e.managerGet("dispatch")
-			if err != nil {
-				return res, err
-			}
-			switch m.kind {
-			case kindDispatchOver:
-				messages += m.count
-				delivered += m.count2
-				res.DispatcherMessages[m.from] += m.count
-			case kindFailed:
-				return res, m.err
-			default:
-				return res, fmt.Errorf("core: manager got unexpected %v during dispatch", m.kind)
-			}
-		}
-
-		if e.crashAfterStep >= 0 && step >= e.crashAfterStep {
-			// Simulated crash: abandon the superstep without commit. The
-			// value file keeps its in-progress state.
-			return res, ErrCrashInjected
-		}
-
-		// Barrier: COMPUTE_OVER to every computing worker; they reply
-		// after draining everything queued before it (FIFO).
-		for _, mb := range e.toComp {
-			if err := mb.Put(workerMsg{kind: kindComputeOver, step: step}); err != nil {
-				return res, err
-			}
-		}
-		var updates int64
-		for i := 0; i < len(e.toComp); i++ {
-			m, err := e.managerGet("compute barrier")
-			if err != nil {
-				return res, err
-			}
-			switch m.kind {
-			case kindComputeOver:
-				updates += m.count
-				res.ComputerUpdates[m.from] += m.count
-			case kindFailed:
-				return res, m.err
-			default:
-				return res, fmt.Errorf("core: manager got unexpected %v during compute barrier", m.kind)
-			}
-		}
-
-		var aggDone bool
-		var aggVal float64
-		if e.aggregator != nil {
-			aggVal = e.aggregate(e.aggregator, step)
-			aggDone = e.aggregator.AggConverged(step, aggVal)
-		}
-
-		if err := e.vf.Commit(step, !e.cfg.DisableReconcile, !e.cfg.DisableSync); err != nil {
-			return res, err
-		}
-
-		var digest uint64
-		if e.cfg.Digests {
-			digest = e.digest(step)
-		}
-
-		st := StepStats{Step: step, Messages: messages, Delivered: delivered, Updates: updates, Aggregate: aggVal, Digest: digest, Duration: time.Since(t0)}
-		res.Steps = append(res.Steps, st)
-		res.Supersteps++
-		res.Messages += messages
-		res.Delivered += delivered
-		res.Updates += updates
-		if e.cfg.Progress != nil {
-			e.cfg.Progress(st)
-		}
-
-		if (messages == 0 && updates == 0) || aggDone {
-			res.Converged = true
-			break
+	// ITERATION_START to every dispatcher.
+	for _, mb := range e.toDisp {
+		if err := mb.Put(workerMsg{kind: kindIterationStart, step: step}); err != nil {
+			return false, &stepError{step: step, phase: "dispatch", err: err, retryable: false}
 		}
 	}
-	res.Duration = time.Since(runStart)
-	return res, nil
+
+	// Collect DISPATCH_OVER from every dispatcher. Computing workers
+	// are processing concurrently the whole time (the overlap).
+	var messages, delivered int64
+	dispMsgs := make([]int64, len(e.toDisp))
+	for i := 0; i < len(e.toDisp); i++ {
+		m, err := e.managerGet("dispatch")
+		if err != nil {
+			return false, &stepError{step: step, phase: "dispatch", err: err, retryable: true}
+		}
+		switch m.kind {
+		case kindDispatchOver:
+			messages += m.count
+			delivered += m.count2
+			dispMsgs[m.from] += m.count
+		case kindFailed:
+			return false, &stepError{step: step, phase: "dispatch", err: m.err, retryable: true}
+		default:
+			return false, &stepError{step: step, phase: "dispatch",
+				err: fmt.Errorf("core: manager got unexpected %v", m.kind), retryable: false}
+		}
+	}
+
+	if ferr := fault.Error(fault.SiteStepCrash); ferr != nil {
+		// Simulated process death: abandon the superstep without commit.
+		// The value file keeps its in-progress state; recovery happens on
+		// reopen (Open + Recover), not in-process.
+		return false, fmt.Errorf("%w (superstep %d: %v)", ErrCrashInjected, step, ferr)
+	}
+
+	// Barrier: COMPUTE_OVER to every computing worker; they reply
+	// after draining everything queued before it (FIFO).
+	for _, mb := range e.toComp {
+		if err := mb.Put(workerMsg{kind: kindComputeOver, step: step}); err != nil {
+			return false, &stepError{step: step, phase: "compute barrier", err: err, retryable: false}
+		}
+	}
+	var updates int64
+	compUpd := make([]int64, len(e.toComp))
+	for i := 0; i < len(e.toComp); i++ {
+		m, err := e.managerGet("compute barrier")
+		if err != nil {
+			return false, &stepError{step: step, phase: "compute barrier", err: err, retryable: true}
+		}
+		switch m.kind {
+		case kindComputeOver:
+			updates += m.count
+			compUpd[m.from] += m.count
+		case kindFailed:
+			return false, &stepError{step: step, phase: "compute barrier", err: m.err, retryable: true}
+		default:
+			return false, &stepError{step: step, phase: "compute barrier",
+				err: fmt.Errorf("core: manager got unexpected %v", m.kind), retryable: false}
+		}
+	}
+
+	var aggDone bool
+	var aggVal float64
+	if e.aggregator != nil {
+		aggVal = e.aggregate(e.aggregator, step)
+		aggDone = e.aggregator.AggConverged(step, aggVal)
+	}
+
+	if err := e.vf.Commit(step, !e.cfg.DisableReconcile, !e.cfg.DisableSync); err != nil {
+		return false, &stepError{step: step, phase: "commit", err: err, retryable: true}
+	}
+
+	var digest uint64
+	if e.cfg.Digests {
+		digest = e.digest(step)
+	}
+
+	st := StepStats{Step: step, Messages: messages, Delivered: delivered, Updates: updates, Aggregate: aggVal, Digest: digest, Duration: time.Since(t0)}
+	res.Steps = append(res.Steps, st)
+	res.Supersteps++
+	res.Messages += messages
+	res.Delivered += delivered
+	res.Updates += updates
+	for i, c := range dispMsgs {
+		res.DispatcherMessages[i] += c
+	}
+	for i, c := range compUpd {
+		res.ComputerUpdates[i] += c
+	}
+	if e.cfg.Progress != nil {
+		e.cfg.Progress(st)
+	}
+	return (messages == 0 && updates == 0) || aggDone, nil
 }

@@ -10,6 +10,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/mmap"
 	"repro/internal/vertexfile"
@@ -376,10 +377,12 @@ func TestEngineCrashRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng.crashAfterStep = 1
+	fault.Activate(fault.NewPlan(0, fault.Injection{Site: fault.SiteStepCrash, After: 2}))
+	defer fault.Deactivate()
 	if _, err := eng.Run(); !errors.Is(err, ErrCrashInjected) {
 		t.Fatalf("Run = %v, want injected crash", err)
 	}
+	fault.Deactivate()
 	if err := vf.Close(); err != nil { // simulate process death
 		t.Fatal(err)
 	}
@@ -517,10 +520,13 @@ func TestCrashRecoveryAtEverySuperstep(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		eng.crashAfterStep = crashAt
+		// The crash site is consulted once per superstep, so hit crashAt+1
+		// fires after the dispatch phase of superstep crashAt.
+		fault.Activate(fault.NewPlan(0, fault.Injection{Site: fault.SiteStepCrash, After: crashAt + 1}))
 		if _, err := eng.Run(); !errors.Is(err, ErrCrashInjected) {
 			t.Fatalf("crashAt %d: Run = %v, want injected crash", crashAt, err)
 		}
+		fault.Deactivate()
 		vf.Close()
 
 		vf2, err := vertexfile.Open(vpath)

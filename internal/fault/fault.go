@@ -1,0 +1,225 @@
+// Package fault is a deterministic fault-injection framework for GPSA's
+// robustness tests and examples.
+//
+// Production code declares named injection sites at the places where the
+// paper's failure model bites — an actor dying mid-message, an mmap sync
+// failing, a vertex-file commit tearing, a cluster connection dropping —
+// and consults them through the cheap helpers below (Error, Panic,
+// Stall). When no Plan is active every helper is a single atomic pointer
+// load and a nil return, so the sites cost nothing in normal operation.
+//
+// Tests and examples arm a Plan: a set of Injections, each naming a
+// site, the hit index at which it starts firing, how many hits fire, and
+// optionally a seeded firing probability. Hit counting is atomic and the
+// probability stream comes from a seeded rand.Rand, so a given plan
+// replays identically — the property that lets recovery tests assert
+// bit-identical results against an uninjected run.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Canonical site names. A site is just a string — packages may declare
+// private sites — but the cross-package ones are collected here so tests
+// and examples have one vocabulary.
+const (
+	// SiteActorExecute fires inside the actor system just before an
+	// actor's Execute runs (including restarts): an injected panic there
+	// simulates an actor that dies the moment it is scheduled.
+	SiteActorExecute = "actor.execute.panic"
+	// SiteDispatcherMsg fires once per message a dispatcher generates;
+	// Panic simulates a dispatcher actor dying on its Nth message.
+	SiteDispatcherMsg = "core.dispatcher.panic"
+	// SiteComputerMsg fires once per message a computing worker applies;
+	// Panic simulates a computing actor dying on its Nth message.
+	SiteComputerMsg = "core.computer.panic"
+	// SiteComputerStall fires once per message a computing worker applies;
+	// Stall sleeps for the injection's Delay, simulating a worker wedged
+	// in user code (the case the superstep watchdog exists for).
+	SiteComputerStall = "core.computer.stall"
+	// SiteStepCrash fires once per superstep after the dispatch phase;
+	// Error simulates whole-process death without commit (the paper's
+	// crash model — recovery happens on reopen, not in-process).
+	SiteStepCrash = "core.step.crash"
+	// SiteMmapSync fires in mmap.Map.Sync; Error simulates a failed
+	// msync/write-back (disk full, I/O error).
+	SiteMmapSync = "mmap.sync.error"
+	// SiteCommitTorn fires in vertexfile.File.Commit; Error aborts the
+	// commit and corrupts the header checksum, simulating a crash that
+	// tears the header mid-flush.
+	SiteCommitTorn = "vertexfile.commit.torn"
+	// SiteConnDrop fires per data-plane frame write in the cluster;
+	// Error closes the underlying connection first, simulating a
+	// dropped TCP connection.
+	SiteConnDrop = "cluster.conn.drop"
+	// SiteConnStall fires per data-plane frame write in the cluster;
+	// Stall sleeps for the injection's Delay, simulating a stalled link.
+	SiteConnStall = "cluster.conn.stall"
+)
+
+// ErrInjected is matched (via errors.Is) by every error this package
+// injects, letting callers distinguish injected faults from real ones.
+var ErrInjected = errors.New("fault: injected failure")
+
+type siteError struct{ site string }
+
+func (e siteError) Error() string        { return "fault: injected failure at " + e.site }
+func (e siteError) Is(target error) bool { return target == ErrInjected }
+
+// PanicValue is the value Panic panics with, so recovery code and tests
+// can recognize injected panics in failure messages.
+type PanicValue struct{ Site string }
+
+func (p PanicValue) String() string { return "fault: injected panic at " + p.Site }
+
+// Injection arms one site.
+type Injection struct {
+	// Site names the injection site (see the Site* constants).
+	Site string
+	// After is the 1-based hit index at which the site starts firing.
+	// Zero means 1: fire from the first hit.
+	After int64
+	// Count is how many hits fire once After is reached. Zero means 1;
+	// negative means every hit from After on.
+	Count int64
+	// Prob, when in (0, 1), gates each eligible hit on a draw from the
+	// plan's seeded random stream.
+	Prob float64
+	// Err overrides the injected error (default: a siteError matching
+	// ErrInjected).
+	Err error
+	// Delay is how long Stall sites sleep when firing.
+	Delay time.Duration
+}
+
+type armed struct {
+	Injection
+	hits  atomic.Int64
+	fired atomic.Int64
+}
+
+// Plan is an immutable set of armed injections plus the seeded random
+// stream shared by its probabilistic sites. Arm it with Activate.
+type Plan struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	sites map[string]*armed
+}
+
+// NewPlan builds a plan. One injection per site; a later injection for
+// the same site replaces the earlier one.
+func NewPlan(seed int64, injections ...Injection) *Plan {
+	p := &Plan{rng: rand.New(rand.NewSource(seed)), sites: make(map[string]*armed)}
+	for _, in := range injections {
+		if in.After <= 0 {
+			in.After = 1
+		}
+		if in.Count == 0 {
+			in.Count = 1
+		}
+		p.sites[in.Site] = &armed{Injection: in}
+	}
+	return p
+}
+
+// Hits returns how many times site has been consulted under this plan.
+func (p *Plan) Hits(site string) int64 {
+	if a := p.sites[site]; a != nil {
+		return a.hits.Load()
+	}
+	return 0
+}
+
+// Fired returns how many times site actually injected a fault.
+func (p *Plan) Fired(site string) int64 {
+	if a := p.sites[site]; a != nil {
+		return a.fired.Load()
+	}
+	return 0
+}
+
+var active atomic.Pointer[Plan]
+
+// Activate makes p the process-wide active plan. Passing nil is
+// equivalent to Deactivate.
+func Activate(p *Plan) { active.Store(p) }
+
+// Deactivate disarms fault injection; every site becomes a no-op again.
+func Deactivate() { active.Store(nil) }
+
+// Enabled reports whether a plan is active.
+func Enabled() bool { return active.Load() != nil }
+
+// Firing describes one injected fault at a site.
+type Firing struct {
+	Site  string
+	Err   error
+	Delay time.Duration
+}
+
+// Hit consults a site: it returns nil when injection is disabled, the
+// site is not armed, or the armed injection does not fire on this hit.
+func Hit(site string) *Firing {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	a, ok := p.sites[site]
+	if !ok {
+		return nil
+	}
+	n := a.hits.Add(1)
+	if n < a.After {
+		return nil
+	}
+	if a.Count > 0 && n >= a.After+a.Count {
+		return nil
+	}
+	if a.Prob > 0 && a.Prob < 1 {
+		p.mu.Lock()
+		roll := p.rng.Float64()
+		p.mu.Unlock()
+		if roll >= a.Prob {
+			return nil
+		}
+	}
+	a.fired.Add(1)
+	err := a.Err
+	if err == nil {
+		err = siteError{site: site}
+	}
+	return &Firing{Site: site, Err: err, Delay: a.Delay}
+}
+
+// Error returns the injected error when site fires, nil otherwise.
+func Error(site string) error {
+	if f := Hit(site); f != nil {
+		return f.Err
+	}
+	return nil
+}
+
+// Panic panics with a PanicValue when site fires.
+func Panic(site string) {
+	if f := Hit(site); f != nil {
+		panic(PanicValue{Site: site})
+	}
+}
+
+// Stall sleeps for the injection's Delay when site fires.
+func Stall(site string) {
+	if f := Hit(site); f != nil && f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+}
+
+// String implements fmt.Stringer for debugging.
+func (f *Firing) String() string {
+	return fmt.Sprintf("fault firing at %s (err=%v delay=%v)", f.Site, f.Err, f.Delay)
+}

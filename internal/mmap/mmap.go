@@ -15,6 +15,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"repro/internal/fault"
 )
 
 // Mode selects how a Map is backed.
@@ -150,6 +152,9 @@ func (m *Map) Sync() error {
 	}
 	if !m.writable {
 		return fmt.Errorf("mmap: sync on read-only map")
+	}
+	if ferr := fault.Error(fault.SiteMmapSync); ferr != nil {
+		return fmt.Errorf("mmap: sync %s: %w", m.f.Name(), ferr)
 	}
 	if m.heap {
 		if _, err := m.f.WriteAt(m.data, 0); err != nil {

@@ -32,6 +32,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/mmap"
 )
 
@@ -43,11 +44,16 @@ const (
 	PayloadMask = StaleBit - 1
 
 	fileMagic   = 0x46565047 // "GPVF"
-	fileVersion = 1
+	fileVersion = 2
 	headerBytes = 64
 
 	stateClean   = 0
 	stateRunning = 1
+
+	// maxVertices bounds the vertex count a header may claim, keeping
+	// size arithmetic (16 bytes per vertex plus the header) far from
+	// int64 overflow when Open validates untrusted files.
+	maxVertices = int64(1) << 56
 )
 
 // Stale reports whether a slot carries the stale flag.
@@ -89,6 +95,50 @@ type File struct {
 	numVertices int64
 	slots       []uint64 // 2*numVertices, interleaved: slot(v, col) = slots[2v+col]
 	header      []uint64 // first headerBytes/8 words of the mapping
+	torn        bool     // Open found a torn header and rolled it back
+}
+
+// Header word indices (64-bit words of the 64-byte header):
+//
+//	word 0: magic (u32) | version (u32)
+//	word 1: numVertices
+//	word 2: epoch — completed supersteps
+//	word 3: state — stateClean / stateRunning
+//	word 4: FNV-1a checksum of words 0–3
+//
+// The checksum is re-sealed at every state transition (Create, Begin,
+// Commit, Recover, Rollback). A header whose checksum does not match —
+// or whose state word is neither clean nor running — was torn by a
+// crash mid-flush; Open rolls such files back to the immutable dispatch
+// column instead of trusting the state word.
+const (
+	hdrEpoch = 2
+	hdrState = 3
+	hdrSum   = 4
+)
+
+// headerSum hashes header words 0–3 with FNV-1a. Words are read
+// atomically so sealing can race benignly with concurrent slot access.
+func (f *File) headerSum() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < hdrSum; i++ {
+		w := atomic.LoadUint64(&f.header[i])
+		for b := 0; b < 8; b++ {
+			h ^= (w >> (8 * b)) & 0xFF
+			h *= prime64
+		}
+	}
+	return h
+}
+
+func (f *File) sealHeader() { atomic.StoreUint64(&f.header[hdrSum], f.headerSum()) }
+
+func (f *File) headerValid() bool {
+	return atomic.LoadUint64(&f.header[hdrSum]) == f.headerSum()
 }
 
 // Create builds a new value file for numVertices vertices. init supplies
@@ -119,6 +169,7 @@ func Create(path string, numVertices int64, init func(v int64) (payload uint64, 
 	binary.LittleEndian.PutUint64(b[8:], uint64(numVertices))
 	f.setEpoch(0)
 	f.setState(stateClean)
+	f.sealHeader()
 	for v := int64(0); v < numVertices; v++ {
 		payload, active := init(v)
 		// Column 0 is superstep 0's dispatch column: fresh for active
@@ -134,8 +185,12 @@ func Create(path string, numVertices int64, init func(v int64) (payload uint64, 
 	return f, nil
 }
 
-// Open maps an existing value file. Files that crashed mid-superstep are
-// opened as-is; call Recover to roll back to the last completed superstep.
+// Open maps an existing value file, validating the header checksum and
+// the clean/running state word. A header torn by a crash mid-flush
+// (checksum mismatch, or a state word that is neither clean nor running)
+// is rolled back to the immutable dispatch column on the spot — Torn
+// reports this. A file whose header is intact but records an in-progress
+// superstep is opened as-is; call Recover to roll it back.
 func Open(path string) (*File, error) {
 	m, err := mmap.Open(path, mmap.Options{Writable: true})
 	if err != nil {
@@ -155,6 +210,10 @@ func Open(path string) (*File, error) {
 		return nil, fmt.Errorf("vertexfile: %s: unsupported version %d", path, v)
 	}
 	n := int64(binary.LittleEndian.Uint64(b[8:]))
+	if n <= 0 || n > maxVertices {
+		m.Close()
+		return nil, fmt.Errorf("vertexfile: %s: absurd vertex count %d", path, n)
+	}
 	if want := headerBytes + 16*n; int64(len(b)) < want {
 		m.Close()
 		return nil, fmt.Errorf("vertexfile: %s: %d bytes, want %d for %d vertices", path, len(b), want, n)
@@ -164,8 +223,23 @@ func Open(path string) (*File, error) {
 		m.Close()
 		return nil, err
 	}
+	if s := f.state(); !f.headerValid() || (s != stateClean && s != stateRunning) {
+		// Torn header: the state word cannot be trusted, so treat the
+		// epoch's superstep as interrupted and roll back to the dispatch
+		// column unconditionally.
+		f.torn = true
+		f.setState(stateRunning)
+		if _, err := f.Recover(); err != nil {
+			m.Close()
+			return nil, fmt.Errorf("vertexfile: %s: rolling back torn header: %w", path, err)
+		}
+	}
 	return f, nil
 }
+
+// Torn reports whether Open found a torn header (failed checksum or
+// invalid state word) and rolled the file back.
+func (f *File) Torn() bool { return f.torn }
 
 // NewMemory builds a purely in-memory value store with the same
 // interface: Begin/Commit/Reconcile/Recover all work, with durability
@@ -209,12 +283,12 @@ func (f *File) NumVertices() int64 { return f.numVertices }
 
 // Epoch returns the number of completed supersteps; the next superstep to
 // run is Epoch() itself, and its dispatch column is DispatchCol(Epoch()).
-func (f *File) Epoch() int64 { return int64(atomic.LoadUint64(&f.header[2])) }
+func (f *File) Epoch() int64 { return int64(atomic.LoadUint64(&f.header[hdrEpoch])) }
 
-func (f *File) setEpoch(e int64) { atomic.StoreUint64(&f.header[2], uint64(e)) }
+func (f *File) setEpoch(e int64) { atomic.StoreUint64(&f.header[hdrEpoch], uint64(e)) }
 
-func (f *File) state() uint64     { return atomic.LoadUint64(&f.header[3]) }
-func (f *File) setState(s uint64) { atomic.StoreUint64(&f.header[3], s) }
+func (f *File) state() uint64     { return atomic.LoadUint64(&f.header[hdrState]) }
+func (f *File) setState(s uint64) { atomic.StoreUint64(&f.header[hdrState], s) }
 
 // InProgress reports whether the file records an uncommitted superstep
 // (i.e. the writer crashed or is still running).
@@ -244,6 +318,7 @@ func (f *File) Begin(step int64, durable bool) error {
 		return fmt.Errorf("vertexfile: begin superstep %d, but epoch is %d", step, f.Epoch())
 	}
 	f.setState(stateRunning)
+	f.sealHeader()
 	if !durable {
 		return nil
 	}
@@ -258,11 +333,21 @@ func (f *File) Commit(step int64, reconcile, durable bool) error {
 	if step != f.Epoch() {
 		return fmt.Errorf("vertexfile: commit superstep %d, but epoch is %d", step, f.Epoch())
 	}
+	if ferr := fault.Error(fault.SiteCommitTorn); ferr != nil {
+		// Simulate a crash tearing the header mid-flush: the state word
+		// still says running and the checksum no longer matches. Nothing
+		// past this point ran, so the dispatch column is intact and both
+		// Rollback (in-process retry) and Open (reopen after "death")
+		// can roll the superstep back.
+		atomic.StoreUint64(&f.header[hdrSum], f.headerSum()+1)
+		return fmt.Errorf("vertexfile: commit superstep %d: %w", step, ferr)
+	}
 	if reconcile {
 		f.Reconcile(step)
 	}
 	f.setEpoch(step + 1)
 	f.setState(stateClean)
+	f.sealHeader()
 	if !durable {
 		return nil
 	}
@@ -313,10 +398,56 @@ func (f *File) Recover() (int64, error) {
 		f.Store(u, v, p|StaleBit)
 	}
 	f.setState(stateClean)
+	f.sealHeader()
 	if err := f.Sync(); err != nil {
 		return 0, err
 	}
 	return step, nil
+}
+
+// SnapshotActive records the fresh flags of step's dispatch column into
+// bits (len must be at least ceil(NumVertices/64)). Dispatchers consume
+// (re-stale) fresh marks as they go, so a crashed superstep cannot
+// reconstruct its starting active set from the file alone; the engine
+// takes this snapshot before Begin so Rollback can restore it exactly.
+func (f *File) SnapshotActive(step int64, bits []uint64) {
+	col := DispatchCol(step)
+	for i := range bits {
+		bits[i] = 0
+	}
+	for v := int64(0); v < f.numVertices; v++ {
+		if !Stale(f.Load(col, v)) {
+			bits[v/64] |= 1 << uint(v%64)
+		}
+	}
+}
+
+// Rollback restores the interrupted superstep step to its starting state
+// using an active-set snapshot taken by SnapshotActive. The dispatch
+// column's payloads are authoritative (payload-immutable during the
+// superstep); its flags are restored from bits and the update column is
+// reset to stale copies. Unlike Recover, the rollback is exact — only
+// the vertices that were active re-dispatch — so a retried superstep
+// regenerates the original message stream bit-for-bit, which is what
+// lets even order-sensitive float programs (PageRank) retry without
+// perturbing their results.
+func (f *File) Rollback(step int64, bits []uint64, durable bool) error {
+	if step != f.Epoch() {
+		return fmt.Errorf("vertexfile: rollback superstep %d, but epoch is %d", step, f.Epoch())
+	}
+	d, u := DispatchCol(step), UpdateCol(step)
+	for v := int64(0); v < f.numVertices; v++ {
+		p := Payload(f.Load(d, v))
+		active := bits[v/64]&(1<<uint(v%64)) != 0
+		f.Store(d, v, Pack(p, !active))
+		f.Store(u, v, p|StaleBit)
+	}
+	f.setState(stateClean)
+	f.sealHeader()
+	if !durable {
+		return nil
+	}
+	return f.Sync()
 }
 
 // Value returns the newest payload of v. It must only be called between
