@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench repro examples check clean
+.PHONY: all build test race vet fmt bench repro examples check torture clean
 
 all: build test
 
@@ -16,10 +16,19 @@ race:
 	$(GO) test -race ./internal/actor ./internal/core ./internal/cluster ./internal/xstream
 
 # The full pre-merge gate: vet plus the entire test suite under the race
-# detector (includes the fault-injection recovery tests).
+# detector (includes the fault-injection recovery tests), plus the
+# kill-torture harness against the real binary.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -count=1 -run 'Torture|Interrupt|ExitCodes' ./internal/crashtest
+
+# Kill-torture: run cmd/gpsa as a subprocess, SIGKILL it at >=20
+# randomized supersteps/commit phases, resume with -resume, and require
+# final values bit-identical to an uninterrupted run. Skipped by
+# `go test -short`.
+torture:
+	$(GO) test -count=1 -v -run 'Torture|Interrupt|ExitCodes' ./internal/crashtest
 
 vet:
 	$(GO) vet ./...

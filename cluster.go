@@ -1,6 +1,8 @@
 package gpsa
 
 import (
+	"context"
+
 	"repro/internal/cluster"
 )
 
@@ -13,6 +15,8 @@ type ClusterOptions struct {
 	Supersteps int
 	// ComputersPerNode sizes each node's computing actor pool (0 = 2).
 	ComputersPerNode int
+	// Context, when non-nil, cancels the run between supersteps.
+	Context context.Context
 }
 
 // ClusterResult summarizes a distributed run.
@@ -26,6 +30,7 @@ type ClusterResult = cluster.Result
 // the dispatch/compute overlap spans the cluster.
 func RunDistributed(graphPath string, prog Program, opts ClusterOptions) (*ClusterResult, []uint64, error) {
 	return cluster.Run(graphPath, prog, cluster.Config{
+		Context:       opts.Context,
 		Nodes:         opts.Nodes,
 		MaxSupersteps: opts.Supersteps,
 		Node:          cluster.NodeConfig{Computers: opts.ComputersPerNode},

@@ -72,10 +72,17 @@ func inspectValues(path string, n int) error {
 	fmt.Printf("value file %s\n", path)
 	fmt.Printf("vertices:   %d\n", f.NumVertices())
 	fmt.Printf("epoch:      %d completed supersteps\n", f.Epoch())
-	if f.InProgress() {
+	switch {
+	case f.Torn():
+		fmt.Printf("state:      clean (header was torn; rolled back on open)\n")
+	case f.InProgress():
 		fmt.Printf("state:      IN PROGRESS — superstep %d did not commit; Recover() will roll back\n", f.Epoch())
-	} else {
+	default:
 		fmt.Printf("state:      clean\n")
+	}
+	fmt.Printf("converged:  %v\n", f.Converged())
+	if agg := f.Aggregate(); agg != 0 {
+		fmt.Printf("aggregate:  %g\n", agg)
 	}
 	fresh := int64(0)
 	col := vertexfile.DispatchCol(f.Epoch())

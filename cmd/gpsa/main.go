@@ -9,45 +9,109 @@
 //	gpsa -graph weighted.gpsa -algo sssp -root 0
 //	gpsa -graph web.gpsa -algo deltapagerank -epsilon 1e-5
 //
+// With -values the vertex values live in a persistent file; a run killed
+// or interrupted mid-way leaves that file cleanly resumable, and adding
+// -resume continues the computation instead of starting over:
+//
+//	gpsa -graph web.gpsa -algo pagerank -values pr.gpvf
+//	^C (or SIGKILL) ...
+//	gpsa -graph web.gpsa -algo pagerank -values pr.gpvf -resume
+//
+// SIGINT/SIGTERM stop the run gracefully: an in-flight superstep is
+// rolled back and the value file sealed before the process exits (code
+// 3) with the exact resume command on stderr.
+//
+// Exit codes:
+//
+//	0  success
+//	2  usage error (bad flags, unknown algorithm, missing graph)
+//	3  run stopped but left resumable state in -values (interrupt,
+//	   injected crash, recoverable failure)
+//	4  fatal: the run failed with no resumable state (or -values is
+//	   corrupt beyond the format's rollback guarantees)
+//
 // Prepare inputs with gpsa-preprocess (from an edge list) or gpsa-gen
 // (synthetic).
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"repro"
+	"repro/internal/fault"
 )
 
-func main() {
+const (
+	exitOK          = 0
+	exitUsage       = 2
+	exitRecoverable = 3
+	exitFatal       = 4
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		graphPath   = flag.String("graph", "", "path to a .gpsa CSR graph (required)")
 		algo        = flag.String("algo", "pagerank", "algorithm: pagerank, deltapagerank, bfs, cc, sssp")
 		root        = flag.Uint("root", 0, "root/source vertex for bfs and sssp")
-		supersteps  = flag.Int("supersteps", 0, "superstep cap (0 = algorithm default)")
+		supersteps  = flag.Int("supersteps", 0, "superstep cap (0 = algorithm default); on -resume, the total budget counted from superstep 0")
 		top         = flag.Int("top", 10, "print the top-N vertices by result value")
 		epsilon     = flag.Float64("epsilon", 0, "delta-pagerank residual cut-off (0 = 1e-4)")
 		dispatchers = flag.Int("dispatchers", 0, "dispatcher actors (0 = auto)")
 		computers   = flag.Int("computers", 0, "computing actors (0 = auto)")
-		values      = flag.String("values", "", "persistent vertex value file (enables crash recovery)")
+		values      = flag.String("values", "", "persistent vertex value file (enables crash recovery and -resume)")
+		resume      = flag.Bool("resume", false, "continue the computation recorded in -values instead of starting over")
 		retries     = flag.Int("retries", 0, "retry a failed superstep up to N times with rollback (0 = fail fast)")
 		watchdog    = flag.Duration("watchdog", 0, "abort a superstep when a worker is silent this long (0 = off)")
 		dump        = flag.String("dump", "", "write per-vertex results as 'vertex<TAB>value' lines to this file")
 		verbose     = flag.Bool("v", false, "print per-superstep progress")
 	)
+	flag.Usage = func() {
+		w := flag.CommandLine.Output()
+		fmt.Fprintln(w, "usage: gpsa -graph g.gpsa [-algo pagerank] [flags]")
+		flag.PrintDefaults()
+		fmt.Fprintln(w, `
+exit codes:
+  0  success
+  2  usage error
+  3  run stopped but -values holds resumable state (rerun with -resume)
+  4  fatal: run failed with no resumable state`)
+	}
 	flag.Parse()
 	if *graphPath == "" {
 		fmt.Fprintln(os.Stderr, "gpsa: -graph is required")
 		flag.Usage()
-		os.Exit(2)
+		return exitUsage
 	}
+	if *resume && *values == "" {
+		fmt.Fprintln(os.Stderr, "gpsa: -resume requires -values")
+		return exitUsage
+	}
+	if armed, err := fault.ActivateFromEnv(); err != nil {
+		fmt.Fprintf(os.Stderr, "gpsa: %v\n", err)
+		return exitUsage
+	} else if armed && *verbose {
+		fmt.Fprintf(os.Stderr, "gpsa: fault plan armed from %s\n", fault.EnvVar)
+	}
+
+	// SIGINT/SIGTERM cancel the run's context: the engine rolls back the
+	// in-flight superstep and seals the value file before we exit.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
 	opts := gpsa.RunOptions{
 		Supersteps:  *supersteps,
+		Context:     ctx,
+		Resume:      *resume,
 		Dispatchers: *dispatchers,
 		Computers:   *computers,
 		ValuesPath:  *values,
@@ -102,13 +166,15 @@ func main() {
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "gpsa: unknown algorithm %q\n", *algo)
-		os.Exit(2)
+		return exitUsage
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "gpsa: %v\n", err)
-		os.Exit(1)
+		return fail(err, *graphPath, *algo, *values)
 	}
 
+	if res.Recovery != "" {
+		fmt.Printf("resumed at superstep %d (%s recovery)\n", res.ResumedFrom, res.Recovery)
+	}
 	fmt.Printf("ran %d supersteps in %v (%d messages, %d updates, converged=%v)\n",
 		res.Supersteps, res.Duration, res.Messages, res.Updates, res.Converged)
 	if res.Retries > 0 {
@@ -117,13 +183,30 @@ func main() {
 	if *dump != "" {
 		if err := dumpScores(*dump, scores); err != nil {
 			fmt.Fprintf(os.Stderr, "gpsa: %v\n", err)
-			os.Exit(1)
+			return exitFatal
 		}
 		fmt.Printf("wrote %s\n", *dump)
 	}
 	if *top > 0 && (*algo == "pagerank" || *algo == "deltapagerank") {
 		printTop(scores, *top)
 	}
+	return exitOK
+}
+
+// fail reports a run error and classifies it: a run that left resumable
+// state in -values exits 3 with the exact resume command; anything else
+// is fatal.
+func fail(err error, graphPath, algo, values string) int {
+	fmt.Fprintf(os.Stderr, "gpsa: %v\n", err)
+	if values != "" && (errors.Is(err, context.Canceled) || gpsa.Resumable(values)) {
+		if info, ierr := gpsa.InspectValues(values); ierr == nil {
+			fmt.Fprintf(os.Stderr, "gpsa: %d supersteps are sealed in %s\n", info.Epoch, values)
+		}
+		fmt.Fprintf(os.Stderr, "gpsa: resume with: %s -graph %s -algo %s -values %s -resume\n",
+			os.Args[0], graphPath, algo, values)
+		return exitRecoverable
+	}
+	return exitFatal
 }
 
 func dumpScores(path string, scores []float64) error {

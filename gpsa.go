@@ -18,6 +18,8 @@
 package gpsa
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -25,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/mmap"
 	"repro/internal/vertexfile"
 )
@@ -75,11 +78,32 @@ func SaveGraphCompact(path string, g *CSR) error {
 	return graph.WriteFileCompact(path, g)
 }
 
+// ErrCrashInjected surfaces from a run killed by the fault-injection
+// site core.step.crash (simulated process death; see internal/fault).
+var ErrCrashInjected = core.ErrCrashInjected
+
 // RunOptions tunes Run and the convenience algorithm runners.
 type RunOptions struct {
 	// Supersteps caps the run; 0 means run to convergence (up to the
-	// engine's default cap of 100).
+	// engine's default cap of 100). For a resumed run the cap counts
+	// from superstep 0 — the total budget, not additional supersteps —
+	// so an interrupted fixed-budget run (e.g. PageRank's default 5)
+	// finishes with exactly the supersteps the uninterrupted run had.
 	Supersteps int
+
+	// Context, when non-nil, cancels the run: between supersteps it
+	// stops cleanly, mid-superstep the in-flight superstep is rolled
+	// back. Either way a persistent value file is left cleanly sealed
+	// and resumable, and the returned error wraps the context's error.
+	Context context.Context
+
+	// Resume continues the computation recorded in ValuesPath (which
+	// must name an existing value file created with the same program):
+	// an interrupted superstep is rolled back — exactly, when the
+	// persisted active-set snapshot survived — and the run proceeds
+	// from the recorded superstep with the recorded convergence and
+	// aggregator state. The Resume function is shorthand for this flag.
+	Resume bool
 	// Dispatchers and Computers size the actor pools (0 = automatic).
 	Dispatchers int
 	Computers   int
@@ -108,6 +132,13 @@ func (o RunOptions) engineConfig() core.Config {
 		SuperstepTimeout: o.Watchdog,
 		Progress:         o.Progress,
 	}
+}
+
+func (o RunOptions) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 // Values is the vertex value store produced by a run. Close releases (and
@@ -145,6 +176,12 @@ func (v *Values) Close() error {
 // Run executes prog over the on-disk CSR graph at graphPath and returns
 // the run summary plus the resulting vertex values. The caller must Close
 // the returned Values.
+//
+// With opts.Resume set, Run continues the computation recorded in
+// opts.ValuesPath instead of starting over: an interrupted superstep is
+// rolled back (exactly, when the active-set snapshot Begin persisted
+// survived the crash) and execution proceeds from the recorded superstep.
+// On failure the Result — when non-nil — still carries what ran.
 func Run(graphPath string, prog Program, opts RunOptions) (*Values, *Result, error) {
 	gf, err := graph.OpenFile(graphPath, mmap.ModeAuto)
 	if err != nil {
@@ -152,34 +189,79 @@ func Run(graphPath string, prog Program, opts RunOptions) (*Values, *Result, err
 	}
 	defer gf.Close()
 
-	vpath := opts.ValuesPath
-	temp := vpath == ""
-	if temp {
-		f, err := os.CreateTemp(filepath.Dir(graphPath), ".gpsa-values-*")
+	var vals *Values
+	resumedFrom := int64(-1)
+	recovery := ""
+	if opts.Resume {
+		if opts.ValuesPath == "" {
+			return nil, nil, errors.New("gpsa: Resume requires ValuesPath")
+		}
+		vf, err := vertexfile.Open(opts.ValuesPath)
 		if err != nil {
-			return nil, nil, fmt.Errorf("gpsa: temp value file: %w", err)
+			return nil, nil, err
 		}
-		vpath = f.Name()
-		f.Close()
-	}
-	vf, err := core.CreateValueFile(vpath, gf, prog)
-	if err != nil {
+		step, err := vf.Recover()
+		if err != nil {
+			vf.Close()
+			return nil, nil, err
+		}
+		resumedFrom, recovery = step, vf.LastRecovery()
+		metrics.Inc(metrics.CtrResumes)
+		vals = &Values{vf: vf}
+	} else {
+		vpath := opts.ValuesPath
+		temp := vpath == ""
 		if temp {
-			os.Remove(vpath)
+			f, err := os.CreateTemp(filepath.Dir(graphPath), ".gpsa-values-*")
+			if err != nil {
+				return nil, nil, fmt.Errorf("gpsa: temp value file: %w", err)
+			}
+			vpath = f.Name()
+			f.Close()
 		}
-		return nil, nil, err
+		vf, err := core.CreateValueFile(vpath, gf, prog)
+		if err != nil {
+			if temp {
+				os.Remove(vpath)
+			}
+			return nil, nil, err
+		}
+		vals = &Values{vf: vf, temp: temp}
 	}
-	vals := &Values{vf: vf, temp: temp}
 
-	eng, err := core.New(gf, vf, prog, opts.engineConfig())
+	cfg := opts.engineConfig()
+	if opts.Resume {
+		// Supersteps is a total budget counted from superstep 0, so a
+		// resumed fixed-budget run stops exactly where the uninterrupted
+		// run would have. The engine cap is what remains.
+		total := opts.Supersteps
+		if total <= 0 {
+			total = core.DefaultMaxSupersteps
+		}
+		remaining := total - int(vals.vf.Epoch())
+		if remaining <= 0 || vals.vf.Converged() {
+			res := &Result{Converged: vals.vf.Converged(), ResumedFrom: resumedFrom, Recovery: recovery}
+			return vals, res, nil
+		}
+		cfg.MaxSupersteps = remaining
+	}
+
+	eng, err := core.New(gf, vals.vf, prog, cfg)
 	if err != nil {
 		vals.Close()
 		return nil, nil, err
 	}
-	res, err := eng.Run()
+	res, err := eng.RunContext(opts.ctx())
+	if res != nil && opts.Resume {
+		res.ResumedFrom = resumedFrom
+		res.Recovery = recovery
+	}
 	if err != nil {
+		// Close seals the mapping; for persistent files the state on disk
+		// stays resumable (a cancelled superstep was already rolled back,
+		// a crashed one is rolled back on the next Open+Recover).
 		vals.Close()
-		return nil, nil, err
+		return nil, res, err
 	}
 	return vals, res, nil
 }
@@ -187,32 +269,49 @@ func Run(graphPath string, prog Program, opts RunOptions) (*Values, *Result, err
 // Resume reopens a persistent value file (after a crash or a previous
 // partial run), rolls back any interrupted superstep, and continues
 // running prog. The program must be the one the file was created with.
+// It is shorthand for Run with opts.Resume and opts.ValuesPath set.
 func Resume(graphPath, valuesPath string, prog Program, opts RunOptions) (*Values, *Result, error) {
-	gf, err := graph.OpenFile(graphPath, mmap.ModeAuto)
+	opts.Resume = true
+	opts.ValuesPath = valuesPath
+	return Run(graphPath, prog, opts)
+}
+
+// ValuesInfo is a cheap description of a value file's recorded
+// progress, for tools deciding whether (and how) to resume.
+type ValuesInfo struct {
+	NumVertices int64
+	Epoch       int64   // completed supersteps
+	InProgress  bool    // an uncommitted superstep was interrupted
+	Converged   bool    // the computation finished
+	Aggregate   float64 // aggregator value at the last commit
+	Torn        bool    // the header was torn and has been rolled back
+}
+
+// InspectValues opens, validates, and summarizes the value file at path
+// without running anything (a torn header is rolled back in the process,
+// as on any Open). An error means the file is not resumable (missing,
+// truncated, corrupt, or digest-mismatched).
+func InspectValues(path string) (ValuesInfo, error) {
+	vf, err := vertexfile.Open(path)
 	if err != nil {
-		return nil, nil, err
+		return ValuesInfo{}, err
 	}
-	defer gf.Close()
-	vf, err := vertexfile.Open(valuesPath)
-	if err != nil {
-		return nil, nil, err
-	}
-	if _, err := vf.Recover(); err != nil {
-		vf.Close()
-		return nil, nil, err
-	}
-	vals := &Values{vf: vf}
-	eng, err := core.New(gf, vf, prog, opts.engineConfig())
-	if err != nil {
-		vals.Close()
-		return nil, nil, err
-	}
-	res, err := eng.Run()
-	if err != nil {
-		vals.Close()
-		return nil, nil, err
-	}
-	return vals, res, nil
+	defer vf.Close()
+	return ValuesInfo{
+		NumVertices: vf.NumVertices(),
+		Epoch:       vf.Epoch(),
+		InProgress:  vf.InProgress(),
+		Converged:   vf.Converged(),
+		Aggregate:   vf.Aggregate(),
+		Torn:        vf.Torn(),
+	}, nil
+}
+
+// Resumable reports whether path holds a value file a -resume run could
+// continue from.
+func Resumable(path string) bool {
+	_, err := InspectValues(path)
+	return err == nil
 }
 
 // RunGraph executes prog over an in-memory graph with no files at all:
@@ -236,9 +335,9 @@ func RunGraph(g *CSR, prog Program, opts RunOptions) (*Values, *Result, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	res, err := eng.Run()
+	res, err := eng.RunContext(opts.ctx())
 	if err != nil {
-		return nil, nil, err
+		return nil, res, err
 	}
 	return vals, res, nil
 }

@@ -1,0 +1,62 @@
+package actor
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+// TestNoRestartAfterCancel: a cancelled system must not restart a
+// panicking actor — during teardown a restarted worker would only block
+// on closed mailboxes.
+func TestNoRestartAfterCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := NewSystemContext(ctx, "t", RestartPolicy{MaxRestarts: 5})
+	var runs atomic.Int64
+	cancel()
+	ref := s.SpawnFunc("boom", func() error {
+		runs.Add(1)
+		panic("boom")
+	})
+	<-ref.Done()
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("actor ran %d times after cancel, want 1", got)
+	}
+	if ref.Restarts() != 0 {
+		t.Fatalf("restarts = %d, want 0", ref.Restarts())
+	}
+	if err := s.Wait(); err == nil {
+		t.Fatal("panic not surfaced as failure")
+	}
+}
+
+// TestRestartsBeforeCancel: the same policy does restart while the
+// context is live, and stops once it is cancelled mid-life.
+func TestRestartsBeforeCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s := NewSystemContext(ctx, "t", RestartPolicy{MaxRestarts: 3})
+	var runs atomic.Int64
+	ref := s.SpawnFunc("boom", func() error {
+		if runs.Add(1) == 2 {
+			cancel() // second attempt cancels: no third attempt
+		}
+		panic("boom")
+	})
+	<-ref.Done()
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("actor ran %d times, want 2 (restart once, then cancel stops it)", got)
+	}
+}
+
+func TestNewSystemNilContext(t *testing.T) {
+	s := NewSystemContext(nil, "t", RestartPolicy{}) //nolint:staticcheck // nil tolerance is the point
+	if s.Context() == nil {
+		t.Fatal("nil ctx not defaulted")
+	}
+	ref := s.SpawnFunc("ok", func() error { return nil })
+	<-ref.Done()
+	if err := s.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

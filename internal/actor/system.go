@@ -1,6 +1,7 @@
 package actor
 
 import (
+	"context"
 	"fmt"
 	"runtime/debug"
 	"sort"
@@ -80,6 +81,7 @@ func (r *Ref) Restarts() int {
 type System struct {
 	name   string
 	policy RestartPolicy
+	ctx    context.Context
 
 	wg sync.WaitGroup
 
@@ -91,8 +93,24 @@ type System struct {
 
 // NewSystem creates an actor system. The name is used in diagnostics only.
 func NewSystem(name string, policy RestartPolicy) *System {
-	return &System{name: name, policy: policy, refs: make(map[string]*Ref)}
+	return NewSystemContext(context.Background(), name, policy)
 }
+
+// NewSystemContext creates an actor system bound to ctx. The context does
+// not preempt running actors — Go cannot forcibly stop a goroutine, and
+// GPSA's workers observe cancellation through their mailboxes — but once
+// ctx is cancelled the supervisor stops restarting panicking actors:
+// during a teardown a restarted worker would only block on closed
+// mailboxes and delay collection.
+func NewSystemContext(ctx context.Context, name string, policy RestartPolicy) *System {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &System{name: name, policy: policy, ctx: ctx, refs: make(map[string]*Ref)}
+}
+
+// Context returns the context the system was created with.
+func (s *System) Context() context.Context { return s.ctx }
 
 // Spawn starts a concurrently executing actor. If name is empty a unique
 // one is generated; if it collides with a live actor's name a suffix is
@@ -129,7 +147,7 @@ func (s *System) run(ref *Ref, a Actor) {
 		if err == nil {
 			return
 		}
-		if stack != nil && attempt < s.policy.MaxRestarts {
+		if stack != nil && attempt < s.policy.MaxRestarts && s.ctx.Err() == nil {
 			ref.mu.Lock()
 			ref.restarts++
 			ref.mu.Unlock()

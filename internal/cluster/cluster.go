@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -13,6 +14,10 @@ import (
 
 // Config tunes a distributed run.
 type Config struct {
+	// Context, when non-nil, cancels the run between supersteps: the
+	// coordinator stops issuing superstep starts and halts the nodes. The
+	// last committed superstep stays durable in each node's value file.
+	Context context.Context
 	// Nodes is the number of cluster nodes (default 2). Small graphs may
 	// yield fewer (interval boundaries snap to the file index).
 	Nodes int
@@ -92,7 +97,7 @@ func Run(graphPath string, prog core.Program, cfg Config) (*Result, []uint64, er
 		return nil, nil, err
 	}
 
-	res, err := coord.run(0, cfg.MaxSupersteps)
+	res, err := coord.run(cfg.Context, 0, cfg.MaxSupersteps)
 	if err != nil {
 		select {
 		case nerr := <-nodeErr:

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -87,12 +88,20 @@ func (c *coordinator) accept() error {
 	return nil
 }
 
-// run drives supersteps until convergence or maxSupersteps.
-func (c *coordinator) run(startStep int64, maxSupersteps int) (*Result, error) {
+// run drives supersteps until convergence, maxSupersteps, or ctx
+// cancellation (checked between supersteps: a distributed superstep is
+// not interrupted mid-flight — nodes commit or the step fails whole).
+func (c *coordinator) run(ctx context.Context, startStep int64, maxSupersteps int) (*Result, error) {
 	res := &Result{Nodes: len(c.nodes)}
 	t0 := time.Now()
 	step := startStep
 	for s := 0; s < maxSupersteps; s++ {
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				res.Duration = time.Since(t0)
+				return res, fmt.Errorf("cluster: run cancelled before superstep %d: %w", step, cerr)
+			}
+		}
 		st, err := c.superstep(step)
 		if err != nil {
 			return res, err

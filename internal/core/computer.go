@@ -75,7 +75,14 @@ func (c *computer) processBatch(batch []Message) {
 	// the overlap phase the authoritative value is the file's epoch.
 	step := eng.vf.Epoch()
 	dcol, ucol := vertexfile.DispatchCol(step), vertexfile.UpdateCol(step)
-	for _, m := range batch {
+	for i, m := range batch {
+		// Bail out mid-batch when the run is being torn down (checked
+		// every 256 messages to keep the hot loop cheap): the superstep is
+		// rolled back anyway, and a prompt unwind is what bounds the
+		// latency of a graceful SIGINT stop under slow user programs.
+		if i&0xFF == 0 && eng.aborted.Load() {
+			break
+		}
 		fault.Panic(fault.SiteComputerMsg)
 		fault.Stall(fault.SiteComputerStall)
 		v := int64(m.Dst)

@@ -27,6 +27,11 @@ func BlockOwner(numVertices int64) OwnerFunc {
 	}
 }
 
+// DefaultMaxSupersteps is the superstep cap when Config.MaxSupersteps is
+// zero. Exported so resume logic can interpret "no explicit cap" as the
+// same total budget the original run had.
+const DefaultMaxSupersteps = 100
+
 // IntervalStrategy selects dispatcher interval balancing.
 type IntervalStrategy int
 
@@ -148,7 +153,7 @@ func (c Config) withDefaults() Config {
 		c.MailboxCap = 64
 	}
 	if c.MaxSupersteps <= 0 {
-		c.MaxSupersteps = 100
+		c.MaxSupersteps = DefaultMaxSupersteps
 	}
 	if c.Owner == nil {
 		c.Owner = ModOwner
@@ -194,4 +199,14 @@ type Result struct {
 	// assignment strategies.
 	DispatcherMessages []int64
 	ComputerUpdates    []int64
+
+	// ResumedFrom is the superstep a resumed run continued from; it is
+	// meaningful only when Recovery is non-empty.
+	ResumedFrom int64
+	// Recovery describes how the value file was recovered when this run
+	// resumed an earlier one: "none" (the file was cleanly sealed),
+	// "exact" (interrupted superstep rolled back with its exact active
+	// set), or "conservative" (every vertex re-activated). Empty for
+	// fresh, non-resumed runs.
+	Recovery string
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/actor"
 	"repro/internal/fault"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/vertexfile"
 )
 
@@ -55,10 +57,10 @@ type Engine struct {
 
 	batchPool sync.Pool
 
-	// activeBits snapshots the dispatch column's fresh flags before each
-	// superstep when retries are enabled, so a failed superstep can be
-	// rolled back exactly (vertexfile.Rollback) rather than conservatively.
-	activeBits []uint64
+	// runCtx is the context of the current RunContext call; cancellation
+	// stops the run cleanly between supersteps, or rolls the in-flight
+	// superstep back so the value file seals clean and resumable.
+	runCtx context.Context
 
 	// aborted is set when the run is being torn down early (watchdog or
 	// failure); dispatchers poll it between vertices so a wedged or
@@ -148,7 +150,7 @@ func (e *Engine) putBatch(b []Message) {
 func (e *Engine) spawn() {
 	cfg := e.cfg
 	e.aborted.Store(false)
-	e.system = actor.NewSystem("gpsa", actor.RestartPolicy{MaxRestarts: cfg.MaxStepRetries + 1})
+	e.system = actor.NewSystemContext(e.runCtx, "gpsa", actor.RestartPolicy{MaxRestarts: cfg.MaxStepRetries + 1})
 	e.toManager = actor.NewMailbox[workerMsg](cfg.Dispatchers + cfg.Computers + 1)
 	e.toDisp = make([]*actor.Mailbox[workerMsg], len(e.intervals))
 	for i := range e.toDisp {
@@ -208,6 +210,20 @@ func (e *Engine) teardown() error {
 // immutable dispatch column, and — after an exponential backoff — the
 // superstep is re-executed with a freshly spawned crew.
 func (e *Engine) Run() (*Result, error) {
+	return e.RunContext(context.Background())
+}
+
+// RunContext is Run under a context. Cancellation is honored at two
+// grains: between supersteps the run simply stops (the previous commit
+// already sealed the file clean), and mid-superstep the worker crew is
+// torn down and the in-flight superstep rolled back to its immutable
+// dispatch column — either way the value file is left cleanly sealed and
+// resumable, and the returned error wraps ctx.Err().
+func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.runCtx = ctx
 	cfg := e.cfg
 	if cfg.Intervals == IntervalsByVertices {
 		e.intervals = e.gf.PartitionByVertices(cfg.Dispatchers)
@@ -218,8 +234,12 @@ func (e *Engine) Run() (*Result, error) {
 		DispatcherMessages: make([]int64, len(e.intervals)),
 		ComputerUpdates:    make([]int64, cfg.Computers),
 	}
-	if cfg.MaxStepRetries > 0 && e.activeBits == nil {
-		e.activeBits = make([]uint64, (e.vf.NumVertices()+63)/64)
+	if e.vf.Converged() {
+		// The file's last commit sealed convergence: the computation is
+		// finished, and re-running supersteps could perturb programs whose
+		// halting condition is aggregator-based rather than quiescence.
+		res.Converged = true
+		return res, nil
 	}
 
 	e.spawn()
@@ -227,6 +247,13 @@ func (e *Engine) Run() (*Result, error) {
 	retries := 0
 	var runErr error
 	for n := 0; n < cfg.MaxSupersteps; {
+		if cerr := ctx.Err(); cerr != nil {
+			// Clean stop between supersteps: the last commit sealed the
+			// file, nothing to roll back.
+			metrics.Inc(metrics.CtrRunsCancelled)
+			runErr = fmt.Errorf("core: run cancelled before superstep %d: %w", e.vf.Epoch(), cerr)
+			break
+		}
 		step := e.vf.Epoch()
 		converged, err := e.runStep(step, res)
 		if err == nil {
@@ -237,6 +264,19 @@ func (e *Engine) Run() (*Result, error) {
 				break
 			}
 			continue
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			// Cancelled mid-superstep: quiesce the crew, then roll the
+			// interrupted superstep back so the file seals clean — the
+			// graceful-shutdown path behind SIGINT/SIGTERM.
+			e.teardown() //nolint:errcheck
+			metrics.Inc(metrics.CtrRunsCancelled)
+			if rerr := e.vf.Rollback(step, !cfg.DisableSync); rerr != nil {
+				runErr = fmt.Errorf("core: rolling back cancelled superstep %d: %w", step, errors.Join(cerr, rerr))
+			} else {
+				runErr = fmt.Errorf("core: superstep %d cancelled and rolled back: %w", step, cerr)
+			}
+			break
 		}
 		var se *stepError
 		if !errors.As(err, &se) || !se.retryable || retries >= cfg.MaxStepRetries {
@@ -249,7 +289,7 @@ func (e *Engine) Run() (*Result, error) {
 		retries++
 		res.Retries++
 		e.teardown() //nolint:errcheck
-		if rerr := e.vf.Rollback(step, e.activeBits, !cfg.DisableSync); rerr != nil {
+		if rerr := e.vf.Rollback(step, !cfg.DisableSync); rerr != nil {
 			runErr = fmt.Errorf("core: rolling back superstep %d after %v: %w", step, err, rerr)
 			break
 		}
@@ -277,21 +317,44 @@ func retryBackoff(base time.Duration, retry int) time.Duration {
 	return base << uint(shift)
 }
 
-// managerGet receives the next worker notification, honoring the
-// watchdog timeout.
+// managerGet receives the next worker notification, honoring both the
+// watchdog timeout and context cancellation. With neither in play it
+// blocks outright; otherwise it polls in short slices so a cancelled run
+// notices within ~20ms even when no worker is producing notifications.
+// The manager mailbox is only ever closed by this goroutine (teardown),
+// so inside managerGet a timed-out GetTimeout always means "no message
+// yet", never "closed".
 func (e *Engine) managerGet(phase string) (workerMsg, error) {
-	if e.cfg.SuperstepTimeout <= 0 {
+	var deadline time.Time
+	if e.cfg.SuperstepTimeout > 0 {
+		deadline = time.Now().Add(e.cfg.SuperstepTimeout)
+	}
+	if deadline.IsZero() && e.runCtx.Done() == nil {
 		m, ok := e.toManager.Get()
 		if !ok {
 			return workerMsg{}, errors.New("core: manager mailbox closed")
 		}
 		return m, nil
 	}
-	m, ok := e.toManager.GetTimeout(e.cfg.SuperstepTimeout)
-	if !ok {
-		return workerMsg{}, fmt.Errorf("core: superstep watchdog: no worker notification within %v during %s", e.cfg.SuperstepTimeout, phase)
+	const tick = 20 * time.Millisecond
+	for {
+		if cerr := e.runCtx.Err(); cerr != nil {
+			return workerMsg{}, fmt.Errorf("core: %s interrupted: %w", phase, cerr)
+		}
+		wait := tick
+		if !deadline.IsZero() {
+			rem := time.Until(deadline)
+			if rem <= 0 {
+				return workerMsg{}, fmt.Errorf("core: superstep watchdog: no worker notification within %v during %s", e.cfg.SuperstepTimeout, phase)
+			}
+			if rem < wait {
+				wait = rem
+			}
+		}
+		if m, ok := e.toManager.GetTimeout(wait); ok {
+			return m, nil
+		}
 	}
-	return m, nil
 }
 
 // runStep executes one superstep — the body of the paper's Algorithm 1 —
@@ -299,9 +362,6 @@ func (e *Engine) managerGet(phase string) (workerMsg, error) {
 // locally and only merged into res after the commit succeeds, so a
 // retried superstep is counted exactly once.
 func (e *Engine) runStep(step int64, res *Result) (converged bool, err error) {
-	if e.cfg.MaxStepRetries > 0 {
-		e.vf.SnapshotActive(step, e.activeBits)
-	}
 	if err := e.vf.Begin(step, !e.cfg.DisableSync); err != nil {
 		return false, &stepError{step: step, phase: "begin", err: err, retryable: true}
 	}
@@ -342,6 +402,7 @@ func (e *Engine) runStep(step int64, res *Result) (converged bool, err error) {
 		// reopen (Open + Recover), not in-process.
 		return false, fmt.Errorf("%w (superstep %d: %v)", ErrCrashInjected, step, ferr)
 	}
+	fault.Crash(fault.SiteKillDispatch)
 
 	// Barrier: COMPUTE_OVER to every computing worker; they reply
 	// after draining everything queued before it (FIFO).
@@ -369,6 +430,8 @@ func (e *Engine) runStep(step int64, res *Result) (converged bool, err error) {
 		}
 	}
 
+	fault.Crash(fault.SiteKillBarrier)
+
 	var aggDone bool
 	var aggVal float64
 	if e.aggregator != nil {
@@ -376,7 +439,16 @@ func (e *Engine) runStep(step int64, res *Result) (converged bool, err error) {
 		aggDone = e.aggregator.AggConverged(step, aggVal)
 	}
 
-	if err := e.vf.Commit(step, !e.cfg.DisableReconcile, !e.cfg.DisableSync); err != nil {
+	// Convergence is decided before the commit so it can be sealed into
+	// the header: a resumed run must know the computation finished rather
+	// than re-running (and possibly perturbing) a converged result.
+	converged = (messages == 0 && updates == 0) || aggDone
+	if err := e.vf.CommitStep(step, vertexfile.CommitState{
+		Reconcile: !e.cfg.DisableReconcile,
+		Durable:   !e.cfg.DisableSync,
+		Converged: converged,
+		Aggregate: aggVal,
+	}); err != nil {
 		return false, &stepError{step: step, phase: "commit", err: err, retryable: true}
 	}
 
@@ -400,5 +472,5 @@ func (e *Engine) runStep(step int64, res *Result) (converged bool, err error) {
 	if e.cfg.Progress != nil {
 		e.cfg.Progress(st)
 	}
-	return (messages == 0 && updates == 0) || aggDone, nil
+	return converged, nil
 }

@@ -1,0 +1,297 @@
+package crashtest
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/vertexfile"
+)
+
+var (
+	gpsaBin        string
+	directedGraph  string
+	symmetricGraph string
+)
+
+// TestMain compiles cmd/gpsa and generates the torture graphs once for
+// the whole package. Skipped under -short, where only the in-process
+// regression tests run.
+func TestMain(m *testing.M) {
+	flag.Parse()
+	dir := ""
+	if !testing.Short() {
+		var err error
+		if dir, err = os.MkdirTemp("", "gpsa-crashtest-*"); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fatal := func(err error) {
+			os.RemoveAll(dir)
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if gpsaBin, err = buildGPSA(dir); err != nil {
+			fatal(err)
+		}
+		if directedGraph, symmetricGraph, err = writeGraphs(dir); err != nil {
+			fatal(err)
+		}
+	}
+	code := m.Run()
+	if dir != "" {
+		os.RemoveAll(dir)
+	}
+	os.Exit(code)
+}
+
+// killSites are the fault sites a torture cycle may park a SIGKILL at —
+// every phase of the durability state machine.
+var killSites = []string{
+	fault.SiteKillBeginActive,
+	fault.SiteKillDispatch,
+	fault.SiteKillBarrier,
+	fault.SiteKillCommitColumns,
+	fault.SiteKillCommitSeal,
+	fault.SiteKillCommitDone,
+}
+
+// resumable reports whether path currently holds a value file a -resume
+// run can continue from (a kill before Create finished leaves it
+// missing or truncated).
+func resumable(path string) bool {
+	vf, err := vertexfile.Open(path)
+	if err != nil {
+		return false
+	}
+	vf.Close()
+	return true
+}
+
+// runBaseline executes one uninterrupted run into its own value file and
+// returns the sealed state every tortured run must reproduce exactly.
+func runBaseline(t *testing.T, graphPath string, algoArgs []string, dir string) fileState {
+	t.Helper()
+	values := filepath.Join(dir, "baseline.gpvf")
+	args := append([]string{"-graph", graphPath, "-dispatchers", "1", "-values", values}, algoArgs...)
+	res, err := runBinary(gpsaBin, args, "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.exitCode != 0 {
+		t.Fatalf("baseline run exited %d\nstdout:\n%s\nstderr:\n%s", res.exitCode, res.stdout, res.stderr)
+	}
+	state, err := readState(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return state
+}
+
+// TestTortureKillResume is the kill-torture acceptance test: for each
+// shipped algorithm it SIGKILLs the gpsa binary at randomized supersteps
+// and commit-protocol phases (plus wall-clock jitter kills), resumes
+// with -resume, and requires the surviving value file to end bit-identical
+// to the uninterrupted baseline. 3 algorithms x 7 kills = 21 randomized
+// kill points per run of the harness.
+func TestTortureKillResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess torture harness")
+	}
+	cases := []struct {
+		name  string
+		graph func() string
+		args  []string
+		seed  int64
+	}{
+		{"pagerank", func() string { return directedGraph }, []string{"-algo", "pagerank", "-supersteps", "12"}, 101},
+		{"bfs", func() string { return directedGraph }, []string{"-algo", "bfs", "-root", "0"}, 202},
+		{"cc", func() string { return symmetricGraph }, []string{"-algo", "cc"}, 303},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			tortureCase(t, tc.graph(), tc.args, 7, tc.seed)
+		})
+	}
+}
+
+func tortureCase(t *testing.T, graphPath string, algoArgs []string, wantKills int, seed int64) {
+	dir := t.TempDir()
+	baseline := runBaseline(t, graphPath, algoArgs, dir)
+
+	values := filepath.Join(dir, "torture.gpvf")
+	commonArgs := append([]string{"-graph", graphPath, "-dispatchers", "1", "-values", values}, algoArgs...)
+	rng := rand.New(rand.NewSource(seed))
+	kills, resumes := 0, 0
+	for attempt := 0; kills < wantKills; attempt++ {
+		if attempt > 60 {
+			t.Fatalf("only %d of %d kills after %d attempts", kills, wantKills, attempt)
+		}
+		args := commonArgs
+		if resumable(values) {
+			args = append(append([]string{}, commonArgs...), "-resume")
+			resumes++
+		} else {
+			os.Remove(values) // a kill before Create sealed anything: start fresh
+		}
+		var spec string
+		var killAfter time.Duration
+		if rng.Intn(4) == 0 {
+			// Wall-clock jitter: SIGKILL from outside at a random instant,
+			// landing between fault sites (mid-mmap-write, mid-page-fault...).
+			killAfter = time.Duration(10+rng.Intn(120)) * time.Millisecond
+		} else {
+			spec = fmt.Sprintf("site=%s,after=%d", killSites[rng.Intn(len(killSites))], 1+rng.Intn(3))
+		}
+		res, err := runBinary(gpsaBin, args, spec, killAfter, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case res.killed:
+			kills++
+		case res.exitCode == 0:
+			// Finished before the kill fired. The completed state must
+			// already match the baseline; restart fresh for more kills.
+			state, rerr := readState(values)
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			if !state.equal(baseline) {
+				t.Fatalf("completed torture run diverged from baseline: epoch %d vs %d, converged %v vs %v",
+					state.epoch, baseline.epoch, state.converged, baseline.converged)
+			}
+			os.Remove(values)
+		default:
+			t.Fatalf("unexpected outcome (exit %d, plan %q, timer %v)\nstdout:\n%s\nstderr:\n%s",
+				res.exitCode, spec, killAfter, res.stdout, res.stderr)
+		}
+	}
+
+	// Drive the survivor to completion with clean resumes.
+	for finished := false; !finished; {
+		args := commonArgs
+		wasResume := resumable(values)
+		if wasResume {
+			args = append(append([]string{}, commonArgs...), "-resume")
+		} else {
+			os.Remove(values)
+		}
+		res, err := runBinary(gpsaBin, args, "", 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.exitCode != 0 {
+			t.Fatalf("final resume exited %d\nstdout:\n%s\nstderr:\n%s", res.exitCode, res.stdout, res.stderr)
+		}
+		if wasResume && !strings.Contains(res.stdout, "resumed at superstep") {
+			t.Fatalf("resumed run did not report its resume point:\n%s", res.stdout)
+		}
+		finished = true
+	}
+	state, err := readState(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !state.equal(baseline) {
+		t.Fatalf("after %d kills and %d resumes: final state diverged from baseline (epoch %d vs %d, converged %v vs %v)",
+			kills, resumes, state.epoch, baseline.epoch, state.converged, baseline.converged)
+	}
+	t.Logf("%d SIGKILLs, %d resumes, final state bit-identical to baseline (epoch %d)", kills, resumes, state.epoch)
+}
+
+// TestInterruptSealsCleanly covers the graceful half of the contract:
+// SIGINT mid-superstep must roll the in-flight superstep back, seal the
+// value file clean, exit with the recoverable code, and print the exact
+// resume command — and the resumed run must still match the
+// uninterrupted baseline bit for bit.
+func TestInterruptSealsCleanly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess torture harness")
+	}
+	dir := t.TempDir()
+	algoArgs := []string{"-algo", "pagerank", "-supersteps", "12"}
+	baseline := runBaseline(t, directedGraph, algoArgs, dir)
+
+	values := filepath.Join(dir, "int.gpvf")
+	args := append([]string{"-graph", directedGraph, "-dispatchers", "1", "-values", values}, algoArgs...)
+	// Stall every computed message so superstep 0 is still in flight when
+	// the SIGINT lands.
+	res, err := runBinary(gpsaBin, args, "site="+fault.SiteComputerStall+",count=-1,delay=2ms", 0, 400*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.exitCode != 3 {
+		t.Fatalf("interrupted run exited %d, want 3\nstdout:\n%s\nstderr:\n%s", res.exitCode, res.stdout, res.stderr)
+	}
+	if !strings.Contains(res.stderr, "resume with:") {
+		t.Fatalf("interrupted run did not print the resume command:\n%s", res.stderr)
+	}
+	vf, err := vertexfile.Open(values)
+	if err != nil {
+		t.Fatalf("value file not reopenable after SIGINT: %v", err)
+	}
+	if vf.InProgress() || vf.Torn() {
+		vf.Close()
+		t.Fatalf("SIGINT left the file unsealed (inProgress=%v torn=%v)", vf.InProgress(), vf.Torn())
+	}
+	vf.Close()
+
+	res, err = runBinary(gpsaBin, append(append([]string{}, args...), "-resume"), "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.exitCode != 0 {
+		t.Fatalf("resume after SIGINT exited %d\nstderr:\n%s", res.exitCode, res.stderr)
+	}
+	if !strings.Contains(res.stdout, "resumed at superstep") {
+		t.Fatalf("resume output missing resume point:\n%s", res.stdout)
+	}
+	state, err := readState(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !state.equal(baseline) {
+		t.Fatalf("resume after SIGINT diverged from baseline (epoch %d vs %d)", state.epoch, baseline.epoch)
+	}
+}
+
+// TestExitCodes pins the documented exit code contract of cmd/gpsa.
+func TestExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess torture harness")
+	}
+	dir := t.TempDir()
+	runExit := func(args ...string) int {
+		t.Helper()
+		res, err := runBinary(gpsaBin, args, "", 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.exitCode
+	}
+	if got := runExit(); got != 2 {
+		t.Errorf("no -graph: exit %d, want 2", got)
+	}
+	if got := runExit("-graph", directedGraph, "-algo", "no-such-algorithm"); got != 2 {
+		t.Errorf("unknown algorithm: exit %d, want 2", got)
+	}
+	if got := runExit("-graph", directedGraph, "-resume"); got != 2 {
+		t.Errorf("-resume without -values: exit %d, want 2", got)
+	}
+	garbage := filepath.Join(dir, "garbage.gpvf")
+	if err := os.WriteFile(garbage, []byte(strings.Repeat("not a value file ", 64)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := runExit("-graph", directedGraph, "-algo", "pagerank", "-values", garbage, "-resume"); got != 4 {
+		t.Errorf("-resume from garbage: exit %d, want 4", got)
+	}
+}

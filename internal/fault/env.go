@@ -1,0 +1,89 @@
+package fault
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// EnvVar is the environment variable ActivateFromEnv reads. The torture
+// harness sets it on gpsa subprocesses so a freshly exec'd process can
+// arm the same deterministic plan its parent chose.
+const EnvVar = "GPSA_FAULT"
+
+// ParsePlan builds a Plan from a compact textual spec, the format
+// carried by the GPSA_FAULT environment variable:
+//
+//	[seed=N;]site=NAME[,after=N][,count=N][,prob=F][,delay=D][;site=...]
+//
+// Injections are ';'-separated; each is a ','-separated list of key=value
+// fields, of which site is mandatory. delay accepts time.ParseDuration
+// syntax. An optional leading seed=N item seeds the plan's probability
+// stream (default 1).
+func ParsePlan(spec string) (*Plan, error) {
+	seed := int64(1)
+	var injections []Injection
+	for _, item := range strings.Split(spec, ";") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(item, "seed="); ok && !strings.Contains(item, ",") {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad seed %q: %w", v, err)
+			}
+			seed = n
+			continue
+		}
+		var in Injection
+		for _, field := range strings.Split(item, ",") {
+			key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+			if !ok {
+				return nil, fmt.Errorf("fault: bad field %q in %q", field, item)
+			}
+			var err error
+			switch key {
+			case "site":
+				in.Site = val
+			case "after":
+				in.After, err = strconv.ParseInt(val, 10, 64)
+			case "count":
+				in.Count, err = strconv.ParseInt(val, 10, 64)
+			case "prob":
+				in.Prob, err = strconv.ParseFloat(val, 64)
+			case "delay":
+				in.Delay, err = time.ParseDuration(val)
+			default:
+				return nil, fmt.Errorf("fault: unknown field %q in %q", key, item)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad %s %q: %w", key, val, err)
+			}
+		}
+		if in.Site == "" {
+			return nil, fmt.Errorf("fault: injection %q names no site", item)
+		}
+		injections = append(injections, in)
+	}
+	return NewPlan(seed, injections...), nil
+}
+
+// ActivateFromEnv arms the plan described by the GPSA_FAULT environment
+// variable, if set. It returns whether a plan was activated. An
+// unparsable spec is an error: a torture run whose kill plan silently
+// failed to arm would pass vacuously.
+func ActivateFromEnv() (bool, error) {
+	spec := os.Getenv(EnvVar)
+	if spec == "" {
+		return false, nil
+	}
+	p, err := ParsePlan(spec)
+	if err != nil {
+		return false, err
+	}
+	Activate(p)
+	return true, nil
+}

@@ -1,0 +1,75 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("seed=42;site=kill.commit.seal,after=3;site=core.computer.stall,after=1,count=10,delay=100ms,prob=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seal := p.sites["kill.commit.seal"]
+	if seal == nil || seal.After != 3 || seal.Count != 1 {
+		t.Fatalf("kill.commit.seal = %+v", seal)
+	}
+	stall := p.sites["core.computer.stall"]
+	if stall == nil || stall.Count != 10 || stall.Delay != 100*time.Millisecond || stall.Prob != 0.5 {
+		t.Fatalf("core.computer.stall = %+v", stall)
+	}
+}
+
+func TestParsePlanRejectsGarbage(t *testing.T) {
+	for _, spec := range []string{
+		"site=",                  // empty site name? site= gives Site=""
+		"after=3",                // injection without a site
+		"site=x,bogus=1",         // unknown key
+		"site=x,after=notanum",   // bad integer
+		"seed=zzz;site=x",        // bad seed
+		"site=x,delay=5lightyrs", // bad duration
+	} {
+		if _, err := ParsePlan(spec); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", spec)
+		}
+	}
+}
+
+func TestParsePlanFiresLikeHandBuilt(t *testing.T) {
+	p, err := ParsePlan("site=test.site,after=2,count=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Activate(p)
+	defer Deactivate()
+	var fired []bool
+	for i := 0; i < 5; i++ {
+		fired = append(fired, Hit("test.site") != nil)
+	}
+	want := []bool{false, true, true, false, false}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("hit %d fired=%v, want %v (all: %v)", i+1, fired[i], want[i], fired)
+		}
+	}
+}
+
+func TestActivateFromEnvUnset(t *testing.T) {
+	t.Setenv(EnvVar, "")
+	ok, err := ActivateFromEnv()
+	if ok || err != nil {
+		t.Fatalf("ActivateFromEnv with empty env = %v, %v", ok, err)
+	}
+}
+
+func TestActivateFromEnvArms(t *testing.T) {
+	t.Setenv(EnvVar, "site=env.test.site")
+	defer Deactivate()
+	ok, err := ActivateFromEnv()
+	if err != nil || !ok {
+		t.Fatalf("ActivateFromEnv = %v, %v", ok, err)
+	}
+	if Hit("env.test.site") == nil {
+		t.Fatal("armed site did not fire")
+	}
+}

@@ -61,6 +61,36 @@ const (
 	// SiteConnStall fires per data-plane frame write in the cluster;
 	// Stall sleeps for the injection's Delay, simulating a stalled link.
 	SiteConnStall = "cluster.conn.stall"
+	// SiteColumnSync fires in vertexfile.File.CommitState between the
+	// reconcile pass and the column msync; Error simulates the column
+	// write-back failing, which must leave the header unsealed (still
+	// running) — the durability-ordering rule the crash tests enforce.
+	SiteColumnSync = "vertexfile.sync.columns"
+
+	// The kill.* sites are consulted by Crash: when armed they terminate
+	// the whole process with SIGKILL, the real thing rather than a
+	// simulated error. Each fires once per superstep at a distinct point
+	// of the commit protocol, so a torture plan can park a process death
+	// at any instant of the durability state machine.
+	//
+	// SiteKillBeginActive: in Begin, after the active-set bitmap is
+	// written and synced but before the header is sealed running.
+	SiteKillBeginActive = "kill.begin.active"
+	// SiteKillDispatch: in the engine, after all DISPATCH_OVER
+	// notifications are collected (mid-superstep, update column dirty).
+	SiteKillDispatch = "kill.dispatch"
+	// SiteKillBarrier: in the engine, after the compute barrier acks
+	// (superstep computed but not committed).
+	SiteKillBarrier = "kill.barrier"
+	// SiteKillCommitColumns: in CommitState, after the reconcile pass but
+	// before the columns are synced.
+	SiteKillCommitColumns = "kill.commit.columns"
+	// SiteKillCommitSeal: in CommitState, after the columns are synced
+	// but before the header seal — the window the digest check guards.
+	SiteKillCommitSeal = "kill.commit.seal"
+	// SiteKillCommitDone: in CommitState, after the sealed header is
+	// synced (the superstep is durable; death here must lose nothing).
+	SiteKillCommitDone = "kill.commit.done"
 )
 
 // ErrInjected is matched (via errors.Is) by every error this package
@@ -216,6 +246,17 @@ func Panic(site string) {
 func Stall(site string) {
 	if f := Hit(site); f != nil && f.Delay > 0 {
 		time.Sleep(f.Delay)
+	}
+}
+
+// Crash kills the whole process with SIGKILL when site fires: no
+// deferred functions, no flushes, no exit handlers — the closest
+// userspace gets to yanking the power cord. The torture harness arms
+// kill.* sites through the environment (see ActivateFromEnv) to park a
+// process death at an exact instant of the commit protocol.
+func Crash(site string) {
+	if f := Hit(site); f != nil {
+		killSelf()
 	}
 }
 

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package fault
+
+import "os"
+
+// killSelf approximates SIGKILL where signals are unavailable: exit
+// immediately with the conventional 128+9 status and no deferred work.
+func killSelf() {
+	os.Exit(137)
+}

@@ -1,0 +1,18 @@
+//go:build unix
+
+package fault
+
+import (
+	"os"
+	"syscall"
+)
+
+// killSelf delivers SIGKILL to the current process. Unlike os.Exit it
+// cannot be intercepted and runs no Go runtime shutdown, so mmap'd state
+// is left exactly as the kernel last saw it.
+func killSelf() {
+	syscall.Kill(os.Getpid(), syscall.SIGKILL) //nolint:errcheck
+	// SIGKILL is not synchronous with the syscall return; block until
+	// delivery rather than letting execution continue past the site.
+	select {}
+}

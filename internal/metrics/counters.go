@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter names recorded by the durability machinery. The crash-torture
+// harness asserts on these to prove recovery actually ran (rather than a
+// kill landing after the final commit and the "resume" being a no-op).
+const (
+	// CtrRecoverExact counts recoveries that restored the exact
+	// active-set snapshot from the value file's bitmap region.
+	CtrRecoverExact = "vertexfile.recover.exact"
+	// CtrRecoverConservative counts recoveries that fell back to
+	// re-activating every vertex (torn header or stale bitmap).
+	CtrRecoverConservative = "vertexfile.recover.conservative"
+	// CtrOpenTorn counts files Open found with a torn header.
+	CtrOpenTorn = "vertexfile.open.torn"
+	// CtrDigestMismatch counts files Open rejected because the sealed
+	// column digest did not match the column bytes (write-order bug or
+	// external corruption).
+	CtrDigestMismatch = "vertexfile.open.digest_mismatch"
+	// CtrStepRollbacks counts in-process superstep rollbacks (supervised
+	// retry or cancellation).
+	CtrStepRollbacks = "core.step.rollbacks"
+	// CtrRunsCancelled counts engine runs stopped by context cancellation.
+	CtrRunsCancelled = "core.runs.cancelled"
+	// CtrResumes counts gpsa.Run continuations of an existing value file.
+	CtrResumes = "gpsa.resumes"
+)
+
+// counters is a process-wide registry of named monotonic counters. The
+// map is append-only under the lock; the values are atomics, so Inc on a
+// hot path after first use is lock-free.
+var counters sync.Map // string -> *atomic.Int64
+
+func counter(name string) *atomic.Int64 {
+	if c, ok := counters.Load(name); ok {
+		return c.(*atomic.Int64)
+	}
+	c, _ := counters.LoadOrStore(name, new(atomic.Int64))
+	return c.(*atomic.Int64)
+}
+
+// Inc adds 1 to the named counter.
+func Inc(name string) { counter(name).Add(1) }
+
+// Add adds delta to the named counter.
+func Add(name string, delta int64) { counter(name).Add(delta) }
+
+// Counter returns the named counter's current value (0 if never touched).
+func Counter(name string) int64 {
+	if c, ok := counters.Load(name); ok {
+		return c.(*atomic.Int64).Load()
+	}
+	return 0
+}
+
+// Counters snapshots every counter, sorted by name.
+func Counters() []struct {
+	Name  string
+	Value int64
+} {
+	var out []struct {
+		Name  string
+		Value int64
+	}
+	counters.Range(func(k, v any) bool {
+		out = append(out, struct {
+			Name  string
+			Value int64
+		}{k.(string), v.(*atomic.Int64).Load()})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ResetCounters zeroes every counter (test isolation).
+func ResetCounters() {
+	counters.Range(func(_, v any) bool {
+		v.(*atomic.Int64).Store(0)
+		return true
+	})
+}

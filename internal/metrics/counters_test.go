@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounters(t *testing.T) {
+	ResetCounters()
+	Inc("test.a")
+	Inc("test.a")
+	Add("test.b", 5)
+	if got := Counter("test.a"); got != 2 {
+		t.Fatalf("test.a = %d, want 2", got)
+	}
+	if got := Counter("test.b"); got != 5 {
+		t.Fatalf("test.b = %d, want 5", got)
+	}
+	if got := Counter("test.never"); got != 0 {
+		t.Fatalf("untouched counter = %d, want 0", got)
+	}
+	snap := Counters()
+	var names []string
+	for _, c := range snap {
+		if c.Name == "test.a" || c.Name == "test.b" {
+			names = append(names, c.Name)
+		}
+	}
+	if len(names) != 2 || names[0] != "test.a" || names[1] != "test.b" {
+		t.Fatalf("snapshot order/content wrong: %v", names)
+	}
+	ResetCounters()
+	if got := Counter("test.b"); got != 0 {
+		t.Fatalf("after reset test.b = %d, want 0", got)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	ResetCounters()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				Inc("test.concurrent")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := Counter("test.concurrent"); got != 8000 {
+		t.Fatalf("concurrent count = %d, want 8000", got)
+	}
+}

@@ -165,6 +165,39 @@ func (m *Map) Sync() error {
 	return m.msync()
 }
 
+// SyncRange flushes only the byte range [off, off+n) of the mapping back
+// to the file. Ranged syncs are what lets the vertex value file enforce
+// write ordering — columns before header seal — without paying a
+// whole-file msync per transition. For heap-backed maps the range is
+// written back with pwrite followed by fsync; for OS maps msync is issued
+// on the page-aligned span covering the range.
+func (m *Map) SyncRange(off, n int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return fmt.Errorf("mmap: sync on closed map")
+	}
+	if !m.writable {
+		return fmt.Errorf("mmap: sync on read-only map")
+	}
+	if off < 0 || n < 0 || off+n > int64(len(m.data)) {
+		return fmt.Errorf("mmap: sync range [%d, +%d) out of range (len %d)", off, n, len(m.data))
+	}
+	if n == 0 {
+		return nil
+	}
+	if ferr := fault.Error(fault.SiteMmapSync); ferr != nil {
+		return fmt.Errorf("mmap: sync %s: %w", m.f.Name(), ferr)
+	}
+	if m.heap {
+		if _, err := m.f.WriteAt(m.data[off:off+n], off); err != nil {
+			return fmt.Errorf("mmap: write-back: %w", err)
+		}
+		return m.f.Sync()
+	}
+	return m.msyncRange(off, n)
+}
+
 // Close unmaps the file and closes the underlying descriptor. Writable
 // OS mappings are msync'd first; heap mappings are written back.
 func (m *Map) Close() error {

@@ -37,6 +37,21 @@ func (m *Map) msync() error {
 	return nil
 }
 
+// msyncRange syncs the page-aligned span covering [off, off+n). msync
+// demands a page-aligned address, so the range is widened down to the
+// containing page boundary — syncing more than asked is always safe.
+func (m *Map) msyncRange(off, n int64) error {
+	page := int64(os.Getpagesize())
+	start := off &^ (page - 1)
+	length := off + n - start
+	_, _, errno := syscall.Syscall(syscall.SYS_MSYNC,
+		addrOf(m.data)+uintptr(start), uintptr(length), uintptr(syscall.MS_SYNC))
+	if errno != 0 {
+		return fmt.Errorf("mmap: msync [%d, +%d): %w", start, length, errno)
+	}
+	return nil
+}
+
 func (m *Map) munmap() error {
 	if len(m.data) == 0 {
 		return nil

@@ -16,5 +16,6 @@ func newOSMap(f *os.File, size int64, writable bool) (*Map, error) {
 	return nil, fmt.Errorf("mmap: OS mapping not supported on this platform")
 }
 
-func (m *Map) msync() error  { return nil }
-func (m *Map) munmap() error { return nil }
+func (m *Map) msync() error                  { return nil }
+func (m *Map) msyncRange(off, n int64) error { return nil }
+func (m *Map) munmap() error                 { return nil }

@@ -60,6 +60,13 @@ func FuzzOpen(f *testing.F) {
 	f.Add(corrupt(valid, 24, 0x07)) // corrupted state word
 	f.Add(corrupt(valid, 32, 0x01)) // corrupted checksum
 	f.Add(corrupt(running, 35, 0x80))
+	// Write-order shuffle seeds: a clean file whose slot bytes disagree
+	// with the sealed digest (simulating a header synced before its
+	// columns), and a running file with a damaged active-set bitmap
+	// (recoverable, but only conservatively). 8 vertices put the bitmap
+	// at offset 128 and the first slot at 136.
+	f.Add(corrupt(valid, 136, 0x01))
+	f.Add(corrupt(running, 128, 0x01))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		path := filepath.Join(t.TempDir(), "fuzz.gpvf")
 		if err := os.WriteFile(path, data, 0o644); err != nil {
@@ -79,6 +86,14 @@ func FuzzOpen(f *testing.F) {
 		}
 		if !vf.headerValid() {
 			t.Fatal("accepted file has invalid header checksum")
+		}
+		// Any accepted file with a sealed digest must have a dispatch
+		// column that matches it — Open may never trust a header whose
+		// column bytes did not reach the file.
+		if want := vf.header[hdrColDigest]; want != 0 {
+			if got := vf.colDigest(DispatchCol(vf.Epoch())); got != want {
+				t.Fatalf("accepted file: column digest %#x, header sealed %#x", got, want)
+			}
 		}
 		for v := int64(0); v < n; v++ {
 			_ = vf.Value(v)

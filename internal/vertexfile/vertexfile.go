@@ -24,6 +24,15 @@
 // lightweight fault tolerance sound: the dispatch column of the crashed
 // superstep is a complete, payload-immutable snapshot of the previous
 // superstep's state.
+//
+// Durability contract (format v3; the full statement lives in DESIGN.md):
+// every state transition writes and syncs its data before sealing and
+// syncing the header that makes the data authoritative. Begin syncs the
+// active-set bitmap before sealing the header running; CommitState syncs
+// the reconciled columns before sealing the header clean at the next
+// epoch. A header therefore never describes column or bitmap bytes that
+// did not reach the file first, and Open cross-checks the sealed column
+// digest so a violated ordering is detected rather than silently trusted.
 package vertexfile
 
 import (
@@ -33,6 +42,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/fault"
+	"repro/internal/metrics"
 	"repro/internal/mmap"
 )
 
@@ -44,16 +54,20 @@ const (
 	PayloadMask = StaleBit - 1
 
 	fileMagic   = 0x46565047 // "GPVF"
-	fileVersion = 2
-	headerBytes = 64
+	fileVersion = 3
+	headerBytes = 128
+	headerWords = headerBytes / 8
 
 	stateClean   = 0
 	stateRunning = 1
 
 	// maxVertices bounds the vertex count a header may claim, keeping
-	// size arithmetic (16 bytes per vertex plus the header) far from
-	// int64 overflow when Open validates untrusted files.
+	// size arithmetic (16 bytes per vertex plus header and bitmap) far
+	// from int64 overflow when Open validates untrusted files.
 	maxVertices = int64(1) << 56
+	// maxEpoch bounds the superstep counter a header may claim: no real
+	// run approaches it, so a larger value means corruption.
+	maxEpoch = int64(1) << 40
 )
 
 // Stale reports whether a slot carries the stale flag.
@@ -94,17 +108,37 @@ type File struct {
 
 	numVertices int64
 	slots       []uint64 // 2*numVertices, interleaved: slot(v, col) = slots[2v+col]
-	header      []uint64 // first headerBytes/8 words of the mapping
-	torn        bool     // Open found a torn header and rolled it back
+	bitmap      []uint64 // ceil(numVertices/64): the persisted active-set snapshot
+	header      []uint64 // first headerWords words of the mapping
+	bitmapOff   int64
+	slotsOff    int64
+
+	torn         bool   // Open found a torn header and rolled it back
+	lastRecovery string // "", "none", "exact", "conservative"
 }
 
-// Header word indices (64-bit words of the 64-byte header):
+// Header word indices (64-bit words of the 128-byte header):
 //
 //	word 0: magic (u32) | version (u32)
 //	word 1: numVertices
 //	word 2: epoch — completed supersteps
 //	word 3: state — stateClean / stateRunning
-//	word 4: FNV-1a checksum of words 0–3
+//	word 4: FNV-1a checksum of all other header words
+//	word 5: flags (bit 0: the computation has converged)
+//	word 6: aggregator value at the last commit (float64 bits)
+//	word 7: active-set checksum — FNV-1a over the epoch and the bitmap
+//	        region; sealed by Begin, meaningful while state is running
+//	word 8: column digest — FNV-1a over the current dispatch column's
+//	        payloads; 0 means absent (reconcile disabled)
+//	words 9-15: reserved (zero)
+//
+// Between the header and the slots sits the active-set bitmap region
+// (ceil(numVertices/64) words): bit v records whether vertex v was fresh
+// in the running superstep's dispatch column at Begin. Dispatchers
+// consume (re-stale) fresh marks as they stream, so without this
+// snapshot a crashed superstep could only be recovered conservatively
+// (re-activate everything) — value-correct for idempotent programs but
+// not bit-identical for order-sensitive float programs like PageRank.
 //
 // The checksum is re-sealed at every state transition (Create, Begin,
 // Commit, Recover, Rollback). A header whose checksum does not match —
@@ -112,25 +146,40 @@ type File struct {
 // crash mid-flush; Open rolls such files back to the immutable dispatch
 // column instead of trusting the state word.
 const (
-	hdrEpoch = 2
-	hdrState = 3
-	hdrSum   = 4
+	hdrEpoch     = 2
+	hdrState     = 3
+	hdrSum       = 4
+	hdrFlags     = 5
+	hdrAggregate = 6
+	hdrActiveSum = 7
+	hdrColDigest = 8
 )
 
-// headerSum hashes header words 0–3 with FNV-1a. Words are read
-// atomically so sealing can race benignly with concurrent slot access.
+const flagConverged = 1 << 0
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvWord(h, w uint64) uint64 {
+	for b := 0; b < 8; b++ {
+		h ^= (w >> (8 * b)) & 0xFF
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// headerSum hashes every header word except the checksum itself with
+// FNV-1a. Words are read atomically so sealing can race benignly with
+// concurrent slot access.
 func (f *File) headerSum() uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for i := 0; i < hdrSum; i++ {
-		w := atomic.LoadUint64(&f.header[i])
-		for b := 0; b < 8; b++ {
-			h ^= (w >> (8 * b)) & 0xFF
-			h *= prime64
+	h := uint64(fnvOffset64)
+	for i := 0; i < headerWords; i++ {
+		if i == hdrSum {
+			continue
 		}
+		h = fnvWord(h, atomic.LoadUint64(&f.header[i]))
 	}
 	return h
 }
@@ -140,6 +189,30 @@ func (f *File) sealHeader() { atomic.StoreUint64(&f.header[hdrSum], f.headerSum(
 func (f *File) headerValid() bool {
 	return atomic.LoadUint64(&f.header[hdrSum]) == f.headerSum()
 }
+
+// activeSum checksums the bitmap region together with the superstep it
+// snapshots, so Recover can tell a bitmap sealed by step's Begin from
+// stale bytes of an earlier superstep or a torn write.
+func (f *File) activeSum(step int64) uint64 {
+	h := fnvWord(uint64(fnvOffset64), uint64(step))
+	for _, w := range f.bitmap {
+		h = fnvWord(h, w)
+	}
+	return h
+}
+
+// colDigest hashes the payloads of column col. The stale flags are
+// excluded: they are advisory dispatch state, mutated in place by
+// recovery, while the payloads are what resume correctness rests on.
+func (f *File) colDigest(col int) uint64 {
+	h := uint64(fnvOffset64)
+	for v := int64(0); v < f.numVertices; v++ {
+		h = fnvWord(h, Payload(f.Load(col, v)))
+	}
+	return h
+}
+
+func bitmapWords(numVertices int64) int64 { return (numVertices + 63) / 64 }
 
 // Create builds a new value file for numVertices vertices. init supplies
 // each vertex's initial payload and whether the vertex starts active
@@ -153,7 +226,7 @@ func Create(path string, numVertices int64, init func(v int64) (payload uint64, 
 	if init == nil {
 		init = func(int64) (uint64, bool) { return 0, true }
 	}
-	size := headerBytes + 16*numVertices
+	size := headerBytes + 8*bitmapWords(numVertices) + 16*numVertices
 	m, err := mmap.Create(path, size, mmap.Options{})
 	if err != nil {
 		return nil, err
@@ -169,7 +242,6 @@ func Create(path string, numVertices int64, init func(v int64) (payload uint64, 
 	binary.LittleEndian.PutUint64(b[8:], uint64(numVertices))
 	f.setEpoch(0)
 	f.setState(stateClean)
-	f.sealHeader()
 	for v := int64(0); v < numVertices; v++ {
 		payload, active := init(v)
 		// Column 0 is superstep 0's dispatch column: fresh for active
@@ -178,6 +250,8 @@ func Create(path string, numVertices int64, init func(v int64) (payload uint64, 
 		f.Store(0, v, Pack(payload, !active))
 		f.Store(1, v, Pack(payload, true))
 	}
+	atomic.StoreUint64(&f.header[hdrColDigest], f.colDigest(0))
+	f.sealHeader()
 	if err := m.Sync(); err != nil {
 		m.Close()
 		return nil, err
@@ -185,12 +259,15 @@ func Create(path string, numVertices int64, init func(v int64) (payload uint64, 
 	return f, nil
 }
 
-// Open maps an existing value file, validating the header checksum and
-// the clean/running state word. A header torn by a crash mid-flush
-// (checksum mismatch, or a state word that is neither clean nor running)
-// is rolled back to the immutable dispatch column on the spot — Torn
-// reports this. A file whose header is intact but records an in-progress
-// superstep is opened as-is; call Recover to roll it back.
+// Open maps an existing value file, validating the header checksum, the
+// clean/running state word, and the sealed column digest. A header torn
+// by a crash mid-flush (checksum mismatch, or a state word that is
+// neither clean nor running) is rolled back to the immutable dispatch
+// column on the spot — Torn reports this. A file whose header is intact
+// but records an in-progress superstep is opened as-is; call Recover to
+// roll it back. A file whose sealed digest does not match its dispatch
+// column was written out of order (header sealed before the column sync
+// completed) or corrupted externally; it is rejected rather than trusted.
 func Open(path string) (*File, error) {
 	m, err := mmap.Open(path, mmap.Options{Writable: true})
 	if err != nil {
@@ -214,7 +291,7 @@ func Open(path string) (*File, error) {
 		m.Close()
 		return nil, fmt.Errorf("vertexfile: %s: absurd vertex count %d", path, n)
 	}
-	if want := headerBytes + 16*n; int64(len(b)) < want {
+	if want := headerBytes + 8*bitmapWords(n) + 16*n; int64(len(b)) < want {
 		m.Close()
 		return nil, fmt.Errorf("vertexfile: %s: %d bytes, want %d for %d vertices", path, len(b), want, n)
 	}
@@ -223,15 +300,28 @@ func Open(path string) (*File, error) {
 		m.Close()
 		return nil, err
 	}
+	if e := f.Epoch(); e < 0 || e > maxEpoch {
+		m.Close()
+		return nil, fmt.Errorf("vertexfile: %s: absurd epoch %d", path, e)
+	}
 	if s := f.state(); !f.headerValid() || (s != stateClean && s != stateRunning) {
 		// Torn header: the state word cannot be trusted, so treat the
 		// epoch's superstep as interrupted and roll back to the dispatch
 		// column unconditionally.
 		f.torn = true
+		metrics.Inc(metrics.CtrOpenTorn)
 		f.setState(stateRunning)
 		if _, err := f.Recover(); err != nil {
 			m.Close()
 			return nil, fmt.Errorf("vertexfile: %s: rolling back torn header: %w", path, err)
+		}
+		return f, nil
+	}
+	if want := atomic.LoadUint64(&f.header[hdrColDigest]); want != 0 {
+		if got := f.colDigest(DispatchCol(f.Epoch())); got != want {
+			metrics.Inc(metrics.CtrDigestMismatch)
+			m.Close()
+			return nil, fmt.Errorf("vertexfile: %s: column digest mismatch (%#x, header sealed %#x): header sealed before column sync, or columns corrupted", path, got, want)
 		}
 	}
 	return f, nil
@@ -240,6 +330,12 @@ func Open(path string) (*File, error) {
 // Torn reports whether Open found a torn header (failed checksum or
 // invalid state word) and rolled the file back.
 func (f *File) Torn() bool { return f.torn }
+
+// LastRecovery describes the most recent Recover on this handle: "" if
+// Recover never ran, "none" if the file was already clean, "exact" if the
+// active-set bitmap was restored, "conservative" if every vertex was
+// re-activated (torn header or unusable bitmap).
+func (f *File) LastRecovery() string { return f.lastRecovery }
 
 // NewMemory builds a purely in-memory value store with the same
 // interface: Begin/Commit/Reconcile/Recover all work, with durability
@@ -256,7 +352,8 @@ func NewMemory(numVertices int64, init func(v int64) (payload uint64, active boo
 		path:        "(memory)",
 		numVertices: numVertices,
 		slots:       make([]uint64, 2*numVertices),
-		header:      make([]uint64, headerBytes/8),
+		bitmap:      make([]uint64, bitmapWords(numVertices)),
+		header:      make([]uint64, headerWords),
 	}
 	for v := int64(0); v < numVertices; v++ {
 		payload, active := init(v)
@@ -267,15 +364,26 @@ func NewMemory(numVertices int64, init func(v int64) (payload uint64, active boo
 }
 
 func newFile(path string, m *mmap.Map, numVertices int64) (*File, error) {
-	header, err := m.Uint64s(0, headerBytes/8)
+	bw := bitmapWords(numVertices)
+	bitmapOff := int64(headerBytes)
+	slotsOff := bitmapOff + 8*bw
+	header, err := m.Uint64s(0, headerWords)
 	if err != nil {
 		return nil, err
 	}
-	slots, err := m.Uint64s(headerBytes, 2*numVertices)
+	bitmap, err := m.Uint64s(bitmapOff, bw)
 	if err != nil {
 		return nil, err
 	}
-	return &File{path: path, m: m, numVertices: numVertices, slots: slots, header: header}, nil
+	slots, err := m.Uint64s(slotsOff, 2*numVertices)
+	if err != nil {
+		return nil, err
+	}
+	return &File{
+		path: path, m: m, numVertices: numVertices,
+		slots: slots, bitmap: bitmap, header: header,
+		bitmapOff: bitmapOff, slotsOff: slotsOff,
+	}, nil
 }
 
 // NumVertices returns the vertex count.
@@ -294,6 +402,19 @@ func (f *File) setState(s uint64) { atomic.StoreUint64(&f.header[hdrState], s) }
 // (i.e. the writer crashed or is still running).
 func (f *File) InProgress() bool { return f.state() == stateRunning }
 
+// Converged reports whether the last committed superstep concluded the
+// computation. A resumed run can return immediately instead of
+// re-running (and possibly perturbing) a finished result.
+func (f *File) Converged() bool {
+	return atomic.LoadUint64(&f.header[hdrFlags])&flagConverged != 0
+}
+
+// Aggregate returns the aggregator value sealed by the last commit (0 if
+// the program does not aggregate).
+func (f *File) Aggregate() float64 {
+	return math.Float64frombits(atomic.LoadUint64(&f.header[hdrAggregate]))
+}
+
 // DispatchCol returns the dispatch (read) column for a superstep.
 func DispatchCol(step int64) int { return int(step & 1) }
 
@@ -310,26 +431,95 @@ func (f *File) Store(col int, v int64, slot uint64) {
 	atomic.StoreUint64(&f.slots[2*v+int64(col)], slot)
 }
 
-// Begin marks superstep step as in progress; durable additionally syncs
-// the mapping so a crash is detectable. It must be called with the step
-// equal to the current epoch.
+func (f *File) syncHeader() error {
+	if f.m == nil {
+		return nil
+	}
+	return f.m.SyncRange(0, headerBytes)
+}
+
+func (f *File) syncBitmap() error {
+	if f.m == nil {
+		return nil
+	}
+	return f.m.SyncRange(f.bitmapOff, 8*int64(len(f.bitmap)))
+}
+
+func (f *File) syncSlots() error {
+	if f.m == nil {
+		return nil
+	}
+	return f.m.SyncRange(f.slotsOff, 16*f.numVertices)
+}
+
+// Begin marks superstep step as in progress. It snapshots the dispatch
+// column's fresh flags into the persisted bitmap region — the exact
+// active set a recovery needs, since dispatchers consume fresh marks as
+// they stream — and, when durable, syncs the bitmap BEFORE sealing and
+// syncing the running header, so a sealed header never vouches for
+// bitmap bytes that did not reach the file. It must be called with the
+// step equal to the current epoch.
 func (f *File) Begin(step int64, durable bool) error {
 	if step != f.Epoch() {
 		return fmt.Errorf("vertexfile: begin superstep %d, but epoch is %d", step, f.Epoch())
 	}
+	col := DispatchCol(step)
+	for i := range f.bitmap {
+		f.bitmap[i] = 0
+	}
+	for v := int64(0); v < f.numVertices; v++ {
+		if !Stale(f.Load(col, v)) {
+			f.bitmap[v/64] |= 1 << uint(v%64)
+		}
+	}
+	if durable {
+		if err := f.syncBitmap(); err != nil {
+			return fmt.Errorf("vertexfile: begin superstep %d: %w", step, err)
+		}
+	}
+	fault.Crash(fault.SiteKillBeginActive)
+	atomic.StoreUint64(&f.header[hdrActiveSum], f.activeSum(step))
 	f.setState(stateRunning)
 	f.sealHeader()
 	if !durable {
 		return nil
 	}
-	return f.Sync()
+	return f.syncHeader()
+}
+
+// CommitState carries what a commit seals into the header besides the
+// epoch: whether the computation converged at this superstep and the
+// aggregator's value, the algorithm state a resumed run needs to be a
+// true continuation rather than a restart-from-values approximation.
+type CommitState struct {
+	// Reconcile restores the cross-superstep column invariant (see
+	// Reconcile); disable only for ablation runs of programs whose every
+	// active vertex is re-updated each superstep.
+	Reconcile bool
+	// Durable syncs columns and header (in that order) to disk.
+	Durable bool
+	// Converged records that this superstep concluded the computation.
+	Converged bool
+	// Aggregate is the program's aggregator value at this superstep.
+	Aggregate float64
 }
 
 // Commit reconciles the columns, advances the epoch past step, and
-// records completion (durably when durable is set). reconcile may be
-// disabled for ablation runs of programs whose every active vertex is
-// re-updated each superstep.
+// records completion (durably when durable is set). It is shorthand for
+// CommitStep with no algorithm state.
 func (f *File) Commit(step int64, reconcile, durable bool) error {
+	return f.CommitStep(step, CommitState{Reconcile: reconcile, Durable: durable})
+}
+
+// CommitStep completes superstep step: it reconciles the columns,
+// computes the next dispatch column's digest, and seals state + epoch +
+// convergence + aggregate into the header. Durability ordering: the
+// column bytes are synced BEFORE the header is sealed and synced, so a
+// crash at any instant leaves either a running header (superstep s rolls
+// back) or a clean header whose digest provably matches the bytes on
+// disk (superstep s committed) — never a sealed header describing column
+// bytes that were not written.
+func (f *File) CommitStep(step int64, st CommitState) error {
 	if step != f.Epoch() {
 		return fmt.Errorf("vertexfile: commit superstep %d, but epoch is %d", step, f.Epoch())
 	}
@@ -342,16 +532,55 @@ func (f *File) Commit(step int64, reconcile, durable bool) error {
 		atomic.StoreUint64(&f.header[hdrSum], f.headerSum()+1)
 		return fmt.Errorf("vertexfile: commit superstep %d: %w", step, ferr)
 	}
-	if reconcile {
-		f.Reconcile(step)
+	var digest uint64
+	if st.Reconcile {
+		digest = f.reconcileDigest(step)
 	}
+	fault.Crash(fault.SiteKillCommitColumns)
+	if st.Durable {
+		if ferr := fault.Error(fault.SiteColumnSync); ferr != nil {
+			return fmt.Errorf("vertexfile: commit superstep %d: column sync: %w", step, ferr)
+		}
+		if err := f.syncSlots(); err != nil {
+			return fmt.Errorf("vertexfile: commit superstep %d: column sync: %w", step, err)
+		}
+	}
+	fault.Crash(fault.SiteKillCommitSeal)
 	f.setEpoch(step + 1)
 	f.setState(stateClean)
-	f.sealHeader()
-	if !durable {
-		return nil
+	var flags uint64
+	if st.Converged {
+		flags |= flagConverged
 	}
-	return f.Sync()
+	atomic.StoreUint64(&f.header[hdrFlags], flags)
+	atomic.StoreUint64(&f.header[hdrAggregate], math.Float64bits(st.Aggregate))
+	atomic.StoreUint64(&f.header[hdrColDigest], digest)
+	f.sealHeader()
+	if st.Durable {
+		if err := f.syncHeader(); err != nil {
+			return fmt.Errorf("vertexfile: commit superstep %d: header sync: %w", step, err)
+		}
+	}
+	fault.Crash(fault.SiteKillCommitDone)
+	return nil
+}
+
+// reconcileDigest is Reconcile fused with the digest of the resulting
+// next dispatch column (the update column's payloads after the pass),
+// saving a second O(|V|) sweep per commit.
+func (f *File) reconcileDigest(step int64) uint64 {
+	d, u := DispatchCol(step), UpdateCol(step)
+	h := uint64(fnvOffset64)
+	for v := int64(0); v < f.numVertices; v++ {
+		slot := f.Load(u, v)
+		if Stale(slot) {
+			slot = Payload(f.Load(d, v)) | StaleBit
+			f.Store(u, v, slot)
+		}
+		f.Store(d, v, f.Load(d, v)|StaleBit)
+		h = fnvWord(h, Payload(slot))
+	}
+	return h
 }
 
 // Reconcile restores the cross-superstep invariants after superstep step:
@@ -366,88 +595,97 @@ func (f *File) Commit(step int64, reconcile, durable bool) error {
 //     they go, per paper Algorithm 2; this sweep additionally covers
 //     vertices that were skipped.)
 func (f *File) Reconcile(step int64) {
-	d, u := DispatchCol(step), UpdateCol(step)
-	for v := int64(0); v < f.numVertices; v++ {
-		slot := f.Load(u, v)
-		if Stale(slot) {
-			f.Store(u, v, Payload(f.Load(d, v))|StaleBit)
-		}
-		f.Store(d, v, f.Load(d, v)|StaleBit)
-	}
+	f.reconcileDigest(step)
 }
 
 // Recover rolls a crashed file back to the start of the interrupted
 // superstep and returns that superstep number. The dispatch column of the
 // crashed superstep is payload-immutable during execution (computing
 // actors only write the update column; dispatchers only toggle flags), so
-// it is a complete snapshot of the previous superstep's state. Because
-// dispatchers may already have consumed (re-staled) some fresh marks, the
-// rollback conservatively re-activates every vertex: redundant dispatches
-// are harmless for the idempotent programs GPSA targets (the paper's
-// recovery story, Fig. 6, has the same property). On a clean file Recover
-// is a no-op returning the current epoch.
+// it is a complete snapshot of the previous superstep's state.
+//
+// When the header's active-set checksum matches the bitmap region — the
+// bitmap Begin sealed for exactly this superstep survived the crash —
+// the rollback is exact: the dispatch column's fresh flags are restored
+// from the bitmap, so the re-run regenerates the original message stream
+// and even order-sensitive float programs (PageRank) resume bit-identical.
+// Otherwise (torn header, damaged bitmap) it conservatively re-activates
+// every vertex: redundant dispatches are harmless for the idempotent
+// programs GPSA targets (the paper's recovery story, Fig. 6, has the same
+// property). On a clean file Recover is a no-op returning the current
+// epoch.
 func (f *File) Recover() (int64, error) {
 	step := f.Epoch()
 	if !f.InProgress() {
+		f.lastRecovery = "none"
 		return step, nil
 	}
+	exact := !f.torn && atomic.LoadUint64(&f.header[hdrActiveSum]) == f.activeSum(step)
 	d, u := DispatchCol(step), UpdateCol(step)
 	for v := int64(0); v < f.numVertices; v++ {
 		p := Payload(f.Load(d, v))
-		f.Store(d, v, p) // fresh: conservatively re-activate
+		if exact {
+			active := f.bitmap[v/64]&(1<<uint(v%64)) != 0
+			f.Store(d, v, Pack(p, !active))
+		} else {
+			f.Store(d, v, p) // fresh: conservatively re-activate
+		}
 		f.Store(u, v, p|StaleBit)
 	}
+	if exact {
+		f.lastRecovery = "exact"
+		metrics.Inc(metrics.CtrRecoverExact)
+	} else {
+		f.lastRecovery = "conservative"
+		metrics.Inc(metrics.CtrRecoverConservative)
+	}
+	// Same ordering discipline as Commit: slots reach the file before the
+	// header that declares them authoritative. The digest is re-sealed
+	// from the surviving column — for an intact header this recomputes
+	// the identical value; for a torn one it repairs a garbage word.
+	if err := f.syncSlots(); err != nil {
+		return 0, err
+	}
 	f.setState(stateClean)
+	atomic.StoreUint64(&f.header[hdrColDigest], f.colDigest(d))
 	f.sealHeader()
-	if err := f.Sync(); err != nil {
+	if err := f.syncHeader(); err != nil {
 		return 0, err
 	}
 	return step, nil
 }
 
-// SnapshotActive records the fresh flags of step's dispatch column into
-// bits (len must be at least ceil(NumVertices/64)). Dispatchers consume
-// (re-stale) fresh marks as they go, so a crashed superstep cannot
-// reconstruct its starting active set from the file alone; the engine
-// takes this snapshot before Begin so Rollback can restore it exactly.
-func (f *File) SnapshotActive(step int64, bits []uint64) {
-	col := DispatchCol(step)
-	for i := range bits {
-		bits[i] = 0
-	}
-	for v := int64(0); v < f.numVertices; v++ {
-		if !Stale(f.Load(col, v)) {
-			bits[v/64] |= 1 << uint(v%64)
-		}
-	}
-}
-
 // Rollback restores the interrupted superstep step to its starting state
-// using an active-set snapshot taken by SnapshotActive. The dispatch
-// column's payloads are authoritative (payload-immutable during the
-// superstep); its flags are restored from bits and the update column is
-// reset to stale copies. Unlike Recover, the rollback is exact — only
-// the vertices that were active re-dispatch — so a retried superstep
-// regenerates the original message stream bit-for-bit, which is what
-// lets even order-sensitive float programs (PageRank) retry without
-// perturbing their results.
-func (f *File) Rollback(step int64, bits []uint64, durable bool) error {
+// using the active-set bitmap persisted by Begin. The dispatch column's
+// payloads are authoritative (payload-immutable during the superstep);
+// its flags are restored from the bitmap and the update column is reset
+// to stale copies. The rollback is exact — only the vertices that were
+// active re-dispatch — so a retried superstep regenerates the original
+// message stream bit-for-bit, which is what lets even order-sensitive
+// float programs (PageRank) retry without perturbing their results.
+func (f *File) Rollback(step int64, durable bool) error {
 	if step != f.Epoch() {
 		return fmt.Errorf("vertexfile: rollback superstep %d, but epoch is %d", step, f.Epoch())
 	}
 	d, u := DispatchCol(step), UpdateCol(step)
 	for v := int64(0); v < f.numVertices; v++ {
 		p := Payload(f.Load(d, v))
-		active := bits[v/64]&(1<<uint(v%64)) != 0
+		active := f.bitmap[v/64]&(1<<uint(v%64)) != 0
 		f.Store(d, v, Pack(p, !active))
 		f.Store(u, v, p|StaleBit)
+	}
+	metrics.Inc(metrics.CtrStepRollbacks)
+	if durable {
+		if err := f.syncSlots(); err != nil {
+			return err
+		}
 	}
 	f.setState(stateClean)
 	f.sealHeader()
 	if !durable {
 		return nil
 	}
-	return f.Sync()
+	return f.syncHeader()
 }
 
 // Value returns the newest payload of v. It must only be called between

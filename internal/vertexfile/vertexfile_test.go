@@ -401,7 +401,10 @@ func TestOpenRejectsWrongMagicAndVersion(t *testing.T) {
 
 // Property: for any sequence of supersteps with random updates and a
 // crash at a random point, Recover restores exactly the state of the last
-// committed superstep (payload-wise), with every vertex re-activated.
+// committed superstep: payloads match, and — because the active-set
+// snapshot Begin persisted survives a clean-close "crash" — recovery is
+// exact, re-activating precisely the vertices that were active when the
+// interrupted superstep began.
 func TestRecoverRestoresLastCommitProperty(t *testing.T) {
 	type step struct {
 		Vertex  uint8
@@ -426,6 +429,12 @@ func TestRecoverRestoresLastCommitProperty(t *testing.T) {
 		crashAt := int(crashAtRaw) % len(steps)
 		for i, s := range steps {
 			st := int64(i)
+			// The active set Begin will snapshot: the fresh flags of the
+			// dispatch column entering this superstep.
+			active := make([]bool, n)
+			for v := int64(0); v < n; v++ {
+				active[v] = !Stale(f.Load(DispatchCol(st), v))
+			}
 			if err := f.Begin(st, true); err != nil {
 				return false
 			}
@@ -444,10 +453,13 @@ func TestRecoverRestoresLastCommitProperty(t *testing.T) {
 				if err != nil || resume != st {
 					return false
 				}
+				if g.LastRecovery() != "exact" {
+					return false
+				}
 				d := DispatchCol(st)
 				for v := int64(0); v < n; v++ {
 					slot := g.Load(d, v)
-					if Payload(slot) != want[v] || Stale(slot) {
+					if Payload(slot) != want[v] || Stale(slot) == active[v] {
 						return false
 					}
 					if !Stale(g.Load(UpdateCol(st), v)) {
