@@ -1,8 +1,9 @@
 # GPSA-Go — common tasks
 
 GO ?= go
+REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all build test race vet fmt bench repro examples check torture clean
+.PHONY: all build test race vet fmt bench bench-micro bench-smoke repro examples check torture clean
 
 all: build test
 
@@ -21,7 +22,9 @@ race:
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -race -count=1 ./internal/core
 	$(GO) test -count=1 -run 'Torture|Interrupt|ExitCodes' ./internal/crashtest
+	$(MAKE) bench-smoke
 
 # Kill-torture: run cmd/gpsa as a subprocess, SIGKILL it at >=20
 # randomized supersteps/commit phases, resume with -resume, and require
@@ -34,8 +37,19 @@ vet:
 	$(GO) vet ./...
 	gofmt -l .
 
-# One benchmark iteration per paper figure cell.
+# Message hot-path benchmark trajectory: every algorithm x accumulator
+# mode on a generated R-MAT power-law graph, written as a
+# machine-readable BENCH_<rev>.json so successive revisions can be
+# compared (msgs/sec, supersteps/sec, alloc/msg, wall time per cell).
 bench:
+	$(GO) run ./cmd/gpsa-bench -exp hotpath -rev $(REV) -json BENCH_$(REV).json
+
+# Fast correctness gate over the full hotpath matrix at toy scale.
+bench-smoke:
+	$(GO) test -count=1 -run TestHotPathSmoke ./internal/bench
+
+# One benchmark iteration per paper figure cell.
+bench-micro:
 	$(GO) test -bench=. -benchmem -benchtime 1x .
 
 # Regenerate the paper's full evaluation (Table I, Figs 7-11, ablations,

@@ -24,6 +24,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/gen"
 	"repro/internal/metrics"
+	"repro/internal/prof"
 )
 
 // writeFigureCSV saves one figure's cells for external plotting.
@@ -52,15 +53,33 @@ var defaultScales = map[string]int64{
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1, fig7, fig8, fig9, fig10, fig11, ablation, scalability, all")
+		exp    = flag.String("exp", "all", "experiment: table1, fig7, fig8, fig9, fig10, fig11, ablation, scalability, hotpath, all")
 		scale  = flag.Int64("scale", 0, "override the per-dataset default scale (1 = full size)")
 		seed   = flag.Int64("seed", 1, "dataset generator seed")
 		runs   = flag.Int("runs", 3, "averaging runs per cell (paper: 3)")
 		steps  = flag.Int("supersteps", 5, "measured supersteps per run (paper: 5)")
 		work   = flag.String("workdir", "", "scratch directory (default: temp)")
 		csvDir = flag.String("csv", "", "also write each figure's cells as CSV into this directory")
+
+		jsonPath   = flag.String("json", "", "hotpath: write the machine-readable report to this file (BENCH_<rev>.json)")
+		rev        = flag.String("rev", "", "hotpath: revision label recorded in the report")
+		hpVertices = flag.Int64("hotpath-vertices", 0, "hotpath: R-MAT vertex count (0 = 131072)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		tracefile  = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile, *tracefile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gpsa-bench: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "gpsa-bench: %v\n", err)
+		}
+	}()
 
 	fmt.Printf("host: %d CPUs (GOMAXPROCS %d); paper testbed: 32 cores, 16 GB RAM, 7200RPM disk\n\n",
 		runtime.NumCPU(), runtime.GOMAXPROCS(0))
@@ -171,5 +190,38 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("ablations (GPSA design choices, PageRank on soc-pokec@1/%d)\n%s\n", sc, bench.FormatAblations(rs))
+	}
+	if want("hotpath") {
+		rep, err := bench.RunHotPath(bench.HotPathOptions{
+			Vertices:   *hpVertices,
+			Seed:       *seed,
+			Runs:       *runs,
+			Supersteps: *steps,
+			Rev:        *rev,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpsa-bench: hotpath: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("hotpath — message-path throughput on R-MAT (%d vertices, %d edges, best of %d runs)\n",
+			rep.Vertices, rep.Edges, rep.Runs)
+		fmt.Printf("%-14s %-8s %12s %14s %14s %10s\n", "Algo", "Mode", "seconds", "msgs/sec", "delivered", "alloc/msg")
+		for _, c := range rep.Cells {
+			fmt.Printf("%-14s %-8s %12.3f %14.0f %14d %9.1fB\n",
+				c.Algo, c.Mode, c.Seconds, c.MsgsPerSec, c.Delivered, c.AllocPerMsg)
+		}
+		for _, algo := range []string{"pagerank", "deltapagerank", "bfs", "cc", "sssp"} {
+			if s, ok := rep.Speedup[algo]; ok {
+				fmt.Printf("speedup %-14s %.2fx vs legacy\n", algo, s)
+			}
+		}
+		if *jsonPath != "" {
+			if err := rep.WriteJSON(*jsonPath); err != nil {
+				fmt.Fprintf(os.Stderr, "gpsa-bench: hotpath: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+		fmt.Println()
 	}
 }

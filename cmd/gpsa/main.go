@@ -47,6 +47,7 @@ import (
 
 	"repro"
 	"repro/internal/fault"
+	"repro/internal/prof"
 )
 
 const (
@@ -74,6 +75,11 @@ func run() int {
 		watchdog    = flag.Duration("watchdog", 0, "abort a superstep when a worker is silent this long (0 = off)")
 		dump        = flag.String("dump", "", "write per-vertex results as 'vertex<TAB>value' lines to this file")
 		verbose     = flag.Bool("v", false, "print per-superstep progress")
+		accum       = flag.String("accum", "auto", "source-side accumulation for combiner programs: auto, dense, sparse, off")
+		accumBudget = flag.Int("accum-budget", 0, "accumulator bytes per (dispatcher, computer) before an incremental flush (0 = 256 KiB)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		tracefile   = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Usage = func() {
 		w := flag.CommandLine.Output()
@@ -96,6 +102,20 @@ exit codes:
 		fmt.Fprintln(os.Stderr, "gpsa: -resume requires -values")
 		return exitUsage
 	}
+	if _, err := gpsa.ParseAccumMode(*accum); err != nil {
+		fmt.Fprintf(os.Stderr, "gpsa: %v\n", err)
+		return exitUsage
+	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile, *tracefile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gpsa: %v\n", err)
+		return exitUsage
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "gpsa: %v\n", err)
+		}
+	}()
 	if armed, err := fault.ActivateFromEnv(); err != nil {
 		fmt.Fprintf(os.Stderr, "gpsa: %v\n", err)
 		return exitUsage
@@ -117,6 +137,8 @@ exit codes:
 		ValuesPath:  *values,
 		StepRetries: *retries,
 		Watchdog:    *watchdog,
+		Accum:       *accum,
+		AccumBudget: *accumBudget,
 	}
 	if *verbose {
 		opts.Progress = func(s gpsa.StepStats) {
@@ -127,7 +149,6 @@ exit codes:
 
 	var res *gpsa.Result
 	var scores []float64
-	var err error
 	switch *algo {
 	case "pagerank":
 		scores, res, err = gpsa.PageRank(*graphPath, opts)

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Combiner-enabled copies of the test programs (the real ones live in
+// internal/algorithms, which imports this package).
+
+type prComb struct{ prProg }
+
+func (prComb) CombineMsg(a, b uint64) uint64 {
+	return math.Float64bits(math.Float64frombits(a) + math.Float64frombits(b))
+}
+
+type bfsComb struct{ bfsProg }
+
+func (bfsComb) CombineMsg(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// dprProg is a local copy of the delta-PageRank program: the payload
+// packs (rank, pending residual) as float32s, messages carry float64
+// deltas and combine by summation.
+type dprProg struct{}
+
+func dprPack(rank, delta float32) uint64 {
+	return uint64(math.Float32bits(rank))<<31 | uint64(math.Float32bits(delta))>>1
+}
+
+func dprUnpack(p uint64) (rank, delta float32) {
+	return math.Float32frombits(uint32(p >> 31)), math.Float32frombits(uint32(p<<1) &^ 1)
+}
+
+func (dprProg) Init(v int64) (uint64, bool) { return dprPack(0.15, 0.15), true }
+
+func (dprProg) GenMsg(src int64, payload uint64, deg uint32, dst graph.VertexID, w float32) (uint64, bool) {
+	if deg == 0 {
+		return 0, false
+	}
+	_, delta := dprUnpack(payload)
+	if float64(delta) < 1e-4 {
+		return 0, false
+	}
+	return math.Float64bits(0.85 * float64(delta) / float64(deg)), true
+}
+
+func (dprProg) Compute(dst int64, cur, msg uint64, first bool) (uint64, bool) {
+	rank, delta := dprUnpack(cur)
+	if first {
+		delta = 0
+	}
+	m := float32(math.Float64frombits(msg))
+	return dprPack(rank+m, delta+m), true
+}
+
+func (dprProg) CombineMsg(a, b uint64) uint64 {
+	return math.Float64bits(math.Float64frombits(a) + math.Float64frombits(b))
+}
+
+// ssspComb is a weighted shortest-paths program with a min combiner.
+type ssspComb struct{ root graph.VertexID }
+
+func (s ssspComb) Init(v int64) (uint64, bool) {
+	if v == int64(s.root) {
+		return math.Float64bits(0), true
+	}
+	return math.Float64bits(math.Inf(1)), false
+}
+
+func (ssspComb) GenMsg(src int64, payload uint64, deg uint32, dst graph.VertexID, w float32) (uint64, bool) {
+	return math.Float64bits(math.Float64frombits(payload) + math.Abs(float64(w))), true
+}
+
+func (ssspComb) Compute(dst int64, cur, msg uint64, first bool) (uint64, bool) {
+	if math.Float64frombits(msg) < math.Float64frombits(cur) {
+		return msg, true
+	}
+	return cur, false
+}
+
+func (ssspComb) CombineMsg(a, b uint64) uint64 {
+	if math.Float64frombits(a) < math.Float64frombits(b) {
+		return a
+	}
+	return b
+}
+
+func weightedGraph(t testing.TB, seed, v int64, e int) *graph.CSR {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, e)
+	for i := range edges {
+		edges[i] = graph.Edge{
+			Src:    graph.VertexID(rng.Int63n(v)),
+			Dst:    graph.VertexID(rng.Int63n(v)),
+			Weight: rng.Float32() + 0.01,
+		}
+	}
+	g, err := graph.FromEdges(edges, v, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// runMode executes prog over g with the given accumulator mode layered
+// on base and returns the final vertex payloads plus the run result.
+func runMode(t *testing.T, g *graph.CSR, prog Program, base Config, mode AccumMode) ([]uint64, *Result) {
+	t.Helper()
+	cfg := base
+	cfg.AccumMode = mode
+	eng, vf := setup(t, g, prog, cfg)
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatalf("mode %v: %v", mode, err)
+	}
+	return vf.Values(), res
+}
+
+// assertIdentical requires every mode to produce bit-identical payloads.
+func assertIdentical(t *testing.T, g *graph.CSR, prog Program, base Config, modes []AccumMode) map[AccumMode]*Result {
+	t.Helper()
+	results := map[AccumMode]*Result{}
+	var refVals []uint64
+	var refMode AccumMode
+	for i, mode := range modes {
+		vals, res := runMode(t, g, prog, base, mode)
+		results[mode] = res
+		if i == 0 {
+			refVals, refMode = vals, mode
+			continue
+		}
+		for v := range vals {
+			if vals[v] != refVals[v] {
+				t.Fatalf("vertex %d: mode %v got %#x, mode %v got %#x", v, mode, vals[v], refMode, refVals[v])
+			}
+		}
+		if res.Supersteps != results[refMode].Supersteps || res.Messages != results[refMode].Messages {
+			t.Fatalf("mode %v ran %d supersteps / %d messages, mode %v %d / %d",
+				mode, res.Supersteps, res.Messages, refMode, results[refMode].Supersteps, results[refMode].Messages)
+		}
+	}
+	return results
+}
+
+// Float-sum programs fold messages in generation order on every path; a
+// single dispatcher/computer pair with barrier-only flushes makes the
+// per-vertex fold grouping identical too, so even PageRank's float sums
+// must come out bit-identical across the legacy, dense and sparse paths.
+func TestAccumEquivalenceFloatPrograms(t *testing.T) {
+	g := randomGraph(t, 71, 220, 1400)
+	base := Config{
+		Dispatchers: 1, Computers: 1,
+		BatchSize:   1 << 20, // one combined batch per superstep on the legacy path
+		AccumBudget: 1 << 30, // barrier-only accumulator flushes
+		DisableSync: true,
+	}
+	t.Run("pagerank", func(t *testing.T) {
+		cfg := base
+		cfg.MaxSupersteps = 8
+		assertIdentical(t, g, prComb{}, cfg, []AccumMode{AccumOff, AccumDense, AccumSparse})
+	})
+	t.Run("deltapagerank", func(t *testing.T) {
+		cfg := base
+		cfg.MaxSupersteps = 20
+		assertIdentical(t, g, dprProg{}, cfg, []AccumMode{AccumOff, AccumDense, AccumSparse})
+	})
+}
+
+// Dense and sparse accumulators share flush-boundary accounting and both
+// emit segments in ascending vertex order, so they stay bit-identical
+// even with aggressive incremental flushing and multiple computers —
+// including for order-sensitive float sums.
+func TestAccumEquivalenceFloatIncrementalFlush(t *testing.T) {
+	g := randomGraph(t, 72, 300, 2400)
+	base := Config{
+		Dispatchers: 1, Computers: 3,
+		AccumBudget:   512, // 32 entries per accumulator: many mid-dispatch flushes
+		MaxSupersteps: 6,
+		DisableSync:   true,
+	}
+	res := assertIdentical(t, g, prComb{}, base, []AccumMode{AccumDense, AccumSparse})
+	if r := res[AccumDense]; r.Delivered >= r.Messages {
+		t.Fatalf("dense accumulation delivered %d of %d generated messages; expected source-side combining", r.Delivered, r.Messages)
+	}
+}
+
+// Min-fold programs are order- and grouping-insensitive, so every path
+// must agree bit for bit even under full parallelism, tiny batches and
+// eager incremental flushes — and match the serial reference executor.
+func TestAccumEquivalenceMinPrograms(t *testing.T) {
+	dg := randomGraph(t, 73, 300, 1800)
+	base := Config{
+		Dispatchers: 3, Computers: 2,
+		BatchSize:   32,
+		AccumBudget: 512,
+		DisableSync: true,
+	}
+	modes := []AccumMode{AccumOff, AccumDense, AccumSparse, AccumAuto}
+	t.Run("bfs", func(t *testing.T) {
+		want := refRun(dg, bfsProg{root: 0}, 100)
+		res := assertIdentical(t, dg, bfsComb{bfsProg{root: 0}}, base, modes)
+		vals, _ := runMode(t, dg, bfsComb{bfsProg{root: 0}}, base, AccumAuto)
+		for v := range vals {
+			if vals[v] != want[v] {
+				t.Fatalf("vertex %d: engine %#x, reference %#x", v, vals[v], want[v])
+			}
+		}
+		if res[AccumOff].Supersteps == 0 {
+			t.Fatal("bfs did not run")
+		}
+	})
+	t.Run("cc", func(t *testing.T) {
+		sym := dg.Symmetrize()
+		want := refRun(sym, ccProg{}, 100)
+		assertIdentical(t, sym, ccCombining{}, base, modes)
+		vals, _ := runMode(t, sym, ccCombining{}, base, AccumDense)
+		for v := range vals {
+			if vals[v] != want[v] {
+				t.Fatalf("vertex %d: engine %#x, reference %#x", v, vals[v], want[v])
+			}
+		}
+	})
+	t.Run("sssp", func(t *testing.T) {
+		wg := weightedGraph(t, 74, 250, 1500)
+		assertIdentical(t, wg, ssspComb{root: 0}, base, modes)
+	})
+}
+
+// The adaptive switch must pick the sparse table while the active
+// fraction is low (BFS's early frontier) and the dense slab once the
+// frontier widens past 1/denseActiveDenom of the graph.
+func TestAccumAutoSwitches(t *testing.T) {
+	g := randomGraph(t, 75, 400, 4000)
+	var seen []AccumMode
+	cfg := Config{
+		Dispatchers: 2, Computers: 2,
+		DisableSync: true,
+		Progress:    func(s StepStats) { seen = append(seen, s.Accum) },
+	}
+	eng, _ := setup(t, g, bfsComb{bfsProg{root: 0}}, cfg)
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) == 0 {
+		t.Fatal("no supersteps ran")
+	}
+	if seen[0] != AccumSparse {
+		t.Fatalf("superstep 0 (single active root) used %v, want sparse", seen[0])
+	}
+	var dense bool
+	for _, m := range seen {
+		if m == AccumAuto || m == AccumOff {
+			t.Fatalf("auto resolved to %v", m)
+		}
+		if m == AccumDense {
+			dense = true
+		}
+	}
+	if !dense {
+		t.Fatalf("frontier never triggered the dense slab (modes: %v)", seen)
+	}
+}
+
+// Programs without a combiner — and explicit AccumOff — must stay on the
+// legacy batch path: every generated message is delivered.
+func TestAccumRequiresCombiner(t *testing.T) {
+	g := randomGraph(t, 76, 150, 900)
+	cfg := Config{AccumMode: AccumDense, DisableSync: true}
+	var modes []AccumMode
+	cfg.Progress = func(s StepStats) { modes = append(modes, s.Accum) }
+	eng, _ := setup(t, g, ccProg{}, cfg) // no CombineMsg
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != res.Messages {
+		t.Fatalf("no combiner but delivered %d != generated %d", res.Delivered, res.Messages)
+	}
+	for _, m := range modes {
+		if m != AccumOff {
+			t.Fatalf("non-combinable program ran with accumulator mode %v", m)
+		}
+	}
+}
+
+// A custom owner function cannot use the dense slab's mod indexing; the
+// engine must quietly fall back to the sparse table and still be correct.
+func TestAccumDenseCustomOwnerFallsBack(t *testing.T) {
+	g := randomGraph(t, 77, 200, 1200)
+	want := refRun(g, bfsProg{root: 0}, 100)
+	var modes []AccumMode
+	cfg := Config{
+		AccumMode: AccumDense,
+		Owner:     BlockOwner(g.NumVertices),
+		Computers: 3,
+		Progress:  func(s StepStats) { modes = append(modes, s.Accum) },
+	}
+	eng, vf := setup(t, g, bfsComb{bfsProg{root: 0}}, cfg)
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range modes {
+		if m != AccumSparse {
+			t.Fatalf("custom owner ran mode %v, want sparse fallback", m)
+		}
+	}
+	for v := int64(0); v < g.NumVertices; v++ {
+		if vf.Value(v) != want[v] {
+			t.Fatalf("vertex %d: %d, want %d", v, vf.Value(v), want[v])
+		}
+	}
+}
+
+// Unit coverage of the open-addressing table: fold-on-collision, growth
+// past the load factor, and a sorted, emptying drain.
+func TestSparseAccTable(t *testing.T) {
+	s := newSparseAcc()
+	c := minComb{}
+	const n = 500
+	for i := 0; i < n; i++ {
+		dst := graph.VertexID(i * 7 % 311)
+		if s.insert(dst, uint64(1000+i), c) {
+			// folded: table must already hold this dst
+			continue
+		}
+	}
+	if s.n != 311 {
+		t.Fatalf("table holds %d entries, want 311 distinct", s.n)
+	}
+	if len(s.keys) < 311*4/3 {
+		t.Fatalf("table did not grow (cap %d for %d entries)", len(s.keys), s.n)
+	}
+	out := s.drain(nil)
+	if len(out) != 311 {
+		t.Fatalf("drained %d entries, want 311", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i-1].Dst >= out[i].Dst {
+			t.Fatalf("drain not sorted: %d before %d", out[i-1].Dst, out[i].Dst)
+		}
+	}
+	if s.n != 0 {
+		t.Fatalf("drain left %d entries", s.n)
+	}
+	for _, k := range s.keys {
+		if k != 0 {
+			t.Fatal("drain left a non-zero key")
+		}
+	}
+	// min-fold correctness: re-insert two values for one dst
+	s.insert(5, 9, c)
+	s.insert(5, 3, c)
+	s.insert(5, 7, c)
+	out = s.drain(nil)
+	if len(out) != 1 || out[0].Val != 3 {
+		t.Fatalf("min fold produced %+v, want single entry val 3", out)
+	}
+}

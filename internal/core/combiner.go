@@ -16,11 +16,16 @@ type Combiner interface {
 // the combiner. It returns the (shortened) batch. It is exported for the
 // distributed engine (package cluster), which combines before putting
 // batches on the wire.
+//
+// The sort is stable so same-destination messages fold in generation
+// order — the same left-fold the source-side accumulators perform —
+// keeping the legacy path deterministic and alignable with them even for
+// non-commutative combiners and float sums.
 func CombineBatch(batch []Message, c Combiner) []Message {
 	if len(batch) < 2 {
 		return batch
 	}
-	sort.Slice(batch, func(i, j int) bool { return batch[i].Dst < batch[j].Dst })
+	sort.SliceStable(batch, func(i, j int) bool { return batch[i].Dst < batch[j].Dst })
 	out := batch[:1]
 	for _, m := range batch[1:] {
 		last := &out[len(out)-1]

@@ -9,15 +9,18 @@ import (
 
 // computer is the paper's computing worker (Algorithm 3). It owns the
 // vertices v with v mod Computers == id and folds incoming messages into
-// their values, message-driven, concurrently with dispatching.
+// their values, message-driven, concurrently with dispatching. Messages
+// arrive either as legacy batches (kindData) or as dense accumulator
+// segments (kindSegment) carrying one pre-combined message per vertex.
 type computer struct {
 	id  int
 	eng *Engine
 
 	updates int64
-	// pending buffers whole batches when SequentialPhases disables the
-	// overlap (ablation mode): they are only processed at the barrier.
-	pending [][]Message
+	// pending buffers whole batches and segments when SequentialPhases
+	// disables the overlap (ablation mode): they are only processed at
+	// the barrier.
+	pending []workerMsg
 }
 
 // Execute is the computing worker's actor loop.
@@ -40,17 +43,17 @@ func (c *computer) Execute() (err error) {
 			return nil
 		}
 		switch m.kind {
-		case kindData:
+		case kindData, kindSegment:
 			if c.eng.cfg.SequentialPhases {
-				c.pending = append(c.pending, m.batch)
+				c.pending = append(c.pending, m)
 			} else {
-				c.processBatch(m.batch)
+				c.process(m)
 			}
 		case kindComputeOver:
 			// FIFO mailbox ordering guarantees every batch sent before
 			// the barrier has been received above.
-			for _, b := range c.pending {
-				c.processBatch(b)
+			for _, p := range c.pending {
+				c.process(p)
 			}
 			c.pending = c.pending[:0]
 			ack := workerMsg{kind: kindComputeOver, from: c.id, count: c.updates}
@@ -64,6 +67,38 @@ func (c *computer) Execute() (err error) {
 			return fmt.Errorf("core: computer %d: unexpected message kind %v", c.id, m.kind)
 		}
 	}
+}
+
+func (c *computer) process(m workerMsg) {
+	if m.kind == kindSegment {
+		c.processSegment(m.seg)
+	} else {
+		c.processBatch(m.batch)
+	}
+}
+
+// processSegment folds a dense accumulator segment into the update
+// column via the value file's bulk-apply: one pre-combined message per
+// present vertex, visited in vertex order. The fault hooks and the
+// teardown poll mirror processBatch so injection coverage and graceful
+// SIGINT latency are identical on both paths.
+func (c *computer) processSegment(seg *denseSeg) {
+	eng := c.eng
+	step := eng.vf.Epoch()
+	stride := int64(len(eng.toComp))
+	n := 0
+	c.updates += eng.vf.BulkApply(step, int64(c.id), stride, seg.bits, seg.vals,
+		func(v int64, cur, msg uint64, first bool) (uint64, bool, bool) {
+			if n&0xFF == 0 && eng.aborted.Load() {
+				return 0, false, true
+			}
+			n++
+			fault.Panic(fault.SiteComputerMsg)
+			fault.Stall(fault.SiteComputerStall)
+			newVal, changed := eng.prog.Compute(v, cur, msg, first)
+			return newVal, changed, false
+		})
+	eng.putSlab(seg)
 }
 
 // processBatch applies Compute for each message (paper Algorithm 3).

@@ -87,6 +87,19 @@ type Config struct {
 	// when the program implements Combiner. For ablation experiments.
 	DisableCombining bool
 
+	// AccumMode selects the message path for combiner-enabled programs:
+	// source-side accumulation (dense slab / sparse table, adaptive by
+	// default) or the legacy per-message batch path (AccumOff). Programs
+	// without a Combiner always use the legacy path regardless.
+	AccumMode AccumMode
+
+	// AccumBudget is the byte budget of one (dispatcher, computer)
+	// accumulator before it is flushed to the computing worker as a
+	// segment mid-dispatch (default 256 KiB). Smaller budgets flush more
+	// eagerly, preserving more of the dispatch/compute overlap; larger
+	// budgets combine more messages at the source.
+	AccumBudget int
+
 	// Owner assigns each destination vertex to a computing worker. The
 	// default is the paper's "average assignment by mod according to the
 	// vertex id" (§V-A); any pure function of (vertex, workers) works —
@@ -158,6 +171,9 @@ func (c Config) withDefaults() Config {
 	if c.Owner == nil {
 		c.Owner = ModOwner
 	}
+	if c.AccumBudget <= 0 {
+		c.AccumBudget = 256 << 10
+	}
 	if c.StepRetryBackoff <= 0 {
 		c.StepRetryBackoff = 25 * time.Millisecond
 	}
@@ -174,11 +190,12 @@ func (c Config) validate() error {
 // StepStats records one superstep's activity.
 type StepStats struct {
 	Step      int64
-	Messages  int64   // messages generated by dispatchers
-	Delivered int64   // messages delivered after combining (== Messages without a Combiner)
-	Updates   int64   // vertex values written
-	Aggregate float64 // the program's global aggregate (programs implementing Aggregator)
-	Digest    uint64  // FNV-1a of the committed column (Config.Digests)
+	Accum     AccumMode // effective message path this superstep (never Auto)
+	Messages  int64     // messages generated by dispatchers
+	Delivered int64     // messages delivered after combining (== Messages without a Combiner)
+	Updates   int64     // vertex values written
+	Aggregate float64   // the program's global aggregate (programs implementing Aggregator)
+	Digest    uint64    // FNV-1a of the committed column (Config.Digests)
 	Duration  time.Duration
 }
 

@@ -3,25 +3,52 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/actor"
 	"repro/internal/fault"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/vertexfile"
 )
 
 // dispatcher is the paper's dispatcher worker (Algorithm 2). It owns one
 // interval of the CSR edge file and, each superstep, streams it
 // sequentially, generating messages for the out-edges of fresh vertices.
+//
+// For combiner-enabled programs the dispatcher folds messages at the
+// source into per-computer accumulators (dense slab or sparse table,
+// chosen by the manager per superstep) and hands whole segments to the
+// computing workers; without a combiner it falls back to the legacy
+// per-message batch path, whose semantics the durability contract is
+// stated against.
 type dispatcher struct {
 	id       int
 	eng      *Engine
 	interval graph.Interval
 
-	// per-computer outgoing batches, reused across supersteps
+	// per-computer outgoing batches (legacy + sparse flush), reused
+	// across supersteps
 	bufs []([]Message)
 
-	delivered int64 // messages delivered this superstep (post-combining)
+	// owner fast path, hoisted out of the per-edge loop: with the
+	// default mod assignment the Owner call is replaced by a mod (or a
+	// mask when the worker count is a power of two).
+	workers  int
+	isMod    bool
+	ownMask  graph.VertexID // workers-1 when isMod and workers is a power of two
+	ownShift uint           // log2(workers) for the dense index
+	usesMask bool
+
+	// accumulator state (combiner programs)
+	dense         []*denseSeg  // per computer, handed off at flush
+	sparse        []*sparseAcc // per computer, drained at flush, reused
+	budgetEntries int          // entries per accumulator before an incremental flush
+
+	delivered  int64 // messages delivered this superstep (post-combining)
+	folded     int64 // messages combined into an existing accumulator entry
+	denseSegs  int64 // dense segments handed off this superstep
+	sparseSegs int64 // sparse segments handed off this superstep
 }
 
 // Execute is the dispatcher's actor loop: block on a command, run the
@@ -37,7 +64,20 @@ func (d *dispatcher) Execute() (err error) {
 			panic(r)
 		}
 	}()
-	d.bufs = make([][]Message, len(d.eng.toComp))
+	d.workers = len(d.eng.toComp)
+	d.bufs = make([][]Message, d.workers)
+	d.dense = make([]*denseSeg, d.workers)
+	d.sparse = make([]*sparseAcc, d.workers)
+	d.isMod = d.eng.ownerIsMod
+	if d.isMod && d.workers&(d.workers-1) == 0 {
+		d.usesMask = true
+		d.ownMask = graph.VertexID(d.workers - 1)
+		d.ownShift = uint(bits.TrailingZeros(uint(d.workers)))
+	}
+	d.budgetEntries = d.eng.cfg.AccumBudget / 16 // 16 bytes per (dst, val) entry
+	if d.budgetEntries < 1 {
+		d.budgetEntries = 1
+	}
 	for {
 		cmd, ok := d.eng.toDisp[d.id].Get()
 		if !ok || cmd.kind == kindSystemOver {
@@ -46,12 +86,13 @@ func (d *dispatcher) Execute() (err error) {
 		if cmd.kind != kindIterationStart {
 			return fmt.Errorf("core: dispatcher %d: unexpected command %v", d.id, cmd.kind)
 		}
-		d.delivered = 0
-		sent, err := d.runSuperstep(cmd.step)
+		d.delivered, d.folded, d.denseSegs, d.sparseSegs = 0, 0, 0, 0
+		sent, err := d.runSuperstep(cmd.step, cmd.accum)
 		if err != nil {
 			if d.aborting(err) {
 				// The manager is already tearing this superstep down;
 				// park for the next command instead of failing.
+				d.dropAccumulators()
 				continue
 			}
 			d.eng.toManager.Put(workerMsg{kind: kindFailed, from: d.id, err: err}) //nolint:errcheck
@@ -71,7 +112,44 @@ func (d *dispatcher) aborting(err error) bool {
 	return errors.Is(err, errAborted) || errors.Is(err, actor.ErrMailboxClosed) || d.eng.aborted.Load()
 }
 
-func (d *dispatcher) runSuperstep(step int64) (sent int64, err error) {
+// dropAccumulators discards partially filled accumulator state after an
+// aborted superstep, so no entry from the failed attempt can leak into a
+// retried one. Slabs are not pooled (their bitmaps are dirty); sparse
+// tables are drained in place.
+func (d *dispatcher) dropAccumulators() {
+	for w := range d.dense {
+		d.dense[w] = nil
+		if s := d.sparse[w]; s != nil && s.n > 0 {
+			s.drain(nil)
+		}
+		if len(d.bufs[w]) > 0 {
+			d.bufs[w] = d.bufs[w][:0]
+		}
+	}
+}
+
+// owner resolves the computing worker owning dst, using the hoisted mod
+// fast path when the configuration allows it.
+func (d *dispatcher) owner(dst graph.VertexID) int {
+	if d.usesMask {
+		return int(dst & d.ownMask)
+	}
+	if d.isMod {
+		return int(dst) % d.workers
+	}
+	return d.eng.cfg.Owner(dst, d.workers)
+}
+
+// denseIndex maps dst to its slot in the owning computer's dense slab
+// (only valid under mod ownership).
+func (d *dispatcher) denseIndex(dst graph.VertexID) int64 {
+	if d.usesMask {
+		return int64(dst >> d.ownShift)
+	}
+	return int64(dst) / int64(d.workers)
+}
+
+func (d *dispatcher) runSuperstep(step int64, mode AccumMode) (sent int64, err error) {
 	eng := d.eng
 	col := vertexfile.DispatchCol(step)
 	weighted := eng.gf.Weighted()
@@ -95,7 +173,17 @@ func (d *dispatcher) runSuperstep(step int64) (sent int64, err error) {
 			if !send {
 				continue
 			}
-			if err := d.send(dst, msgVal); err != nil {
+			fault.Panic(fault.SiteDispatcherMsg)
+			wk := d.owner(dst)
+			switch mode {
+			case AccumDense:
+				err = d.accumDense(wk, dst, msgVal)
+			case AccumSparse:
+				err = d.accumSparse(wk, dst, msgVal)
+			default:
+				err = d.send(wk, dst, msgVal)
+			}
+			if err != nil {
 				return sent, err
 			}
 			sent++
@@ -107,20 +195,91 @@ func (d *dispatcher) runSuperstep(step int64) (sent int64, err error) {
 	if err := cur.Err(); err != nil {
 		return sent, err
 	}
-	return sent, d.flush()
+	if err := d.flush(mode); err != nil {
+		return sent, err
+	}
+	if mode != AccumOff {
+		metrics.Add(metrics.CtrAccumFolded, d.folded)
+		metrics.Add(metrics.CtrAccumDelivered, d.delivered)
+		metrics.Add(metrics.CtrAccumDenseSegs, d.denseSegs)
+		metrics.Add(metrics.CtrAccumSparseSegs, d.sparseSegs)
+	}
+	return sent, nil
 }
 
-// send buffers a message for the computing worker owning dst, flushing
-// the batch when full.
-func (d *dispatcher) send(dst graph.VertexID, val uint64) error {
-	fault.Panic(fault.SiteDispatcherMsg)
-	w := d.eng.cfg.Owner(dst, len(d.bufs))
-	if d.bufs[w] == nil {
-		d.bufs[w] = d.eng.getBatch()
+// accumDense folds a message into the dense slab of computer wk, handing
+// the slab off as a segment once it reaches the byte budget.
+func (d *dispatcher) accumDense(wk int, dst graph.VertexID, val uint64) error {
+	s := d.dense[wk]
+	if s == nil {
+		s = d.eng.getSlab()
+		d.dense[wk] = s
 	}
-	d.bufs[w] = append(d.bufs[w], Message{Dst: dst, Val: val})
-	if len(d.bufs[w]) >= d.eng.cfg.BatchSize {
-		return d.dispatchBatch(w)
+	idx := d.denseIndex(dst)
+	word, bit := idx>>6, uint64(1)<<uint(idx&63)
+	if s.bits[word]&bit != 0 {
+		s.vals[idx] = d.eng.combiner.CombineMsg(s.vals[idx], val)
+		d.folded++
+		return nil
+	}
+	s.bits[word] |= bit
+	s.vals[idx] = val
+	s.count++
+	if s.count >= d.budgetEntries {
+		return d.flushDense(wk)
+	}
+	return nil
+}
+
+// accumSparse folds a message into the sparse table of computer wk,
+// draining it as a sorted batch once it reaches the byte budget.
+func (d *dispatcher) accumSparse(wk int, dst graph.VertexID, val uint64) error {
+	s := d.sparse[wk]
+	if s == nil {
+		s = newSparseAcc()
+		d.sparse[wk] = s
+	}
+	if s.insert(dst, val, d.eng.combiner) {
+		d.folded++
+		return nil
+	}
+	if s.n >= d.budgetEntries {
+		return d.flushSparse(wk)
+	}
+	return nil
+}
+
+func (d *dispatcher) flushDense(wk int) error {
+	s := d.dense[wk]
+	if s == nil || s.count == 0 {
+		return nil
+	}
+	d.dense[wk] = nil
+	d.delivered += int64(s.count)
+	d.denseSegs++
+	return d.eng.toComp[wk].Put(workerMsg{kind: kindSegment, seg: s})
+}
+
+func (d *dispatcher) flushSparse(wk int) error {
+	s := d.sparse[wk]
+	if s == nil || s.n == 0 {
+		return nil
+	}
+	batch := s.drain(d.eng.getBatch())
+	d.delivered += int64(len(batch))
+	d.sparseSegs++
+	return d.eng.toComp[wk].Put(workerMsg{kind: kindData, batch: batch})
+}
+
+// send buffers a message for the computing worker owning dst on the
+// legacy path, flushing the batch when full.
+func (d *dispatcher) send(wk int, dst graph.VertexID, val uint64) error {
+	if d.bufs[wk] == nil {
+		d.bufs[wk] = d.eng.getBatch()
+	}
+	d.bufs[wk] = append(d.bufs[wk], Message{Dst: dst, Val: val})
+	if len(d.bufs[wk]) >= d.eng.cfg.BatchSize {
+		return d.dispatchBatch(wk)
 	}
 	return nil
 }
@@ -135,13 +294,23 @@ func (d *dispatcher) dispatchBatch(w int) error {
 	return d.eng.toComp[w].Put(workerMsg{kind: kindData, batch: b})
 }
 
-// flush sends all partial batches at the end of the interval.
-func (d *dispatcher) flush() error {
-	for w := range d.bufs {
-		if len(d.bufs[w]) > 0 {
-			if err := d.dispatchBatch(w); err != nil {
-				return err
+// flush hands over every partial accumulator or batch at the end of the
+// interval, in worker order (deterministic).
+func (d *dispatcher) flush(mode AccumMode) error {
+	for w := 0; w < d.workers; w++ {
+		var err error
+		switch mode {
+		case AccumDense:
+			err = d.flushDense(w)
+		case AccumSparse:
+			err = d.flushSparse(w)
+		default:
+			if len(d.bufs[w]) > 0 {
+				err = d.dispatchBatch(w)
 			}
+		}
+		if err != nil {
+			return err
 		}
 	}
 	return nil

@@ -20,6 +20,7 @@ type msgKind int
 
 const (
 	kindData           msgKind = iota // batch of vertex update messages
+	kindSegment                       // dense accumulator segment handoff
 	kindIterationStart                // manager -> dispatcher
 	kindDispatchOver                  // dispatcher -> manager
 	kindComputeOver                   // manager -> computer (barrier) and ack back
@@ -32,7 +33,9 @@ const (
 type workerMsg struct {
 	kind   msgKind
 	step   int64
+	accum  AccumMode // iterationStart: effective accumulator mode
 	batch  []Message // kindData
+	seg    *denseSeg // kindSegment
 	from   int       // sender worker id
 	count  int64     // dispatchOver: messages generated; computeOver ack: updates
 	count2 int64     // dispatchOver: messages delivered after combining
@@ -55,7 +58,16 @@ type Engine struct {
 	toComp     []*actor.Mailbox[workerMsg]
 	intervals  []graph.Interval
 
+	// ownerIsMod records that Config.Owner was left at the default mod
+	// assignment, enabling the dispatcher's mask/stride owner fast path
+	// and the dense accumulator's vertex→slab-index mapping.
+	ownerIsMod bool
+	// maxOwned is the largest number of vertices any computing worker
+	// owns under mod assignment — the dense slab size.
+	maxOwned int64
+
 	batchPool sync.Pool
+	slabPool  sync.Pool
 
 	// runCtx is the context of the current RunContext call; cancellation
 	// stops the run cleanly between supersteps, or rolls the in-flight
@@ -103,17 +115,26 @@ func New(gf *graph.File, vf *vertexfile.File, prog Program, cfg Config) (*Engine
 	if prog == nil {
 		return nil, fmt.Errorf("core: nil program")
 	}
+	ownerIsMod := cfg.Owner == nil
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	e := &Engine{
-		gf:   gf,
-		vf:   vf,
-		prog: prog,
-		cfg:  cfg,
+		gf:         gf,
+		vf:         vf,
+		prog:       prog,
+		cfg:        cfg,
+		ownerIsMod: ownerIsMod,
+		maxOwned:   (gf.NumVertices + int64(cfg.Computers) - 1) / int64(cfg.Computers),
 	}
 	e.batchPool.New = func() any { return make([]Message, 0, cfg.BatchSize) }
+	e.slabPool.New = func() any {
+		return &denseSeg{
+			vals: make([]uint64, e.maxOwned),
+			bits: make([]uint64, (e.maxOwned+63)/64),
+		}
+	}
 	if c, ok := prog.(Combiner); ok && !cfg.DisableCombining {
 		e.combiner = c
 	}
@@ -140,6 +161,52 @@ func (e *Engine) putBatch(b []Message) {
 	if cap(b) > 0 {
 		e.batchPool.Put(b[:0]) //nolint:staticcheck // slices are pointer-shaped enough here
 	}
+}
+
+func (e *Engine) getSlab() *denseSeg {
+	return e.slabPool.Get().(*denseSeg)
+}
+
+// putSlab recycles a dense slab. Only the presence bitmap needs clearing
+// (values are garbage wherever the bit is clear), so recycling stays
+// cheap even for large slabs — and a partially consumed slab (abort
+// mid-segment) is cleaned by the same stroke.
+func (e *Engine) putSlab(s *denseSeg) {
+	for i := range s.bits {
+		s.bits[i] = 0
+	}
+	s.count = 0
+	e.slabPool.Put(s)
+}
+
+// denseActiveDenom is the adaptive switch threshold: AccumAuto picks the
+// dense slab when at least 1/denom of all vertices are active this
+// superstep, the sparse table otherwise. At 16 bytes per slab slot vs
+// ~21 bytes per occupied sparse entry (key+value at ≤75% load), dense
+// wins comfortably above this fraction and the slab's O(|V|/Computers)
+// flush scan stays amortised.
+const denseActiveDenom = 8
+
+// accumModeFor resolves the effective accumulator mode for the superstep
+// about to run. Must be called after vf.Begin (it reads the active-set
+// count Begin just snapshotted). Never returns AccumAuto.
+func (e *Engine) accumModeFor() AccumMode {
+	if e.combiner == nil || e.cfg.AccumMode == AccumOff {
+		return AccumOff
+	}
+	switch e.cfg.AccumMode {
+	case AccumDense:
+		if e.ownerIsMod {
+			return AccumDense
+		}
+		return AccumSparse // dense indexing requires mod ownership
+	case AccumSparse:
+		return AccumSparse
+	}
+	if e.ownerIsMod && e.vf.ActiveCount()*denseActiveDenom >= e.vf.NumVertices() {
+		return AccumDense
+	}
+	return AccumSparse
 }
 
 // spawn builds a fresh worker crew: manager mailbox, per-worker
@@ -367,9 +434,12 @@ func (e *Engine) runStep(step int64, res *Result) (converged bool, err error) {
 	}
 	t0 := time.Now()
 
-	// ITERATION_START to every dispatcher.
+	// ITERATION_START to every dispatcher, carrying the message-path
+	// decision for this superstep (adaptive dense/sparse accumulation,
+	// resolved from the active-set count Begin just snapshotted).
+	mode := e.accumModeFor()
 	for _, mb := range e.toDisp {
-		if err := mb.Put(workerMsg{kind: kindIterationStart, step: step}); err != nil {
+		if err := mb.Put(workerMsg{kind: kindIterationStart, step: step, accum: mode}); err != nil {
 			return false, &stepError{step: step, phase: "dispatch", err: err, retryable: false}
 		}
 	}
@@ -457,7 +527,7 @@ func (e *Engine) runStep(step int64, res *Result) (converged bool, err error) {
 		digest = e.digest(step)
 	}
 
-	st := StepStats{Step: step, Messages: messages, Delivered: delivered, Updates: updates, Aggregate: aggVal, Digest: digest, Duration: time.Since(t0)}
+	st := StepStats{Step: step, Accum: mode, Messages: messages, Delivered: delivered, Updates: updates, Aggregate: aggVal, Digest: digest, Duration: time.Since(t0)}
 	res.Steps = append(res.Steps, st)
 	res.Supersteps++
 	res.Messages += messages

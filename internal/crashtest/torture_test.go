@@ -98,8 +98,11 @@ func runBaseline(t *testing.T, graphPath string, algoArgs []string, dir string) 
 // shipped algorithm it SIGKILLs the gpsa binary at randomized supersteps
 // and commit-protocol phases (plus wall-clock jitter kills), resumes
 // with -resume, and requires the surviving value file to end bit-identical
-// to the uninterrupted baseline. 3 algorithms x 7 kills = 21 randomized
-// kill points per run of the harness.
+// to the uninterrupted baseline. 4 cases x 7 kills = 28 randomized
+// kill points per run of the harness. The pagerank case runs the default
+// message path (adaptive source-side accumulation — dense, since
+// PageRank keeps every vertex active); pagerank-sparse pins the sparse
+// accumulator so both segment paths face the kill schedule.
 func TestTortureKillResume(t *testing.T) {
 	if testing.Short() {
 		t.Skip("subprocess torture harness")
@@ -111,6 +114,7 @@ func TestTortureKillResume(t *testing.T) {
 		seed  int64
 	}{
 		{"pagerank", func() string { return directedGraph }, []string{"-algo", "pagerank", "-supersteps", "12"}, 101},
+		{"pagerank-sparse", func() string { return directedGraph }, []string{"-algo", "pagerank", "-supersteps", "12", "-accum", "sparse"}, 404},
 		{"bfs", func() string { return directedGraph }, []string{"-algo", "bfs", "-root", "0"}, 202},
 		{"cc", func() string { return symmetricGraph }, []string{"-algo", "cc"}, 303},
 	}

@@ -29,6 +29,19 @@ const (
 	CtrRunsCancelled = "core.runs.cancelled"
 	// CtrResumes counts gpsa.Run continuations of an existing value file.
 	CtrResumes = "gpsa.resumes"
+
+	// CtrAccumFolded counts messages folded into an existing entry of a
+	// source-side accumulator — the combined-at-source numerator; its
+	// ratio to the engine's generated-message count is the source
+	// combining rate.
+	CtrAccumFolded = "core.accum.folded"
+	// CtrAccumDelivered counts accumulator entries handed to computing
+	// workers (the post-combining message volume on the accum path).
+	CtrAccumDelivered = "core.accum.delivered"
+	// CtrAccumDenseSegs and CtrAccumSparseSegs count segment handoffs —
+	// the mailbox traffic that replaces per-batch messages.
+	CtrAccumDenseSegs  = "core.accum.segments.dense"
+	CtrAccumSparseSegs = "core.accum.segments.sparse"
 )
 
 // counters is a process-wide registry of named monotonic counters. The

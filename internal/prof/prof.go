@@ -1,0 +1,72 @@
+// Package prof wires the standard runtime profilers behind three
+// optional file paths, so every binary exposes the same -cpuprofile /
+// -memprofile / -trace flags without repeating the boilerplate.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Start begins collecting whichever profiles have a non-empty path and
+// returns a stop function that flushes and closes them. The stop
+// function must run before process exit for the profiles to be valid
+// (CPU profiles and traces are streamed; the heap profile is captured at
+// stop time, after a GC, so it reflects live memory at the end of the
+// profiled region).
+func Start(cpuPath, memPath, tracePath string) (stop func() error, err error) {
+	var cpuFile, traceFile *os.File
+	cleanup := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+		}
+	}
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			cpuFile = nil
+			return nil, fmt.Errorf("prof: cpu profile: %w", err)
+		}
+	}
+	if tracePath != "" {
+		traceFile, err = os.Create(tracePath)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("prof: trace: %w", err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			traceFile.Close()
+			traceFile = nil
+			cleanup()
+			return nil, fmt.Errorf("prof: trace: %w", err)
+		}
+	}
+	return func() error {
+		cleanup()
+		if memPath == "" {
+			return nil
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			return fmt.Errorf("prof: heap profile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // materialize up-to-date allocation statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("prof: heap profile: %w", err)
+		}
+		return nil
+	}, nil
+}

@@ -39,6 +39,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	mathbits "math/bits"
 	"sync/atomic"
 
 	"repro/internal/fault"
@@ -115,6 +116,7 @@ type File struct {
 
 	torn         bool   // Open found a torn header and rolled it back
 	lastRecovery string // "", "none", "exact", "conservative"
+	activeCount  int64  // fresh vertices counted by the last Begin
 }
 
 // Header word indices (64-bit words of the 128-byte header):
@@ -431,6 +433,57 @@ func (f *File) Store(col int, v int64, slot uint64) {
 	atomic.StoreUint64(&f.slots[2*v+int64(col)], slot)
 }
 
+// ActiveCount returns the number of fresh (active) vertices snapshotted
+// by the most recent Begin — the size of the running superstep's dispatch
+// set. The engine's adaptive accumulator switch reads it to choose between
+// dense and sparse source-side accumulation.
+func (f *File) ActiveCount() int64 { return f.activeCount }
+
+// ApplyFunc folds one combined message into a vertex during BulkApply.
+// cur carries first-message semantics already resolved against the
+// dispatch column. Returning stop=true abandons the rest of the segment
+// (run teardown); changed=false leaves the slot untouched.
+type ApplyFunc func(v int64, cur, msg uint64, first bool) (newVal uint64, changed, stop bool)
+
+// BulkApply folds a dense accumulator segment into superstep step's
+// update column: for every set bit i of bits, vertex offset + i*stride
+// receives the combined message vals[i]. The first-message rule of the
+// paper's Algorithm 3 is applied inline — a still-stale update slot reads
+// its previous value from the dispatch column — and updated slots are
+// stored fresh, exactly like the per-message path. It returns the number
+// of vertices whose value changed. Present entries are visited in
+// ascending vertex order, which keeps the fold deterministic.
+func (f *File) BulkApply(step, offset, stride int64, bits, vals []uint64, fn ApplyFunc) (updates int64) {
+	dcol, ucol := DispatchCol(step), UpdateCol(step)
+	for wi, word := range bits {
+		base := int64(wi) * 64
+		for word != 0 {
+			b := mathbits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			i := base + int64(b)
+			v := offset + i*stride
+			if v >= f.numVertices {
+				return updates
+			}
+			slot := f.Load(ucol, v)
+			first := Stale(slot)
+			cur := Payload(slot)
+			if first {
+				cur = Payload(f.Load(dcol, v))
+			}
+			newVal, changed, stop := fn(v, cur, vals[i], first)
+			if stop {
+				return updates
+			}
+			if changed {
+				f.Store(ucol, v, Pack(newVal, false))
+				updates++
+			}
+		}
+	}
+	return updates
+}
+
 func (f *File) syncHeader() error {
 	if f.m == nil {
 		return nil
@@ -472,6 +525,11 @@ func (f *File) Begin(step int64, durable bool) error {
 			f.bitmap[v/64] |= 1 << uint(v%64)
 		}
 	}
+	var active int64
+	for _, w := range f.bitmap {
+		active += int64(mathbits.OnesCount64(w))
+	}
+	f.activeCount = active
 	if durable {
 		if err := f.syncBitmap(); err != nil {
 			return fmt.Errorf("vertexfile: begin superstep %d: %w", step, err)
