@@ -3,7 +3,7 @@
 GO ?= go
 REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all build test race vet fmt bench bench-micro bench-smoke repro examples check torture clean
+.PHONY: all build test race lint vet fmt bench bench-micro bench-smoke repro examples check torture clean
 
 all: build test
 
@@ -14,15 +14,27 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/actor ./internal/core ./internal/cluster ./internal/xstream
+	$(GO) test -race ./internal/actor ./internal/core ./internal/cluster ./internal/xstream ./internal/vertexfile ./internal/crashtest
 
-# The full pre-merge gate: vet plus the entire test suite under the race
-# detector (includes the fault-injection recovery tests), plus the
-# kill-torture harness against the real binary.
+# gpsa-lint: the repository's own static analyzers (internal/lint) —
+# actor discipline, mmap aliasing, determinism, context plumbing, and
+# durability error handling. Zero unsuppressed findings required; see
+# DESIGN.md "Static invariants" for the rule catalogue and the
+# //lint:<analyzer> <reason> suppression syntax.
+lint:
+	$(GO) run ./cmd/gpsa-lint ./...
+
+# The full pre-merge gate: vet and gpsa-lint, the entire test suite under
+# the race detector (includes the fault-injection recovery tests), a
+# shuffled-order pass over the engine and actor packages to catch
+# inter-test state leaks, plus the kill-torture harness against the real
+# binary.
 check:
 	$(GO) vet ./...
+	$(MAKE) lint
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/core
+	$(GO) test -shuffle=on -count=1 ./internal/core ./internal/actor
 	$(GO) test -count=1 -run 'Torture|Interrupt|ExitCodes' ./internal/crashtest
 	$(MAKE) bench-smoke
 

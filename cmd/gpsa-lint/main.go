@@ -1,0 +1,278 @@
+// Command gpsa-lint runs the repository's custom static analyzers
+// (internal/lint) over the module and reports invariant violations.
+//
+// Usage:
+//
+//	gpsa-lint [-json] [-run name,name] [-list] [packages]
+//
+// Packages default to ./... — every module package matched by at least
+// one analyzer's package filter. Exit status: 0 clean, 1 unsuppressed
+// findings, 2 load or usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+var (
+	jsonOut  = flag.Bool("json", false, "emit machine-readable findings on stdout")
+	runNames = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list     = flag.Bool("list", false, "list analyzers and exit")
+)
+
+func run() int {
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *runNames != "" {
+		var sel []*lint.Analyzer
+		for _, name := range strings.Split(*runNames, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "gpsa-lint: unknown analyzer %q\n", name)
+				return 2
+			}
+			sel = append(sel, a)
+		}
+		analyzers = sel
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gpsa-lint: %v\n", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gpsa-lint: %v\n", err)
+		return 2
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	paths, err := expand(loader, cwd, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gpsa-lint: %v\n", err)
+		return 2
+	}
+
+	var diags []lint.Diagnostic
+	for _, path := range paths {
+		applies := false
+		for _, a := range analyzers {
+			if a.AppliesTo(loader.ModPath, path) {
+				applies = true
+				break
+			}
+		}
+		if !applies {
+			continue
+		}
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpsa-lint: %v\n", err)
+			return 2
+		}
+		diags = append(diags, lint.Run(analyzers, loader.ModPath, pkg, loader.Fset)...)
+	}
+	lint.SortDiagnostics(diags)
+
+	if *jsonOut {
+		return emitJSON(loader.ModRoot, analyzers, diags)
+	}
+	reported := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		reported++
+		fmt.Printf("%s: [%s] %s\n", relPos(loader.ModRoot, d), d.Analyzer, d.Message)
+	}
+	if reported > 0 {
+		fmt.Fprintf(os.Stderr, "gpsa-lint: %d finding(s)\n", reported)
+		return 1
+	}
+	return 0
+}
+
+// expand resolves package patterns to module import paths. "./..."
+// (optionally rooted at a subdirectory) walks the tree; a plain relative
+// or module-absolute path names one package.
+func expand(l *lint.Loader, cwd string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "./"
+			}
+		}
+		base := pat
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(cwd, base)
+		}
+		if !recursive {
+			rel, err := filepath.Rel(l.ModRoot, base)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				return nil, fmt.Errorf("package %s is outside module %s", pat, l.ModPath)
+			}
+			add(importPath(l.ModPath, rel))
+			continue
+		}
+		err := filepath.WalkDir(base, func(dir string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if dir != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			if !hasGoFiles(dir) {
+				return nil
+			}
+			rel, err := filepath.Rel(l.ModRoot, dir)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				return nil
+			}
+			add(importPath(l.ModPath, rel))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func importPath(modPath, rel string) string {
+	rel = filepath.ToSlash(rel)
+	if rel == "." || rel == "" {
+		return modPath
+	}
+	return modPath + "/" + rel
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// non-test .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+func relPos(root string, d lint.Diagnostic) string {
+	file := d.Pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return fmt.Sprintf("%s:%d:%d", file, d.Pos.Line, d.Pos.Column)
+}
+
+// jsonFinding is one finding in -json output. Paths are module-relative
+// with forward slashes; no timestamps, so identical trees produce
+// byte-identical reports.
+type jsonFinding struct {
+	File          string `json:"file"`
+	Line          int    `json:"line"`
+	Col           int    `json:"col"`
+	Analyzer      string `json:"analyzer"`
+	Message       string `json:"message"`
+	Justification string `json:"justification,omitempty"`
+}
+
+type jsonReport struct {
+	Module     string         `json:"module"`
+	Analyzers  []string       `json:"analyzers"`
+	Findings   []jsonFinding  `json:"findings"`
+	Suppressed []jsonFinding  `json:"suppressed"`
+	Counts     map[string]int `json:"counts"`
+}
+
+func emitJSON(root string, analyzers []*lint.Analyzer, diags []lint.Diagnostic) int {
+	rep := jsonReport{
+		Module:     "repro",
+		Findings:   []jsonFinding{},
+		Suppressed: []jsonFinding{},
+		Counts:     make(map[string]int),
+	}
+	for _, a := range analyzers {
+		rep.Analyzers = append(rep.Analyzers, a.Name)
+		rep.Counts[a.Name] = 0
+	}
+	for _, d := range diags {
+		f := jsonFinding{
+			File:     relFile(root, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+		if d.Suppressed {
+			f.Justification = d.Justification
+			rep.Suppressed = append(rep.Suppressed, f)
+			rep.Counts["suppressed"]++
+			continue
+		}
+		rep.Findings = append(rep.Findings, f)
+		rep.Counts[d.Analyzer]++
+		rep.Counts["total"]++
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "gpsa-lint: %v\n", err)
+		return 2
+	}
+	if rep.Counts["total"] > 0 {
+		return 1
+	}
+	return 0
+}
+
+func relFile(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return file
+}

@@ -50,6 +50,7 @@ func (b *Mailbox[T]) Put(m T) error {
 		return ErrMailboxClosed
 	default:
 	}
+	//lint:ctxblock the block is release-bounded by the mailbox protocol: Close unblocks every Put via done
 	select {
 	case b.ch <- m:
 		b.puts.Add(1)
@@ -79,6 +80,7 @@ func (b *Mailbox[T]) TryPut(m T) bool {
 // Get dequeues the next message, blocking while the mailbox is empty. The
 // second result is false once the mailbox is closed and drained.
 func (b *Mailbox[T]) Get() (T, bool) {
+	//lint:ctxblock the block is release-bounded by the mailbox protocol: Close unblocks every Get via done
 	select {
 	case m := <-b.ch:
 		b.gets.Add(1)
@@ -119,6 +121,7 @@ func (b *Mailbox[T]) TryGet() (T, bool) {
 func (b *Mailbox[T]) GetTimeout(d time.Duration) (T, bool) {
 	t := time.NewTimer(d)
 	defer t.Stop()
+	//lint:ctxblock the block is timer-bounded by d and release-bounded by Close
 	select {
 	case m := <-b.ch:
 		b.gets.Add(1)

@@ -93,6 +93,7 @@ type System struct {
 
 // NewSystem creates an actor system. The name is used in diagnostics only.
 func NewSystem(name string, policy RestartPolicy) *System {
+	//lint:ctxblock documented convenience wrapper; cancellable callers use NewSystemContext
 	return NewSystemContext(context.Background(), name, policy)
 }
 
@@ -104,7 +105,7 @@ func NewSystem(name string, policy RestartPolicy) *System {
 // mailboxes and delay collection.
 func NewSystemContext(ctx context.Context, name string, policy RestartPolicy) *System {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //lint:ctxblock defensive default for nil ctx; callers who want cancellation pass one
 	}
 	return &System{name: name, policy: policy, ctx: ctx, refs: make(map[string]*Ref)}
 }
@@ -180,6 +181,7 @@ func (s *System) executeOnce(a Actor) (err error, stack []byte) {
 // if any — the same ordering as Failures, so which failure surfaces does
 // not depend on goroutine scheduling.
 func (s *System) Wait() error {
+	//lint:ctxblock the wait is release-bounded by actor termination; workers observe cancellation through their closed mailboxes
 	s.wg.Wait()
 	s.mu.Lock()
 	defer s.mu.Unlock()

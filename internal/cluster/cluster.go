@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/actor"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/mmap"
@@ -74,7 +75,9 @@ func Run(graphPath string, prog core.Program, cfg Config) (*Result, []uint64, er
 	}
 	intervals := gf.Partition(cfg.Nodes)
 	numVertices := gf.NumVertices
-	gf.Close()
+	if err := gf.Close(); err != nil {
+		return nil, nil, err
+	}
 	total := len(intervals)
 
 	coord, err := newCoordinator("", total, cfg.NodeTimeout)
@@ -83,15 +86,17 @@ func Run(graphPath string, prog core.Program, cfg Config) (*Result, []uint64, er
 	}
 	defer coord.halt()
 
-	// Boot the nodes; each runs its control loop on its own goroutine.
-	nodeErr := make(chan error, total)
+	// Boot the nodes; each control loop runs as a supervised actor, so a
+	// panicking node surfaces as a collected failure instead of crashing
+	// the process, and Wait covers every node deterministically.
+	sys := actor.NewSystemContext(cfg.Context, "cluster-nodes", actor.RestartPolicy{})
 	for i := 0; i < total; i++ {
 		n, err := startNode(i, total, coord.addr(), graphPath,
 			filepath.Join(workDir, fmt.Sprintf("node-%d.gpvf", i)), prog, intervals, cfg.Node)
 		if err != nil {
 			return nil, nil, fmt.Errorf("cluster: starting node %d: %w", i, err)
 		}
-		go func() { nodeErr <- n.runNode() }()
+		sys.SpawnFunc(fmt.Sprintf("node-%d", i), n.runNode)
 	}
 	if err := coord.accept(); err != nil {
 		return nil, nil, err
@@ -99,12 +104,10 @@ func Run(graphPath string, prog core.Program, cfg Config) (*Result, []uint64, er
 
 	res, err := coord.run(cfg.Context, 0, cfg.MaxSupersteps)
 	if err != nil {
-		select {
-		case nerr := <-nodeErr:
-			if nerr != nil {
-				return res, nil, fmt.Errorf("%w (node error: %v)", err, nerr)
-			}
-		default:
+		// Enrich the coordinator's error with any node failure already
+		// collected; Failures snapshots without blocking on stragglers.
+		if fs := sys.Failures(); len(fs) > 0 {
+			return res, nil, fmt.Errorf("%w (node error: %v)", err, fs[0].Err)
 		}
 		return res, nil, err
 	}
@@ -113,10 +116,8 @@ func Run(graphPath string, prog core.Program, cfg Config) (*Result, []uint64, er
 		return res, nil, err
 	}
 	coord.halt()
-	for i := 0; i < total; i++ {
-		if nerr := <-nodeErr; nerr != nil {
-			return res, values, fmt.Errorf("cluster: node failed: %w", nerr)
-		}
+	if werr := sys.Wait(); werr != nil {
+		return res, values, fmt.Errorf("cluster: node failed: %w", werr)
 	}
 	return res, values, nil
 }

@@ -64,16 +64,16 @@ func (c *coordinator) accept() error {
 		cn := newConn(nc)
 		kind, payload, err := cn.readFrame()
 		if err != nil || kind != fHello {
-			nc.Close()
+			closeQuietly(nc)
 			return fmt.Errorf("cluster: expected hello, got frame %d (%v)", kind, err)
 		}
 		id, addr, err := parseHello(payload)
 		if err != nil {
-			nc.Close()
+			closeQuietly(nc)
 			return err
 		}
 		if int(id) >= len(c.nodes) || c.nodes[id] != nil {
-			nc.Close()
+			closeQuietly(nc)
 			return fmt.Errorf("cluster: bad or duplicate node id %d", id)
 		}
 		c.nodes[id] = cn
@@ -215,8 +215,8 @@ func (c *coordinator) halt() {
 	for _, n := range c.nodes {
 		if n != nil {
 			n.writeFrame(fHalt, []byte{0}) //nolint:errcheck
-			n.Close()
+			closeQuietly(n)
 		}
 	}
-	c.ln.Close()
+	closeQuietly(c.ln)
 }

@@ -106,7 +106,7 @@ func startNode(id, total int, coordAddr, graphPath, valuesPath string,
 	}
 	vf, err := vertexfile.Create(valuesPath, gf.NumVertices, prog.Init)
 	if err != nil {
-		gf.Close()
+		closeQuietly(gf)
 		return nil, err
 	}
 	n := &node{
@@ -147,7 +147,12 @@ func startNode(id, total int, coordAddr, graphPath, valuesPath string,
 		return nil, err
 	}
 	n.listener = ln
-	go n.acceptLoop()
+	// The accept loop is a supervised actor: close() closes the listener
+	// before system.Wait, so the loop terminates and Wait covers it.
+	n.system.SpawnFunc(fmt.Sprintf("node-%d-accept", id), func() error {
+		n.acceptLoop()
+		return nil
+	})
 
 	// Control connection.
 	cc, err := net.Dial("tcp", coordAddr)
@@ -169,14 +174,14 @@ func (n *node) close() {
 		n.hbStop = nil
 	}
 	if n.listener != nil {
-		n.listener.Close()
+		closeQuietly(n.listener)
 	}
 	if n.coord != nil {
-		n.coord.Close()
+		closeQuietly(n.coord)
 	}
 	for _, p := range n.peers {
 		if p != nil {
-			p.Close()
+			closeQuietly(p)
 		}
 	}
 	for _, mb := range n.toComp {
@@ -185,10 +190,10 @@ func (n *node) close() {
 	}
 	n.system.Wait() //nolint:errcheck
 	if n.vf != nil {
-		n.vf.Close()
+		closeQuietly(n.vf)
 	}
 	if n.gf != nil {
-		n.gf.Close()
+		closeQuietly(n.gf)
 	}
 }
 
@@ -200,7 +205,10 @@ func (n *node) acceptLoop() {
 		if err != nil {
 			return // listener closed on shutdown
 		}
-		go n.receive(newConn(c))
+		// Per-connection receivers stay deliberately outside the actor
+		// system: a slow or wedged peer must not block system.Wait during
+		// teardown. Each receiver exits when its connection closes.
+		go n.receive(newConn(c)) //lint:actorshare receiver lifetime is bounded by its connection, not the system; tracking it would let a wedged peer block Wait
 	}
 }
 
@@ -210,7 +218,7 @@ func (n *node) acceptLoop() {
 // and a peer that is truly gone is caught by the sender's redial budget
 // and this node's barrier timeout. Malformed frames still fail loudly.
 func (n *node) receive(c *conn) {
-	defer c.Close()
+	defer closeQuietly(c)
 	for {
 		kind, payload, err := c.readFrame()
 		if err != nil {
@@ -227,7 +235,7 @@ func (n *node) receive(c *conn) {
 			}
 			n.routeLocal(batch)
 		case fEOS:
-			n.eosCh <- struct{}{}
+			n.eosCh <- struct{}{} //lint:actorshare eosCh is buffered to the peer count, so one EOS per peer can never block
 		default:
 			n.reportFailure(fmt.Errorf("cluster: node %d: unexpected peer frame %d", n.id, kind))
 			return
@@ -284,12 +292,21 @@ func (n *node) runNode() error {
 			if err != nil {
 				return err
 			}
-			if err := n.dialPeers(addrs); err != nil {
-				return err
-			}
+			// Heartbeats start before peer dialing so a slow or stalled
+			// data-plane dial cannot delay the first liveness ping past
+			// the coordinator's node timeout. Supervised: close() closes
+			// hbStop before system.Wait, so the loop terminates and Wait
+			// covers it.
 			if n.cfg.HeartbeatInterval > 0 {
 				n.hbStop = make(chan struct{})
-				go n.heartbeatLoop(n.hbStop)
+				stop := n.hbStop
+				n.system.SpawnFunc(fmt.Sprintf("node-%d-heartbeat", n.id), func() error {
+					n.heartbeatLoop(stop)
+					return nil
+				})
+			}
+			if err := n.dialPeers(addrs); err != nil {
+				return err
 			}
 		case fStart:
 			vals, err := readU64s(payload, 1)
@@ -397,12 +414,12 @@ func (n *node) sendPeer(p int, kind byte, payload []byte) error {
 			continue
 		}
 		if derr := c.writeFrame(kind, payload); derr != nil {
-			c.Close()
+			closeQuietly(c)
 			err = derr
 			continue
 		}
 		if n.peers[p] != nil {
-			n.peers[p].Close()
+			closeQuietly(n.peers[p])
 		}
 		n.peers[p] = c
 		return nil
@@ -588,7 +605,8 @@ func (c *nodeComputer) Execute() (err error) {
 			return nil
 		}
 		if m.barrier {
-			n.ackCh <- c.updates
+			//lint:ctxblock ackCh is buffered to the computer count, so one ack per barrier can never block
+			n.ackCh <- c.updates //lint:actorshare ackCh is buffered to the computer count, so one ack per barrier can never block
 			c.updates = 0
 			continue
 		}

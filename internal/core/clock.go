@@ -1,0 +1,14 @@
+package core
+
+import "time"
+
+// now is the engine's single wall-clock read. Everything it feeds —
+// superstep duration statistics and the watchdog deadline in managerGet —
+// is observational: no clock value ever reaches vertex state, message
+// payloads, or the value file, so a resumed run replays bit-identically
+// regardless of when it executes. Keeping the one sanctioned read here
+// lets the determinism analyzer flag any new time.Now that creeps onto
+// the superstep path.
+func now() time.Time {
+	return time.Now() //lint:nondeterministic wall clock feeds step stats and watchdog deadlines only, never persisted state
+}

@@ -277,6 +277,7 @@ func (e *Engine) teardown() error {
 // immutable dispatch column, and — after an exponential backoff — the
 // superstep is re-executed with a freshly spawned crew.
 func (e *Engine) Run() (*Result, error) {
+	//lint:ctxblock documented convenience wrapper; cancellable callers use RunContext
 	return e.RunContext(context.Background())
 }
 
@@ -288,7 +289,7 @@ func (e *Engine) Run() (*Result, error) {
 // resumable, and the returned error wraps ctx.Err().
 func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //lint:ctxblock defensive default for nil ctx; callers who want cancellation pass one
 	}
 	e.runCtx = ctx
 	cfg := e.cfg
@@ -310,7 +311,7 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	}
 
 	e.spawn()
-	runStart := time.Now()
+	runStart := now()
 	retries := 0
 	var runErr error
 	for n := 0; n < cfg.MaxSupersteps; {
@@ -363,7 +364,7 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 		time.Sleep(retryBackoff(cfg.StepRetryBackoff, retries))
 		e.spawn()
 	}
-	res.Duration = time.Since(runStart)
+	res.Duration = now().Sub(runStart)
 	waitErr := e.teardown()
 	if runErr != nil {
 		return res, runErr
@@ -394,7 +395,7 @@ func retryBackoff(base time.Duration, retry int) time.Duration {
 func (e *Engine) managerGet(phase string) (workerMsg, error) {
 	var deadline time.Time
 	if e.cfg.SuperstepTimeout > 0 {
-		deadline = time.Now().Add(e.cfg.SuperstepTimeout)
+		deadline = now().Add(e.cfg.SuperstepTimeout)
 	}
 	if deadline.IsZero() && e.runCtx.Done() == nil {
 		m, ok := e.toManager.Get()
@@ -410,7 +411,7 @@ func (e *Engine) managerGet(phase string) (workerMsg, error) {
 		}
 		wait := tick
 		if !deadline.IsZero() {
-			rem := time.Until(deadline)
+			rem := deadline.Sub(now())
 			if rem <= 0 {
 				return workerMsg{}, fmt.Errorf("core: superstep watchdog: no worker notification within %v during %s", e.cfg.SuperstepTimeout, phase)
 			}
@@ -432,7 +433,7 @@ func (e *Engine) runStep(step int64, res *Result) (converged bool, err error) {
 	if err := e.vf.Begin(step, !e.cfg.DisableSync); err != nil {
 		return false, &stepError{step: step, phase: "begin", err: err, retryable: true}
 	}
-	t0 := time.Now()
+	t0 := now()
 
 	// ITERATION_START to every dispatcher, carrying the message-path
 	// decision for this superstep (adaptive dense/sparse accumulation,
@@ -527,7 +528,7 @@ func (e *Engine) runStep(step int64, res *Result) (converged bool, err error) {
 		digest = e.digest(step)
 	}
 
-	st := StepStats{Step: step, Accum: mode, Messages: messages, Delivered: delivered, Updates: updates, Aggregate: aggVal, Digest: digest, Duration: time.Since(t0)}
+	st := StepStats{Step: step, Accum: mode, Messages: messages, Delivered: delivered, Updates: updates, Aggregate: aggVal, Digest: digest, Duration: now().Sub(t0)}
 	res.Steps = append(res.Steps, st)
 	res.Supersteps++
 	res.Messages += messages

@@ -322,10 +322,12 @@ func OpenFile(path string, mode mmap.Mode) (*File, error) {
 		weighted:    flags&flagWeighted != 0,
 		version:     version,
 		m:           m,
-		raw:         b,
+		//lint:colalias read-only CSR mapping; File owns m and the view is never written through
+		raw: b,
 	}
 	if version == fileVersion {
 		nWords := (int64(len(b)) - headerBytes) / 4
+		//lint:colalias read-only CSR word view; File owns m and the view is never written through
 		f.words, err = m.Uint32s(headerBytes, nWords)
 		if err != nil {
 			m.Close()

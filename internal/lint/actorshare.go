@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ActorShare enforces the share-nothing actor discipline of the engine
+// (paper §III: actors communicate only through mailbox messages). Inside
+// the engine and cluster packages every unit of concurrency must be
+// spawned through internal/actor's supervised System — a raw `go`
+// statement escapes supervision (no panic conversion, no restart policy,
+// no name-ordered failure collection, invisible to Wait) — and every
+// cross-goroutine handoff must go through the bounded Mailbox API rather
+// than a bare channel send, which bypasses the mailbox's close-release
+// teardown protocol and its put/get accounting. Non-blocking sends guarded
+// by a select with a default clause (the TryPut idiom) are permitted.
+var ActorShare = &Analyzer{
+	Name: "actorshare",
+	Doc: "raw goroutine spawns and bare channel sends bypass the " +
+		"supervised actor/mailbox API in engine and cluster code",
+	Packages: []string{"internal/core", "internal/cluster"},
+	Run:      runActorShare,
+}
+
+func runActorShare(pass *Pass) {
+	for _, f := range pass.Files {
+		// Sends appearing as the comm of a select with a default clause are
+		// non-blocking tries; collect them so the walk can skip them.
+		trySends := make(map[ast.Stmt]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok || !hasDefaultClause(sel) {
+				return true
+			}
+			for _, c := range sel.Body.List {
+				if comm := c.(*ast.CommClause).Comm; comm != nil {
+					trySends[comm] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "raw goroutine spawn bypasses the supervised actor system; use actor.System.Spawn/SpawnFunc so panics, restarts, and Wait cover it")
+			case *ast.SendStmt:
+				if !trySends[n] {
+					pass.Reportf(n.Pos(), "bare channel send bypasses the bounded mailbox API; use actor.Mailbox.Put/TryPut (or guard the send with a select default)")
+				}
+			}
+			return true
+		})
+	}
+}

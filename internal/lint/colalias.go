@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ColAlias guards the storage layer's aliasing invariants, the foundation
+// of the paper's lightweight fault tolerance: the dispatch (read) column
+// of the vertex file is payload-immutable while a superstep runs, and the
+// raw mmap-backed byte/word views handed out by internal/mmap must not
+// leak into long-lived state where a write after a crash-recovery remap
+// would corrupt the snapshot the recovery story depends on.
+//
+// Three rules, checked per function:
+//
+//  1. Retention: storing a slice obtained from mmap.Map.Bytes/Uint32s/
+//     Uint64s (directly or via a local) into a struct field. A field
+//     outlives the superstep (and possibly the mapping); every such
+//     retention needs a //lint:colalias justification stating why the
+//     lifetime is sound.
+//  2. Mutation: an index-assignment through a local slice derived from
+//     one of those accessors. Raw views exist for decoding; writes must
+//     go through the owning type's API so sync ordering is preserved.
+//  3. Column writes (package vertexfile only): a non-atomic index
+//     assignment to the slots field. Slots are shared between dispatcher
+//     and computing actors and must only be accessed through the atomic
+//     Load/Store accessors.
+var ColAlias = &Analyzer{
+	Name: "colalias",
+	Doc: "writes through or retention of mmap-backed slices, and " +
+		"non-atomic vertex-column slot writes",
+	Packages: []string{"internal/vertexfile", "internal/graph", "internal/core"},
+	Run:      runColAlias,
+}
+
+// mmapViewMethods are the accessors of internal/mmap's Map that return
+// slices aliasing the mapping.
+var mmapViewMethods = map[string]bool{"Bytes": true, "Uint32s": true, "Uint64s": true}
+
+func runColAlias(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			pass.colAliasFunc(fn)
+		}
+	}
+}
+
+// isMmapViewCall reports whether e calls one of mmap.Map's view accessors.
+func (p *Pass) isMmapViewCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	name := calleeIdent(call)
+	return mmapViewMethods[name] && methodOn(p.Pkg.Info, call, "Map", name)
+}
+
+func (p *Pass) colAliasFunc(fn *ast.FuncDecl) {
+	info := p.Pkg.Info
+
+	// Pass 1: local taint — variables assigned (or re-sliced) from a view
+	// accessor within this function.
+	tainted := make(map[string]bool)
+	derived := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if p.isMmapViewCall(e) {
+			return true
+		}
+		if s, ok := e.(*ast.SliceExpr); ok {
+			e = ast.Unparen(s.X)
+		}
+		id, ok := e.(*ast.Ident)
+		return ok && tainted[id.Name]
+	}
+	for changed := true; changed; { // fixpoint over chained derivations
+		changed = false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok || id.Name == "_" || tainted[id.Name] {
+					continue
+				}
+				if derived(rhs) {
+					tainted[id.Name] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	// Multi-value forms like `slots, err := m.Uint64s(...)`.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) < 2 || !p.isMmapViewCall(as.Rhs[0]) {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			tainted[id.Name] = true
+		}
+		return true
+	})
+
+	// Pass 2: report retention and mutation.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Lhs) == len(n.Rhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				} else {
+					continue
+				}
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr:
+					// Retention: field = mmap view (rule 1).
+					if derived(rhs) || (i == 0 && len(n.Rhs) == 1 && p.isMmapViewCall(n.Rhs[0])) {
+						p.Reportf(lhs.Pos(), "mmap-backed slice stored in a field outlives the mapping/superstep; justify the lifetime with //lint:colalias")
+					}
+				case *ast.IndexExpr:
+					// Mutation through a derived view (rule 2)...
+					if base, ok := ast.Unparen(l.X).(*ast.Ident); ok && tainted[base.Name] {
+						p.Reportf(lhs.Pos(), "write through mmap-backed slice %s bypasses the owning type's sync-ordered API", base.Name)
+					}
+					// ...or a non-atomic slot write (rule 3).
+					if p.Pkg.Types.Name() == "vertexfile" {
+						if sel, ok := ast.Unparen(l.X).(*ast.SelectorExpr); ok && sel.Sel.Name == "slots" {
+							p.Reportf(lhs.Pos(), "non-atomic write to the vertex column slots; use the atomic Store accessor")
+						}
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			// Retention via composite literal fields (rule 1).
+			tv, ok := info.Types[n]
+			if !ok {
+				return true
+			}
+			if _, isStruct := tv.Type.Underlying().(*types.Struct); !isStruct {
+				return true
+			}
+			for _, el := range n.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if derived(kv.Value) {
+					p.Reportf(kv.Pos(), "mmap-backed slice stored in a field outlives the mapping/superstep; justify the lifetime with //lint:colalias")
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CtxBlock enforces context plumbing in the engine, cluster, and actor
+// packages, where every blocking call must stay cancellable: the graceful
+// shutdown and watchdog stories (SIGINT rollback, superstep timeouts)
+// only work if cancellation reaches every wait.
+//
+// Two rules:
+//
+//  1. Library code must not mint its own root context: calls to
+//     context.Background() / context.TODO() are flagged. The few
+//     documented convenience wrappers carry //lint:ctxblock annotations.
+//  2. An exported function or method without a context.Context parameter
+//     must not contain a raw blocking operation — a channel send or
+//     receive outside a select, a select without a default clause, or a
+//     sync.WaitGroup/sync.Cond Wait. Such an API hands callers an
+//     uncancellable wait; either accept a context or justify why the
+//     block is release-bounded (e.g. by the mailbox Close protocol).
+var CtxBlock = &Analyzer{
+	Name: "ctxblock",
+	Doc: "exported blocking calls must accept a context.Context, and " +
+		"library code must not call context.Background()",
+	Packages: []string{"internal/core", "internal/cluster", "internal/actor"},
+	Run:      runCtxBlock,
+}
+
+func runCtxBlock(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Files {
+		// Rule 1: no ambient root contexts anywhere in library code.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, fn := range []string{"Background", "TODO"} {
+				if pkgFunc(info, call, "context", fn) {
+					pass.Reportf(call.Pos(), "library code must not call context.%s(); thread the caller's context through instead", fn)
+				}
+			}
+			return true
+		})
+		// Rule 2: exported declarations without a ctx parameter.
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			if funcHasCtxParam(info, fn) {
+				continue
+			}
+			reportBlockingOps(pass, fn)
+		}
+	}
+}
+
+// reportBlockingOps flags raw blocking operations in fn's body. Selects
+// are accounted as a whole: one with a default clause is non-blocking and
+// its communication attempts are exempt; one without is flagged as a
+// single finding rather than once per comm.
+func reportBlockingOps(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	comms := make(map[ast.Node]bool) // comm stmts owned by any select
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			for _, c := range sel.Body.List {
+				if comm := c.(*ast.CommClause).Comm; comm != nil {
+					comms[comm] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			if !hasDefaultClause(n) {
+				pass.Reportf(n.Pos(), "exported %s blocks on a select without accepting a context.Context", fn.Name.Name)
+			}
+		case *ast.SendStmt:
+			if comms[n] {
+				return false // accounted to the owning select
+			}
+			pass.Reportf(n.Pos(), "exported %s blocks on a channel send without accepting a context.Context", fn.Name.Name)
+		case *ast.AssignStmt:
+			if comms[n] {
+				return false // select receive comm, accounted to the select
+			}
+		case *ast.ExprStmt:
+			if comms[n] {
+				return false
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(), "exported %s blocks on a channel receive without accepting a context.Context", fn.Name.Name)
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				if s, ok := info.Selections[sel]; ok {
+					recv := namedTypeName(s.Recv())
+					if obj := s.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" && (recv == "WaitGroup" || recv == "Cond") {
+						pass.Reportf(n.Pos(), "exported %s blocks on sync.%s.Wait without accepting a context.Context", fn.Name.Name, recv)
+					}
+				}
+			}
+		}
+		return true
+	})
+}

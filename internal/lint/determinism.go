@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism keeps recovery-critical code replayable. The durability
+// contract promises that a -resume after a crash ends bit-identical to an
+// uninterrupted run; that only holds if nothing on the superstep path
+// consults sources the replay cannot reproduce. Flagged in the engine and
+// vertex-file packages:
+//
+//   - wall-clock reads (time.Now / time.Since / time.Until);
+//   - the global math/rand source (package-level rand.X calls — a locally
+//     seeded *rand.Rand is fine);
+//   - ranging over a map, whose iteration order differs run to run.
+//
+// Legitimately nondeterministic sites (timing statistics, watchdogs) are
+// annotated //lint:nondeterministic <reason>.
+var Determinism = &Analyzer{
+	Name:    "determinism",
+	Aliases: []string{"nondeterministic"},
+	Doc: "wall-clock reads, the global math/rand source, and unordered " +
+		"map iteration are forbidden in recovery-critical packages",
+	Packages: []string{"internal/core", "internal/vertexfile"},
+	Run:      runDeterminism,
+}
+
+// clockFuncs are the package-level time functions that read the wall
+// clock. time.Sleep is deliberately absent: sleeping does not feed clock
+// values into state.
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// seededRandFuncs are the math/rand constructors that do NOT touch the
+// global source.
+var seededRandFuncs = map[string]bool{"New": true, "NewSource": true}
+
+func runDeterminism(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				name := calleeIdent(n)
+				if clockFuncs[name] && pkgFunc(info, n, "time", name) {
+					pass.Reportf(n.Pos(), "wall-clock read time.%s in a recovery-critical package; a resumed run cannot replay it", name)
+				}
+				if !seededRandFuncs[name] {
+					for _, randPkg := range []string{"math/rand", "math/rand/v2"} {
+						if pkgFunc(info, n, randPkg, name) {
+							pass.Reportf(n.Pos(), "rand.%s uses the global source; use an explicitly seeded rand.New(rand.NewSource(seed)) so replays reproduce the sequence", name)
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				tv, ok := info.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "map iteration order is unordered; sort the keys before ranging in a recovery-critical package")
+				}
+			}
+			return true
+		})
+	}
+}

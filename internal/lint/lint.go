@@ -1,0 +1,181 @@
+// Package lint is gpsa-lint: a suite of custom static analyzers enforcing
+// the invariants GPSA's correctness rests on but the compiler cannot see —
+// the actor-isolation discipline, the immutability of the mmap-backed
+// dispatch column, determinism of recovery-critical code, context plumbing
+// for blocking calls, and error handling on durability paths.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis
+// (Analyzer / Pass / Reportf, fixture tests with "// want" expectations)
+// but is built purely on the standard library's go/ast and go/types, so
+// the tree can lint itself with no dependency beyond the Go distribution.
+//
+// # Suppressions
+//
+// A finding is suppressed by an annotation on the same line or the line
+// directly above:
+//
+//	//lint:<analyzer> <justification>
+//
+// The justification is mandatory: a bare //lint:<analyzer> keeps the
+// finding and additionally demands a written reason. The determinism
+// analyzer also honors the spelling //lint:nondeterministic <reason>.
+// Suppressed findings are counted and reported by gpsa-lint -json so
+// revisions can diff suppression totals like benchmark results.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and //lint: annotations.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Aliases are additional //lint: spellings that suppress this
+	// analyzer's findings.
+	Aliases []string
+	// Packages lists the module-relative import paths (e.g.
+	// "internal/core") the analyzer applies to. The driver only runs the
+	// analyzer on these; fixture tests run it unconditionally.
+	Packages []string
+	// Run reports findings on the pass.
+	Run func(*Pass)
+}
+
+// AppliesTo reports whether the analyzer targets the package with the
+// given import path inside module modPath.
+func (a *Analyzer) AppliesTo(modPath, pkgPath string) bool {
+	for _, rel := range a.Packages {
+		if pkgPath == modPath+"/"+rel || pkgPath == rel {
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+	// Suppressed marks a finding annotated away with a justified //lint:
+	// directive. Suppressed findings do not fail the build but are counted.
+	Suppressed bool
+	// Justification carries the suppressing annotation's reason.
+	Justification string
+}
+
+// Pass carries one analyzer run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *Package
+
+	directives map[string][]directive // file name -> line-sorted directives
+	diags      []Diagnostic
+}
+
+// directive is one parsed //lint:<name> <reason> annotation.
+type directive struct {
+	line   int
+	name   string
+	reason string
+}
+
+// NewPass prepares a pass, scanning the files' comments for //lint:
+// directives.
+func NewPass(a *Analyzer, fset *token.FileSet, pkg *Package) *Pass {
+	p := &Pass{Analyzer: a, Fset: fset, Files: pkg.Files, Pkg: pkg,
+		directives: make(map[string][]directive)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:")
+				if !ok {
+					continue
+				}
+				name, reason, _ := strings.Cut(text, " ")
+				pos := fset.Position(c.Pos())
+				p.directives[pos.Filename] = append(p.directives[pos.Filename],
+					directive{line: pos.Line, name: name, reason: strings.TrimSpace(reason)})
+			}
+		}
+	}
+	return p
+}
+
+// Reportf records a finding at pos. Suppression directives are resolved
+// immediately: a justified annotation on the finding's line (or the line
+// above) marks it suppressed; an unjustified one keeps the finding and
+// appends a demand for the missing reason.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	d := Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)}
+	names := append([]string{p.Analyzer.Name}, p.Analyzer.Aliases...)
+	for _, dir := range p.directives[position.Filename] {
+		if dir.line != position.Line && dir.line != position.Line-1 {
+			continue
+		}
+		match := false
+		for _, n := range names {
+			if dir.name == n {
+				match = true
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		if dir.reason == "" {
+			d.Message += fmt.Sprintf(" (suppression requires a justification: //lint:%s <reason>)", dir.name)
+			break
+		}
+		d.Suppressed = true
+		d.Justification = dir.reason
+		break
+	}
+	p.diags = append(p.diags, d)
+}
+
+// Diagnostics returns the pass's findings, suppressed ones included.
+func (p *Pass) Diagnostics() []Diagnostic { return p.diags }
+
+// Run executes every applicable analyzer over pkg and returns the merged,
+// position-sorted findings.
+func Run(analyzers []*Analyzer, modPath string, pkg *Package, fset *token.FileSet) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		if !a.AppliesTo(modPath, pkg.Path) {
+			continue
+		}
+		pass := NewPass(a, fset, pkg)
+		a.Run(pass)
+		out = append(out, pass.Diagnostics()...)
+	}
+	SortDiagnostics(out)
+	return out
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,58 @@
+package lint_test
+
+import (
+	"go/token"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+func TestAppliesTo(t *testing.T) {
+	a := &lint.Analyzer{Name: "x", Packages: []string{"internal/core"}}
+	for path, want := range map[string]bool{
+		"repro/internal/core":    true,
+		"internal/core":          true,
+		"repro/internal/cluster": false,
+		"repro/internal/core2":   false,
+		"other/internal/core":    false,
+	} {
+		if got := a.AppliesTo("repro", path); got != want {
+			t.Errorf("AppliesTo(repro, %q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range lint.All() {
+		if lint.ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not round-trip", a.Name)
+		}
+	}
+	if lint.ByName("nosuch") != nil {
+		t.Error("ByName(nosuch) != nil")
+	}
+}
+
+func TestSortDiagnostics(t *testing.T) {
+	at := func(file string, line, col int, an string) lint.Diagnostic {
+		return lint.Diagnostic{Pos: token.Position{Filename: file, Line: line, Column: col}, Analyzer: an}
+	}
+	ds := []lint.Diagnostic{
+		at("b.go", 1, 1, "syncerr"),
+		at("a.go", 2, 1, "syncerr"),
+		at("a.go", 1, 5, "syncerr"),
+		at("a.go", 1, 5, "colalias"),
+	}
+	lint.SortDiagnostics(ds)
+	want := []lint.Diagnostic{
+		at("a.go", 1, 5, "colalias"),
+		at("a.go", 1, 5, "syncerr"),
+		at("a.go", 2, 1, "syncerr"),
+		at("b.go", 1, 1, "syncerr"),
+	}
+	for i := range want {
+		if ds[i] != want[i] {
+			t.Errorf("position %d: %+v, want %+v", i, ds[i], want[i])
+		}
+	}
+}

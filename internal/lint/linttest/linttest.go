@@ -1,0 +1,180 @@
+// Package linttest runs a lint analyzer over a fixture directory and
+// checks its findings against "// want" expectations, in the style of
+// golang.org/x/tools/go/analysis/analysistest (stdlib-only).
+//
+// Expectations are comments on the offending line:
+//
+//	ch <- 1 // want "bare channel send"
+//
+// Each quoted string is a regular expression that must match the message
+// of a finding reported on that line; findings without a matching
+// expectation, and expectations without a matching finding, fail the
+// test. Suppressed findings (justified //lint: annotations) must NOT
+// match any want — they are returned in the result so tests can assert
+// the suppression mechanism engaged.
+package linttest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// Result summarizes one fixture run.
+type Result struct {
+	Reported   int // unsuppressed findings
+	Suppressed int // findings silenced by justified //lint: annotations
+}
+
+// The fixture type-checker shares one file set and one stdlib source
+// importer across all tests in the process: the importer memoizes the
+// (expensive) from-source check of each standard library package.
+var (
+	fixtureMu   sync.Mutex
+	fixtureFset = token.NewFileSet()
+	fixtureStd  = importer.ForCompiler(fixtureFset, "source", nil)
+)
+
+// Run analyzes the fixture directory with a and verifies expectations.
+// The analyzer's package filter is ignored: fixtures always run.
+func Run(t *testing.T, a *lint.Analyzer, dir string) Result {
+	t.Helper()
+	fixtureMu.Lock()
+	defer fixtureMu.Unlock()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fixtureFset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("linttest: parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("linttest: no fixture files in %s", dir)
+	}
+	path := "fixture/" + a.Name
+	tpkg, info, err := lint.CheckFiles(fixtureFset, path, files, fixtureStd)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	pkg := &lint.Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+
+	pass := lint.NewPass(a, fixtureFset, pkg)
+	a.Run(pass)
+
+	wants := collectWants(t, fixtureFset, files)
+	var res Result
+	matched := make(map[*want]bool)
+	for _, d := range pass.Diagnostics() {
+		if d.Suppressed {
+			res.Suppressed++
+			continue
+		}
+		res.Reported++
+		ok := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				matched[w] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s:%d: unexpected finding: %s", d.Pos.Filename, d.Pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !matched[w] {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+	return res
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var out []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range splitQuoted(m[1]) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					out = append(out, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out
+}
+
+// splitQuoted extracts the "..."-quoted segments of a want comment tail.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(s, '"')
+		if i < 0 {
+			return out
+		}
+		j := i + 1
+		for j < len(s) {
+			if s[j] == '\\' {
+				j += 2
+				continue
+			}
+			if s[j] == '"' {
+				break
+			}
+			j++
+		}
+		if j >= len(s) {
+			return out
+		}
+		out = append(out, s[i:j+1])
+		s = s[j+1:]
+	}
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// SyncErr makes silently dropped errors on durability paths a lint
+// failure. The crash-recovery contract (DESIGN.md "Durability contract")
+// is stated in terms of Sync/SyncRange/Commit ordering; an ignored error
+// from any of these — or from a Close/Flush that performs the final
+// write-back — means the process can believe state is on disk when it is
+// not, exactly the failure mode the vertex file's header sealing exists
+// to prevent. Both implicit discards (a bare call statement, including
+// defer) and explicit ones (assigning the error to _) are flagged;
+// deliberate best-effort teardown sites carry //lint:syncerr
+// justifications.
+var SyncErr = &Analyzer{
+	Name: "syncerr",
+	Doc: "ignored errors from Sync/SyncRange/Flush/Close/Commit on " +
+		"durability paths",
+	Packages: []string{"internal/core", "internal/cluster", "internal/vertexfile", "internal/mmap"},
+	Run:      runSyncErr,
+}
+
+// durabilityMethods are the method/function names whose error results
+// must not be discarded.
+var durabilityMethods = map[string]bool{
+	"Sync": true, "SyncRange": true, "Flush": true, "Close": true,
+	"Commit": true, "CommitStep": true,
+}
+
+func runSyncErr(pass *Pass) {
+	info := pass.Pkg.Info
+	// durabilityCall reports whether e is a call to a durability method
+	// that returns an error.
+	durabilityCall := func(e ast.Expr) (*ast.CallExpr, bool) {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return nil, false
+		}
+		name := calleeIdent(call)
+		if !durabilityMethods[name] {
+			return nil, false
+		}
+		return call, lastResultIsError(info, call)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := durabilityCall(n.X); ok {
+					pass.Reportf(n.Pos(), "error from %s discarded on a durability path; handle it, join it into the returning error, or justify with //lint:syncerr", calleeIdent(call))
+				}
+			case *ast.DeferStmt:
+				if call, ok := durabilityCall(n.Call); ok {
+					pass.Reportf(n.Pos(), "deferred %s discards its error on a durability path; check it in a deferred closure or justify with //lint:syncerr", calleeIdent(call))
+				}
+			case *ast.GoStmt:
+				if call, ok := durabilityCall(n.Call); ok {
+					pass.Reportf(n.Pos(), "go %s discards its error on a durability path", calleeIdent(call))
+				}
+			case *ast.AssignStmt:
+				// Explicit discard: the error result position assigned to _.
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := durabilityCall(n.Rhs[0])
+				if !ok {
+					return true
+				}
+				// The error is the last result; with `_ = f.Close()` or
+				// `v, _ := f.ReadCloseLike()` the last LHS is the error slot.
+				if id, ok := n.Lhs[len(n.Lhs)-1].(*ast.Ident); ok && id.Name == "_" {
+					pass.Reportf(n.Pos(), "error from %s explicitly discarded on a durability path; handle it or justify with //lint:syncerr", calleeIdent(call))
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,40 @@
+// Package fixture exercises the actorshare analyzer: raw goroutine
+// spawns and bare channel sends are findings; non-blocking tries and
+// justified sites are not.
+package fixture
+
+func spawnRaw(work func()) {
+	go work() // want "raw goroutine spawn bypasses the supervised actor system"
+}
+
+func sendBare(ch chan<- int) {
+	ch <- 1 // want "bare channel send bypasses the bounded mailbox API"
+}
+
+// A send guarded by a select default is the TryPut idiom: permitted.
+func trySend(ch chan<- int) bool {
+	select {
+	case ch <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+// A send in a select without a default still blocks: flagged.
+func sendInBlockingSelect(ch chan<- int, done <-chan struct{}) {
+	select {
+	case ch <- 1: // want "bare channel send bypasses the bounded mailbox API"
+	case <-done:
+	}
+}
+
+func spawnJustified(work func()) {
+	//lint:actorshare receiver lifetime is bounded by its connection, tracked outside the system
+	go work()
+}
+
+func sendUnjustified(ch chan<- int) {
+	//lint:actorshare
+	ch <- 1 // want "suppression requires a justification"
+}

@@ -1,0 +1,65 @@
+// Package vertexfile is a fixture double exercising the colalias
+// analyzer: the Map type models internal/mmap.Map (the analyzer matches
+// the receiver type name, not the package), and the package is named
+// vertexfile so the slots rule applies.
+package vertexfile
+
+type Map struct{ buf []byte }
+
+func (m *Map) Bytes() []byte                          { return m.buf }
+func (m *Map) Uint32s(off, n int64) ([]uint32, error) { return nil, nil }
+func (m *Map) Uint64s(off, n int64) ([]uint64, error) { return nil, nil }
+
+type File struct {
+	m     *Map
+	slots []uint64
+	raw   []byte
+}
+
+func retainDirect(f *File, m *Map) {
+	f.raw = m.Bytes() // want "mmap-backed slice stored in a field"
+}
+
+func retainViaLocal(m *Map) *File {
+	b := m.Bytes()
+	view := b[8:]
+	return &File{
+		raw: view, // want "mmap-backed slice stored in a field"
+	}
+}
+
+func retainMulti(f *File, m *Map) error {
+	slots, err := m.Uint64s(0, 4)
+	if err != nil {
+		return err
+	}
+	f.slots = slots // want "mmap-backed slice stored in a field"
+	return nil
+}
+
+func mutateView(m *Map) {
+	b := m.Bytes()
+	b[0] = 1 // want "write through mmap-backed slice b"
+}
+
+// Copying out of a view is fine: the copy does not alias the mapping.
+func copyOut(m *Map) []byte {
+	b := m.Bytes()
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+func storeSlot(f *File, v int64, x uint64) {
+	f.slots[v] = x // want "non-atomic write to the vertex column slots"
+}
+
+func retainJustified(f *File, m *Map) {
+	//lint:colalias fixture double owns the mapping; view and map share one lifetime
+	f.raw = m.Bytes()
+}
+
+func retainUnjustified(f *File, m *Map) {
+	//lint:colalias
+	f.raw = m.Bytes() // want "suppression requires a justification"
+}

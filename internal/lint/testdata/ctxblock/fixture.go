@@ -1,0 +1,75 @@
+// Package fixture exercises the ctxblock analyzer: ambient root contexts
+// and exported uncancellable blocking operations are findings;
+// context-accepting and non-blocking variants are not.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+func mintRoot() context.Context {
+	return context.Background() // want "library code must not call context.Background"
+}
+
+type Pool struct {
+	ch   chan int
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func (p *Pool) Take() int {
+	return <-p.ch // want "blocks on a channel receive"
+}
+
+func (p *Pool) Give(v int) {
+	p.ch <- v // want "blocks on a channel send"
+}
+
+func (p *Pool) TakeOrDone() (int, bool) {
+	select { // want "blocks on a select without accepting a context.Context"
+	case v := <-p.ch:
+		return v, true
+	case <-p.done:
+		return 0, false
+	}
+}
+
+func (p *Pool) Drain() {
+	p.wg.Wait() // want "blocks on sync.WaitGroup.Wait"
+}
+
+// A context parameter makes the wait cancellable: not flagged.
+func (p *Pool) TakeContext(ctx context.Context) (int, bool) {
+	select {
+	case v := <-p.ch:
+		return v, true
+	case <-ctx.Done():
+		return 0, false
+	}
+}
+
+// A select with a default never blocks: not flagged.
+func (p *Pool) TryTake() (int, bool) {
+	select {
+	case v := <-p.ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// Unexported helpers may block; their exported callers thread contexts.
+func (p *Pool) take() int {
+	return <-p.ch
+}
+
+func (p *Pool) TakeBounded() int {
+	//lint:ctxblock release-bounded: Close closes ch, which unblocks the receive
+	return <-p.ch
+}
+
+func MintUnjustified() context.Context {
+	//lint:ctxblock
+	return context.Background() // want "suppression requires a justification"
+}

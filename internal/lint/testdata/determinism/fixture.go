@@ -1,0 +1,55 @@
+// Package fixture exercises the determinism analyzer: wall-clock reads,
+// the global math/rand source, and unordered map iteration are findings;
+// seeded generators and sorted iteration are not.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want "wall-clock read time.Now"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall-clock read time.Since"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "rand.Intn uses the global source"
+}
+
+// An explicitly seeded generator replays: not flagged. This is also the
+// regression case for the package-function matcher — (*rand.Rand).Intn
+// must not be confused with the package-level rand.Intn.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func rangeMap(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // want "map iteration order is unordered"
+		sum += v
+	}
+	return sum
+}
+
+// Sorting the keys restores a deterministic order; the collection range
+// itself is justified (order does not matter while collecting).
+func rangeSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//lint:nondeterministic key collection order is irrelevant; keys are sorted before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func stamp() int64 {
+	//lint:determinism
+	return time.Now().UnixNano() // want "suppression requires a justification"
+}

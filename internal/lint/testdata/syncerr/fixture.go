@@ -1,0 +1,61 @@
+// Package fixture exercises the syncerr analyzer: implicitly or
+// explicitly discarded errors from durability methods are findings;
+// checked and error-joined calls are not.
+package fixture
+
+type file struct{}
+
+func (f *file) Sync() error                 { return nil }
+func (f *file) Close() error                { return nil }
+func (f *file) Flush() error                { return nil }
+func (f *file) CommitStep(step int64) error { return nil }
+func (f *file) Name() string                { return "" }
+
+func ignoreSync(f *file) {
+	f.Sync() // want "error from Sync discarded"
+}
+
+func discardClose(f *file) {
+	_ = f.Close() // want "error from Close explicitly discarded"
+}
+
+func deferClose(f *file) error {
+	defer f.Close() // want "deferred Close discards its error"
+	return f.Sync()
+}
+
+func goClose(f *file) {
+	go f.Close() // want "go Close discards its error"
+}
+
+// Checking (or returning) the error is the fix: not flagged.
+func checkedClose(f *file) error {
+	if err := f.CommitStep(1); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// The deferred-closure idiom checks the close error: not flagged.
+func deferChecked(f *file) (err error) {
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return f.Flush()
+}
+
+// No error result, no finding.
+func nameOnly(f *file) string {
+	return f.Name()
+}
+
+func closeJustified(f *file) {
+	_ = f.Close() //lint:syncerr best-effort release on teardown; the primary error is already propagating
+}
+
+func syncUnjustified(f *file) {
+	//lint:syncerr
+	f.Sync() // want "suppression requires a justification"
+}

@@ -11,6 +11,7 @@
 package mmap
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -18,6 +19,12 @@ import (
 
 	"repro/internal/fault"
 )
+
+// closeJoin closes f on a constructor error path, joining the close error
+// into the primary one so a failing close is never silently dropped.
+func closeJoin(err error, f *os.File) error {
+	return errors.Join(err, f.Close())
+}
 
 // Mode selects how a Map is backed.
 type Mode int
@@ -68,14 +75,12 @@ func Create(path string, size int64, opts Options) (*Map, error) {
 		return nil, fmt.Errorf("mmap: create: %w", err)
 	}
 	if err := f.Truncate(size); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("mmap: truncate %s to %d: %w", path, size, err)
+		return nil, closeJoin(fmt.Errorf("mmap: truncate %s to %d: %w", path, size, err), f)
 	}
 	opts.Writable = true
 	m, err := newMap(f, size, opts)
 	if err != nil {
-		f.Close()
-		return nil, err
+		return nil, closeJoin(err, f)
 	}
 	return m, nil
 }
@@ -92,17 +97,14 @@ func Open(path string, opts Options) (*Map, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("mmap: stat %s: %w", path, err)
+		return nil, closeJoin(fmt.Errorf("mmap: stat %s: %w", path, err), f)
 	}
 	if st.Size() == 0 {
-		f.Close()
-		return nil, fmt.Errorf("mmap: open %s: empty file", path)
+		return nil, closeJoin(fmt.Errorf("mmap: open %s: empty file", path), f)
 	}
 	m, err := newMap(f, st.Size(), opts)
 	if err != nil {
-		f.Close()
-		return nil, err
+		return nil, closeJoin(err, f)
 	}
 	return m, nil
 }

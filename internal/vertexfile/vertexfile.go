@@ -37,6 +37,7 @@ package vertexfile
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	mathbits "math/bits"
@@ -46,6 +47,12 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mmap"
 )
+
+// closeJoin unmaps m on a constructor error path, joining the close error
+// into the primary one so a failing unmap is never silently dropped.
+func closeJoin(err error, m *mmap.Map) error {
+	return errors.Join(err, m.Close())
+}
 
 const (
 	// StaleBit is the paper's "highest bit": set = not updated in the
@@ -235,8 +242,7 @@ func Create(path string, numVertices int64, init func(v int64) (payload uint64, 
 	}
 	f, err := newFile(path, m, numVertices)
 	if err != nil {
-		m.Close()
-		return nil, err
+		return nil, closeJoin(err, m)
 	}
 	b := m.Bytes()
 	binary.LittleEndian.PutUint32(b[0:], fileMagic)
@@ -255,8 +261,7 @@ func Create(path string, numVertices int64, init func(v int64) (payload uint64, 
 	atomic.StoreUint64(&f.header[hdrColDigest], f.colDigest(0))
 	f.sealHeader()
 	if err := m.Sync(); err != nil {
-		m.Close()
-		return nil, err
+		return nil, closeJoin(err, m)
 	}
 	return f, nil
 }
@@ -277,34 +282,27 @@ func Open(path string) (*File, error) {
 	}
 	b := m.Bytes()
 	if len(b) < headerBytes {
-		m.Close()
-		return nil, fmt.Errorf("vertexfile: %s: truncated header", path)
+		return nil, closeJoin(fmt.Errorf("vertexfile: %s: truncated header", path), m)
 	}
 	if binary.LittleEndian.Uint32(b[0:]) != fileMagic {
-		m.Close()
-		return nil, fmt.Errorf("vertexfile: %s: bad magic", path)
+		return nil, closeJoin(fmt.Errorf("vertexfile: %s: bad magic", path), m)
 	}
 	if v := binary.LittleEndian.Uint32(b[4:]); v != fileVersion {
-		m.Close()
-		return nil, fmt.Errorf("vertexfile: %s: unsupported version %d", path, v)
+		return nil, closeJoin(fmt.Errorf("vertexfile: %s: unsupported version %d", path, v), m)
 	}
 	n := int64(binary.LittleEndian.Uint64(b[8:]))
 	if n <= 0 || n > maxVertices {
-		m.Close()
-		return nil, fmt.Errorf("vertexfile: %s: absurd vertex count %d", path, n)
+		return nil, closeJoin(fmt.Errorf("vertexfile: %s: absurd vertex count %d", path, n), m)
 	}
 	if want := headerBytes + 8*bitmapWords(n) + 16*n; int64(len(b)) < want {
-		m.Close()
-		return nil, fmt.Errorf("vertexfile: %s: %d bytes, want %d for %d vertices", path, len(b), want, n)
+		return nil, closeJoin(fmt.Errorf("vertexfile: %s: %d bytes, want %d for %d vertices", path, len(b), want, n), m)
 	}
 	f, err := newFile(path, m, n)
 	if err != nil {
-		m.Close()
-		return nil, err
+		return nil, closeJoin(err, m)
 	}
 	if e := f.Epoch(); e < 0 || e > maxEpoch {
-		m.Close()
-		return nil, fmt.Errorf("vertexfile: %s: absurd epoch %d", path, e)
+		return nil, closeJoin(fmt.Errorf("vertexfile: %s: absurd epoch %d", path, e), m)
 	}
 	if s := f.state(); !f.headerValid() || (s != stateClean && s != stateRunning) {
 		// Torn header: the state word cannot be trusted, so treat the
@@ -314,16 +312,14 @@ func Open(path string) (*File, error) {
 		metrics.Inc(metrics.CtrOpenTorn)
 		f.setState(stateRunning)
 		if _, err := f.Recover(); err != nil {
-			m.Close()
-			return nil, fmt.Errorf("vertexfile: %s: rolling back torn header: %w", path, err)
+			return nil, closeJoin(fmt.Errorf("vertexfile: %s: rolling back torn header: %w", path, err), m)
 		}
 		return f, nil
 	}
 	if want := atomic.LoadUint64(&f.header[hdrColDigest]); want != 0 {
 		if got := f.colDigest(DispatchCol(f.Epoch())); got != want {
 			metrics.Inc(metrics.CtrDigestMismatch)
-			m.Close()
-			return nil, fmt.Errorf("vertexfile: %s: column digest mismatch (%#x, header sealed %#x): header sealed before column sync, or columns corrupted", path, got, want)
+			return nil, closeJoin(fmt.Errorf("vertexfile: %s: column digest mismatch (%#x, header sealed %#x): header sealed before column sync, or columns corrupted", path, got, want), m)
 		}
 	}
 	return f, nil
@@ -381,8 +377,12 @@ func newFile(path string, m *mmap.Map, numVertices int64) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The retained views live exactly as long as the mapping: File owns m
+	// and Close unmaps them together, and every slot access goes through
+	// the atomic Load/Store accessors.
 	return &File{
 		path: path, m: m, numVertices: numVertices,
+		//lint:colalias File owns the mapping; views and map share one lifetime and slots are accessed atomically
 		slots: slots, bitmap: bitmap, header: header,
 		bitmapOff: bitmapOff, slotsOff: slotsOff,
 	}, nil
