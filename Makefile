@@ -3,7 +3,7 @@
 GO ?= go
 REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all build test race lint vet fmt bench bench-micro bench-smoke repro examples check torture clean
+.PHONY: all build test race lint vet fmt bench bench-micro bench-smoke repro examples check torture chaos clean
 
 all: build test
 
@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/actor ./internal/core ./internal/cluster ./internal/xstream ./internal/vertexfile ./internal/crashtest
+	$(GO) test -race ./internal/actor ./internal/core ./internal/cluster ./internal/xstream ./internal/vertexfile ./internal/crashtest ./internal/chaostest
 
 # gpsa-lint: the repository's own static analyzers (internal/lint) —
 # actor discipline, mmap aliasing, determinism, context plumbing, and
@@ -27,8 +27,9 @@ lint:
 # The full pre-merge gate: vet and gpsa-lint, the entire test suite under
 # the race detector (includes the fault-injection recovery tests), a
 # shuffled-order pass over the engine and actor packages to catch
-# inter-test state leaks, plus the kill-torture harness against the real
-# binary.
+# inter-test state leaks, the kill-torture harness against the real
+# binary, plus the chaos smoke slice (one node kill + one corrupted
+# frame on a live 3-node cluster; the full schedule is `make chaos`).
 check:
 	$(GO) vet ./...
 	$(MAKE) lint
@@ -36,6 +37,7 @@ check:
 	$(GO) test -race -count=1 ./internal/core
 	$(GO) test -shuffle=on -count=1 ./internal/core ./internal/actor
 	$(GO) test -count=1 -run 'Torture|Interrupt|ExitCodes' ./internal/crashtest
+	$(GO) test -count=1 -run 'TestChaosSmoke|TestChaosCorruptFrameDetected' ./internal/chaostest
 	$(MAKE) bench-smoke
 
 # Kill-torture: run cmd/gpsa as a subprocess, SIGKILL it at >=20
@@ -44,6 +46,15 @@ check:
 # `go test -short`.
 torture:
 	$(GO) test -count=1 -v -run 'Torture|Interrupt|ExitCodes' ./internal/crashtest
+
+# Network torture: the full seeded chaos schedule over a live 3-node
+# in-process cluster — randomized node kills mid-dispatch and
+# mid-barrier, one-way partitions healing after jitter, connection
+# resets, torn and bit-flipped frames — every run required to end
+# bit-identical to an undisturbed baseline with rollback/rejoin metrics
+# asserted. Fixed seeds; see internal/chaostest.
+chaos:
+	GPSA_CHAOS=1 $(GO) test -count=1 -v -timeout 600s -run 'TestChaos' ./internal/chaostest
 
 vet:
 	$(GO) vet ./...

@@ -2,6 +2,7 @@ package gpsa
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/cluster"
 )
@@ -17,6 +18,24 @@ type ClusterOptions struct {
 	ComputersPerNode int
 	// Context, when non-nil, cancels the run between supersteps.
 	Context context.Context
+	// StepRetries is the rollback-and-retry budget, mirroring
+	// RunOptions.StepRetries for single-node runs: a superstep that loses
+	// a node (crash, wedge, corrupt frame) is rolled back across the
+	// cluster, the dead node replaced via the rejoin handshake, and the
+	// step retried — at most this many times per run. Zero fails fast.
+	StepRetries int
+	// HeartbeatInterval is how often idle nodes ping the coordinator
+	// (0 = 500ms; negative disables).
+	HeartbeatInterval time.Duration
+	// NodeTimeout is how long the coordinator tolerates total silence
+	// from a node before declaring it dead (0 = 15s; negative disables).
+	NodeTimeout time.Duration
+	// PhaseTimeout bounds heartbeat-only stretches inside a phase — the
+	// wedged-node and one-way-partition detector (0 = 4x NodeTimeout;
+	// negative disables).
+	PhaseTimeout time.Duration
+	// RecoveryTimeout bounds one rollback/rejoin cycle (0 = 30s).
+	RecoveryTimeout time.Duration
 }
 
 // ClusterResult summarizes a distributed run.
@@ -30,9 +49,14 @@ type ClusterResult = cluster.Result
 // the dispatch/compute overlap spans the cluster.
 func RunDistributed(graphPath string, prog Program, opts ClusterOptions) (*ClusterResult, []uint64, error) {
 	return cluster.Run(graphPath, prog, cluster.Config{
-		Context:       opts.Context,
-		Nodes:         opts.Nodes,
-		MaxSupersteps: opts.Supersteps,
-		Node:          cluster.NodeConfig{Computers: opts.ComputersPerNode},
+		Context:           opts.Context,
+		Nodes:             opts.Nodes,
+		MaxSupersteps:     opts.Supersteps,
+		StepRetries:       opts.StepRetries,
+		HeartbeatInterval: opts.HeartbeatInterval,
+		NodeTimeout:       opts.NodeTimeout,
+		PhaseTimeout:      opts.PhaseTimeout,
+		RecoveryTimeout:   opts.RecoveryTimeout,
+		Node:              cluster.NodeConfig{Computers: opts.ComputersPerNode},
 	})
 }

@@ -6,19 +6,40 @@
 // Usage:
 //
 //	gpsa-cluster -graph web.gpsa -algo pagerank -nodes 4
-//	gpsa-cluster -graph web-sym.gpsa -algo cc -nodes 3
+//	gpsa-cluster -graph web-sym.gpsa -algo cc -nodes 3 -retries 3
+//
+// With -retries > 0 the run survives node deaths: a failed superstep is
+// rolled back across the cluster, the dead node is replaced via the
+// rejoin handshake (replaying its interval from its sealed value file),
+// and the step retried. Chaos can be injected into a run through the
+// GPSA_FAULT environment variable — the same seeded fault plans the
+// torture harness uses (internal/chaostest), e.g.
+//
+//	GPSA_FAULT='site=cluster.node.kill.barrier,after=2' gpsa-cluster -graph g.gpsa -algo cc -nodes 3 -retries 4
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro"
 	"repro/internal/algorithms"
+	"repro/internal/fault"
 )
 
-func main() {
+const (
+	exitUsage       = 2
+	exitInterrupted = 3
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		graphPath  = flag.String("graph", "", "path to a .gpsa CSR graph (required)")
 		algo       = flag.String("algo", "pagerank", "algorithm: pagerank, bfs, cc, sssp")
@@ -26,12 +47,29 @@ func main() {
 		nodes      = flag.Int("nodes", 2, "cluster size")
 		supersteps = flag.Int("supersteps", 0, "superstep cap (0 = algorithm default)")
 		computers  = flag.Int("computers", 0, "computing actors per node (0 = default)")
+		retries    = flag.Int("retries", 0, "rollback-and-retry a failed superstep up to N times, replacing dead nodes (0 = fail fast)")
+		nodeTO     = flag.Duration("node-timeout", 0, "declare a totally silent node dead after this long (0 = 15s)")
+		phaseTO    = flag.Duration("phase-timeout", 0, "fail a superstep when a node heartbeats without progress this long (0 = 4x node-timeout)")
+		recoveryTO = flag.Duration("recovery-timeout", 0, "bound one rollback/rejoin cycle (0 = 30s)")
+		heartbeat  = flag.Duration("heartbeat", 0, "idle-node heartbeat interval (0 = 500ms, negative disables)")
+		verbose    = flag.Bool("v", false, "report armed fault plans and recovery activity")
 	)
+	flag.Usage = func() {
+		w := flag.CommandLine.Output()
+		fmt.Fprintln(w, "usage: gpsa-cluster -graph g.gpsa [-algo pagerank] [-nodes 3] [flags]")
+		flag.PrintDefaults()
+		fmt.Fprintln(w, `
+exit codes:
+  0  success
+  1  run failed
+  2  usage error
+  3  interrupted (SIGINT/SIGTERM); each node's last committed superstep stays durable`)
+	}
 	flag.Parse()
 	if *graphPath == "" {
 		fmt.Fprintln(os.Stderr, "gpsa-cluster: -graph is required")
 		flag.Usage()
-		os.Exit(2)
+		return exitUsage
 	}
 
 	var prog gpsa.Program
@@ -49,17 +87,39 @@ func main() {
 		prog = algorithms.SSSP{Source: gpsa.VertexID(*root)}
 	default:
 		fmt.Fprintf(os.Stderr, "gpsa-cluster: unknown algorithm %q\n", *algo)
-		os.Exit(2)
+		return exitUsage
 	}
 
+	if armed, err := fault.ActivateFromEnv(); err != nil {
+		fmt.Fprintf(os.Stderr, "gpsa-cluster: %v\n", err)
+		return exitUsage
+	} else if armed && *verbose {
+		fmt.Fprintf(os.Stderr, "gpsa-cluster: fault plan armed from %s\n", fault.EnvVar)
+	}
+
+	// SIGINT/SIGTERM cancel the run's context: the coordinator stops
+	// issuing supersteps, nodes abandon redial storms mid-backoff, and
+	// every sealed value file keeps its last committed superstep.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	res, values, err := gpsa.RunDistributed(*graphPath, prog, gpsa.ClusterOptions{
-		Nodes:            *nodes,
-		Supersteps:       *supersteps,
-		ComputersPerNode: *computers,
+		Nodes:             *nodes,
+		Supersteps:        *supersteps,
+		ComputersPerNode:  *computers,
+		Context:           ctx,
+		StepRetries:       *retries,
+		HeartbeatInterval: *heartbeat,
+		NodeTimeout:       *nodeTO,
+		PhaseTimeout:      *phaseTO,
+		RecoveryTimeout:   *recoveryTO,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gpsa-cluster: %v\n", err)
-		os.Exit(1)
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) {
+			return exitInterrupted
+		}
+		return 1
 	}
 	saved := 0.0
 	if res.Messages > 0 {
@@ -69,5 +129,9 @@ func main() {
 		res.Nodes, res.Supersteps, res.Duration, res.Converged)
 	fmt.Printf("traffic: %d messages generated, %d delivered (combining saved %.1f%%)\n",
 		res.Messages, res.Delivered, saved)
+	if res.Rollbacks > 0 || res.Rejoins > 0 {
+		fmt.Printf("recovery: %d superstep rollbacks, %d node rejoins\n", res.Rollbacks, res.Rejoins)
+	}
 	fmt.Printf("computed values for %d vertices\n", len(values))
+	return 0
 }

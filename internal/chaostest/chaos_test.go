@@ -1,0 +1,211 @@
+package chaostest
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/algorithms"
+	"repro/internal/cluster"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+)
+
+var fx *Fixture
+
+func TestMain(m *testing.M) {
+	var err error
+	fx, err = NewFixture()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	code := m.Run()
+	fx.Close()
+	os.Exit(code)
+}
+
+// runScenario executes one seeded chaos schedule and holds the disturbed
+// run to the undisturbed baseline, bit for bit. It returns the plan so
+// callers can count firings.
+func runScenario(t *testing.T, sc Scenario) *fault.Plan {
+	t.Helper()
+	want, err := fx.Baseline(sc.Baseline, sc.Prog, sc.Symmetric, sc.MaxSupersteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rollbacks0 := metrics.Counter(metrics.CtrClusterRollbacks)
+	rejoins0 := metrics.Counter(metrics.CtrClusterRejoins)
+
+	plan := fault.NewPlan(sc.Seed, sc.Injections...)
+	fault.Activate(plan)
+	defer fault.Deactivate()
+	res, values, err := cluster.Run(fx.Graph(sc.Symmetric), sc.Prog, Config(sc.MaxSupersteps))
+	fault.Deactivate()
+	if err != nil {
+		t.Fatalf("disturbed run failed: %v", err)
+	}
+	if len(values) != len(want) {
+		t.Fatalf("disturbed run returned %d values, baseline %d", len(values), len(want))
+	}
+	for v := range want {
+		if values[v] != want[v] {
+			t.Fatalf("vertex %d: %#x, want %#x (not bit-identical to the undisturbed baseline)", v, values[v], want[v])
+		}
+	}
+	for _, in := range sc.Injections {
+		if plan.Fired(in.Site) == 0 {
+			t.Fatalf("chaos site %s armed but never fired (hits %d); the schedule tested nothing", in.Site, plan.Hits(in.Site))
+		}
+	}
+	if sc.WantRollbacks {
+		if res.Rollbacks == 0 {
+			t.Fatal("scenario expected superstep rollbacks, result reports none")
+		}
+		if got := metrics.Counter(metrics.CtrClusterRollbacks); got <= rollbacks0 {
+			t.Fatalf("cluster.rollbacks metric did not advance (%d -> %d)", rollbacks0, got)
+		}
+	}
+	if sc.WantRejoins {
+		if res.Rejoins == 0 {
+			t.Fatal("scenario expected node rejoins, result reports none")
+		}
+		if got := metrics.Counter(metrics.CtrClusterRejoins); got <= rejoins0 {
+			t.Fatalf("cluster.rejoins metric did not advance (%d -> %d)", rejoins0, got)
+		}
+	}
+	return plan
+}
+
+// TestChaosSmoke is the always-on slice of the torture schedule: one node
+// killed at the compute barrier of a 3-node CC job — after some nodes
+// have already committed the superstep, so the retry exercises both
+// Rewind (committed survivors) and the rejoin handshake (the
+// replacement). Runs with the ordinary test suite; the full schedule is
+// `make chaos`.
+func TestChaosSmoke(t *testing.T) {
+	runScenario(t, Scenario{
+		Name:          "smoke-cc-kill-mid-barrier",
+		Prog:          algorithms.ConnectedComponents{},
+		Baseline:      "cc",
+		Symmetric:     true,
+		MaxSupersteps: 100,
+		Seed:          3,
+		Injections:    []fault.Injection{{Site: fault.SiteNodeKillBarrier, After: 2}},
+		WantRollbacks: true,
+		WantRejoins:   true,
+	})
+}
+
+// TestChaosTorture is the full seeded network-torture schedule
+// (`make chaos`): randomized node kills mid-dispatch and mid-barrier,
+// one-way partitions healing after jitter, connection resets, torn and
+// bit-flipped frames — across PageRank, BFS, and CC on a 3-node
+// in-process cluster. Every disturbed run must end bit-identical to the
+// undisturbed baseline, and the schedule as a whole must inject at least
+// ten kills and partitions.
+func TestChaosTorture(t *testing.T) {
+	if os.Getenv("GPSA_CHAOS") == "" {
+		t.Skip("full chaos torture is opt-in: set GPSA_CHAOS=1 (make chaos)")
+	}
+	pagerank := algorithms.PageRank{}
+	bfs := algorithms.BFS{Root: 0}
+	cc := algorithms.ConnectedComponents{}
+
+	scenarios := []Scenario{
+		{
+			Name: "cc-kill-mid-dispatch", Prog: cc, Baseline: "cc", Symmetric: true, MaxSupersteps: 100, Seed: 11,
+			Injections:    []fault.Injection{{Site: fault.SiteNodeKillDispatch, After: 17}},
+			WantRollbacks: true, WantRejoins: true,
+		},
+		{
+			Name: "cc-kill-mid-dispatch-double", Prog: cc, Baseline: "cc", Symmetric: true, MaxSupersteps: 100, Seed: 12,
+			Injections:    []fault.Injection{{Site: fault.SiteNodeKillDispatch, After: 123, Count: 2}},
+			WantRollbacks: true, WantRejoins: true,
+		},
+		{
+			Name: "pagerank-kill-mid-dispatch", Prog: pagerank, Baseline: "pagerank", MaxSupersteps: 5, Seed: 13,
+			Injections:    []fault.Injection{{Site: fault.SiteNodeKillDispatch, After: 61}},
+			WantRollbacks: true, WantRejoins: true,
+		},
+		{
+			Name: "pagerank-kill-mid-barrier", Prog: pagerank, Baseline: "pagerank", MaxSupersteps: 5, Seed: 14,
+			Injections:    []fault.Injection{{Site: fault.SiteNodeKillBarrier, After: 7}},
+			WantRollbacks: true, WantRejoins: true,
+		},
+		{
+			Name: "bfs-kill-mid-barrier", Prog: bfs, Baseline: "bfs", MaxSupersteps: 100, Seed: 15,
+			Injections:    []fault.Injection{{Site: fault.SiteNodeKillBarrier, After: 4}},
+			WantRollbacks: true, WantRejoins: true,
+		},
+		{
+			Name: "bfs-kill-mid-dispatch-double", Prog: bfs, Baseline: "bfs", MaxSupersteps: 100, Seed: 16,
+			Injections:    []fault.Injection{{Site: fault.SiteNodeKillDispatch, After: 60, Count: 2}},
+			WantRollbacks: true, WantRejoins: true,
+		},
+		{
+			Name: "cc-oneway-partition", Prog: cc, Baseline: "cc", Symmetric: true, MaxSupersteps: 100, Seed: 17,
+			Injections: []fault.Injection{{Site: fault.SiteConnPartition, After: 40, Delay: 150 * time.Millisecond}},
+		},
+		{
+			Name: "pagerank-oneway-partition", Prog: pagerank, Baseline: "pagerank", MaxSupersteps: 5, Seed: 18,
+			Injections: []fault.Injection{{Site: fault.SiteConnPartition, After: 25, Delay: 300 * time.Millisecond}},
+		},
+		{
+			Name: "cc-oneway-partition-double", Prog: cc, Baseline: "cc", Symmetric: true, MaxSupersteps: 100, Seed: 19,
+			Injections: []fault.Injection{{Site: fault.SiteConnPartition, After: 90, Count: 2, Delay: 450 * time.Millisecond}},
+		},
+		{
+			Name: "cc-conn-reset", Prog: cc, Baseline: "cc", Symmetric: true, MaxSupersteps: 100, Seed: 21,
+			Injections: []fault.Injection{{Site: fault.SiteConnReset, After: 25}},
+		},
+		{
+			Name: "cc-torn-frame-short-write", Prog: cc, Baseline: "cc", Symmetric: true, MaxSupersteps: 100, Seed: 22,
+			Injections: []fault.Injection{{Site: fault.SiteConnShortWrite, After: 30}},
+		},
+		{
+			Name: "cc-slow-link", Prog: cc, Baseline: "cc", Symmetric: true, MaxSupersteps: 100, Seed: 23,
+			Injections: []fault.Injection{{Site: fault.SiteConnDelay, After: 15, Count: 3, Delay: 300 * time.Millisecond}},
+		},
+	}
+
+	var disturbances int64
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			plan := runScenario(t, sc)
+			disturbances += FiredDisturbances(plan)
+		})
+	}
+	if t.Failed() {
+		return
+	}
+	if disturbances < 10 {
+		t.Fatalf("schedule injected %d kills+partitions, want >= 10", disturbances)
+	}
+	if metrics.Counter(metrics.CtrClusterRollbacks) == 0 || metrics.Counter(metrics.CtrClusterRejoins) == 0 {
+		t.Fatalf("torture ended with rollbacks=%d rejoins=%d; the recovery machinery was never exercised",
+			metrics.Counter(metrics.CtrClusterRollbacks), metrics.Counter(metrics.CtrClusterRejoins))
+	}
+}
+
+// TestChaosCorruptFrameDetected bit-flips one frame in transit: the
+// CRC32C checksum must reject it (counted by the cluster.checksum_failures
+// metric), the recovery path must absorb the loss, and the final values
+// must still be bit-identical — corruption is never silently applied.
+func TestChaosCorruptFrameDetected(t *testing.T) {
+	c0 := metrics.Counter(metrics.CtrClusterChecksumFailures)
+	runScenario(t, Scenario{
+		Name:          "cc-corrupt-frame",
+		Prog:          algorithms.ConnectedComponents{},
+		Baseline:      "cc",
+		Symmetric:     true,
+		MaxSupersteps: 100,
+		Seed:          20,
+		Injections:    []fault.Injection{{Site: fault.SiteConnCorrupt, After: 33}},
+	})
+	if got := metrics.Counter(metrics.CtrClusterChecksumFailures); got <= c0 {
+		t.Fatalf("cluster.checksum_failures did not advance (%d -> %d): the flipped frame was not caught", c0, got)
+	}
+}

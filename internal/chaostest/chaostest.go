@@ -1,0 +1,153 @@
+// Package chaostest is GPSA's network-torture harness, the cluster
+// sibling of internal/crashtest: it runs real in-process multi-node
+// cluster jobs under seeded chaos schedules — node deaths parked
+// mid-dispatch and mid-barrier, one-way partitions that heal after a
+// jitter window, connection resets, torn and bit-flipped frames — and
+// asserts the disturbed run converges to final vertex values
+// bit-identical to an undisturbed baseline, with the recovery machinery
+// (superstep rollback, node rejoin, frame checksums) provably exercised
+// via the cluster.* metrics.
+//
+// The package holds only the harness plumbing; the torture schedules
+// live in its tests. `make chaos` runs the full seeded schedule
+// (GPSA_CHAOS=1); the smoke scenario runs with the ordinary test suite.
+package chaostest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Fixture holds the torture graphs and memoizes undisturbed baseline
+// runs, so scenarios sharing an algorithm pay for one baseline.
+type Fixture struct {
+	dir       string
+	directed  string
+	symmetric string
+
+	mu        sync.Mutex
+	baselines map[string][]uint64
+}
+
+// NewFixture generates the torture graphs under a fresh temp dir: a
+// fixed-seed R-MAT power-law graph for PageRank/BFS and its symmetrized
+// twin for CC. Fixed seeds keep every run of the harness on the same
+// inputs.
+func NewFixture() (*Fixture, error) {
+	dir, err := os.MkdirTemp("", "gpsa-chaos-*")
+	if err != nil {
+		return nil, err
+	}
+	f := &Fixture{dir: dir, baselines: make(map[string][]uint64)}
+	g, err := gen.RMATGraph(gen.RMATConfig{Vertices: 400, Edges: 2600, Seed: 7})
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	f.directed = filepath.Join(dir, "chaos.gpsa")
+	if err := graph.WriteFile(f.directed, g); err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	f.symmetric = filepath.Join(dir, "chaos-sym.gpsa")
+	if err := graph.WriteFile(f.symmetric, g.Symmetrize()); err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	return f, nil
+}
+
+// Close removes the fixture's graphs.
+func (f *Fixture) Close() { os.RemoveAll(f.dir) }
+
+// Graph returns the path of the directed or symmetrized torture graph.
+func (f *Fixture) Graph(symmetric bool) string {
+	if symmetric {
+		return f.symmetric
+	}
+	return f.directed
+}
+
+// Config is the cluster configuration every chaos run uses: 3 nodes, a
+// generous rollback-and-retry budget, and timeouts tightened far below
+// the production defaults so fault detection — not the fault itself — is
+// what the harness spends its wall clock on.
+func Config(maxSupersteps int) cluster.Config {
+	return cluster.Config{
+		Nodes:             3,
+		MaxSupersteps:     maxSupersteps,
+		StepRetries:       8,
+		HeartbeatInterval: 100 * time.Millisecond,
+		NodeTimeout:       2 * time.Second,
+		PhaseTimeout:      4 * time.Second,
+		RecoveryTimeout:   10 * time.Second,
+		Node: cluster.NodeConfig{
+			BarrierTimeout: 1500 * time.Millisecond,
+			RedialBackoff:  2 * time.Millisecond,
+		},
+	}
+}
+
+// Baseline returns the undisturbed final vertex values for prog on the
+// chosen graph — the bit-exactness reference every disturbed run is held
+// to. Memoized per key; must not be called with a fault plan active.
+func (f *Fixture) Baseline(key string, prog core.Program, symmetric bool, maxSupersteps int) ([]uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if v, ok := f.baselines[key]; ok {
+		return v, nil
+	}
+	if fault.Enabled() {
+		return nil, fmt.Errorf("chaostest: baseline %q requested while a fault plan is active", key)
+	}
+	_, values, err := cluster.Run(f.Graph(symmetric), prog, Config(maxSupersteps))
+	if err != nil {
+		return nil, fmt.Errorf("chaostest: undisturbed baseline %q failed: %w", key, err)
+	}
+	f.baselines[key] = values
+	return values, nil
+}
+
+// Scenario is one seeded chaos schedule over one algorithm.
+type Scenario struct {
+	Name          string
+	Prog          core.Program
+	Baseline      string // baseline memo key (algorithm identity)
+	Symmetric     bool
+	MaxSupersteps int
+	Seed          int64
+	Injections    []fault.Injection
+
+	// WantRejoins / WantRollbacks assert the run's recovery counters, so
+	// a schedule meant to kill nodes fails loudly if its faults were
+	// absorbed without ever exercising the machinery under test.
+	WantRejoins   bool
+	WantRollbacks bool
+}
+
+// KillAndPartitionSites are the chaos sites that count toward the
+// harness's disturbance quota.
+var KillAndPartitionSites = []string{
+	fault.SiteNodeKillDispatch,
+	fault.SiteNodeKillBarrier,
+	fault.SiteConnPartition,
+}
+
+// FiredDisturbances sums a plan's firings across the kill and partition
+// sites.
+func FiredDisturbances(p *fault.Plan) int64 {
+	var total int64
+	for _, site := range KillAndPartitionSites {
+		total += p.Fired(site)
+	}
+	return total
+}

@@ -33,10 +33,25 @@ type Config struct {
 	// node config leaves it zero.
 	HeartbeatInterval time.Duration
 	// NodeTimeout is how long the coordinator tolerates total silence
-	// from a node — no protocol frame and no heartbeat — before failing
-	// the superstep with a labelled error (default 15s; negative
-	// disables).
+	// from a node — no protocol frame and no heartbeat — before declaring
+	// it dead (default 15s; negative disables).
 	NodeTimeout time.Duration
+	// PhaseTimeout bounds how long a node may heartbeat without making
+	// protocol progress in a phase before the superstep is failed — the
+	// wedged-node and one-way-partition detector (default 4x NodeTimeout;
+	// negative disables).
+	PhaseTimeout time.Duration
+	// RecoveryTimeout bounds one rollback/rejoin cycle: survivors must
+	// acknowledge the rollback and a replacement node must dial back in
+	// within it (default 30s).
+	RecoveryTimeout time.Duration
+	// StepRetries is the run's rollback-and-retry budget, mirroring
+	// core.Config.MaxStepRetries: a failed superstep (dead node, wedged
+	// phase, corrupt frame) is rolled back across the cluster — dead
+	// nodes replaced via the rejoin handshake, replaying their interval
+	// from the sealed value file — and retried, at most this many times
+	// per run. Zero (the default) fails fast on the first fault.
+	StepRetries int
 }
 
 // Run executes prog over the on-disk CSR graph at graphPath on an
@@ -54,6 +69,12 @@ func Run(graphPath string, prog core.Program, cfg Config) (*Result, []uint64, er
 	}
 	if cfg.NodeTimeout == 0 {
 		cfg.NodeTimeout = 15 * time.Second
+	}
+	if cfg.PhaseTimeout == 0 && cfg.NodeTimeout > 0 {
+		cfg.PhaseTimeout = 4 * cfg.NodeTimeout
+	}
+	if cfg.RecoveryTimeout == 0 {
+		cfg.RecoveryTimeout = 30 * time.Second
 	}
 	if cfg.Node.HeartbeatInterval == 0 {
 		cfg.Node.HeartbeatInterval = cfg.HeartbeatInterval
@@ -80,7 +101,7 @@ func Run(graphPath string, prog core.Program, cfg Config) (*Result, []uint64, er
 	}
 	total := len(intervals)
 
-	coord, err := newCoordinator("", total, cfg.NodeTimeout)
+	coord, err := newCoordinator("", total, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -88,15 +109,37 @@ func Run(graphPath string, prog core.Program, cfg Config) (*Result, []uint64, er
 
 	// Boot the nodes; each control loop runs as a supervised actor, so a
 	// panicking node surfaces as a collected failure instead of crashing
-	// the process, and Wait covers every node deterministically.
+	// the process. refs always tracks the CURRENT incarnation of each
+	// node: recovery replaces a dead node's entry, and the end-of-run
+	// check consults refs — not the system-wide failure list — because a
+	// recovered-from incarnation's death is not an error of this run.
 	sys := actor.NewSystemContext(cfg.Context, "cluster-nodes", actor.RestartPolicy{})
-	for i := 0; i < total; i++ {
-		n, err := startNode(i, total, coord.addr(), graphPath,
-			filepath.Join(workDir, fmt.Sprintf("node-%d.gpvf", i)), prog, intervals, cfg.Node)
+	refs := make([]*actor.Ref, total)
+	boot := func(id int, rejoin bool) error {
+		n, err := startNode(sys.Context(), id, total, coord.addr(), graphPath,
+			filepath.Join(workDir, fmt.Sprintf("node-%d.gpvf", id)), prog, intervals, cfg.Node, rejoin)
 		if err != nil {
-			return nil, nil, fmt.Errorf("cluster: starting node %d: %w", i, err)
+			return fmt.Errorf("cluster: starting node %d: %w", id, err)
 		}
-		sys.SpawnFunc(fmt.Sprintf("node-%d", i), n.runNode)
+		refs[id] = sys.SpawnFunc(fmt.Sprintf("node-%d", id), n.runNode)
+		return nil
+	}
+	coord.restart = func(id int) error {
+		// The replacement reopens the dead node's value file, so the old
+		// incarnation must have finished tearing down (the coordinator
+		// closed its control connection; its exit is bounded by its own
+		// phase timeouts) before the new one maps it.
+		if old := refs[id]; old != nil {
+			if err := awaitRef(old, cfg.RecoveryTimeout); err != nil {
+				return err
+			}
+		}
+		return boot(id, true)
+	}
+	for i := 0; i < total; i++ {
+		if err := boot(i, false); err != nil {
+			return nil, nil, err
+		}
 	}
 	if err := coord.accept(); err != nil {
 		return nil, nil, err
@@ -115,9 +158,32 @@ func Run(graphPath string, prog core.Program, cfg Config) (*Result, []uint64, er
 	if err != nil {
 		return res, nil, err
 	}
-	coord.halt()
-	if werr := sys.Wait(); werr != nil {
-		return res, values, fmt.Errorf("cluster: node failed: %w", werr)
+	if cerr := coord.Close(); cerr != nil {
+		return res, values, cerr
+	}
+	for id, r := range refs {
+		if err := awaitRef(r, cfg.NodeTimeout); err != nil {
+			return res, values, err
+		}
+		if rerr := r.Err(); rerr != nil {
+			return res, values, fmt.Errorf("cluster: node %d failed: %w", id, rerr)
+		}
 	}
 	return res, values, nil
+}
+
+// awaitRef waits (bounded) for one actor incarnation to finish.
+func awaitRef(r *actor.Ref, timeout time.Duration) error {
+	if timeout <= 0 {
+		<-r.Done()
+		return nil
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-r.Done():
+		return nil
+	case <-t.C:
+		return fmt.Errorf("cluster: actor %s still running after %v", r.Name(), timeout)
+	}
 }

@@ -5,7 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // StepStats records one distributed superstep.
@@ -25,22 +28,72 @@ type Result struct {
 	Messages   int64
 	Delivered  int64
 	Updates    int64
+	Rollbacks  int64 // superstep rollback-and-retry cycles this run survived
+	Rejoins    int64 // dead nodes replaced via the rejoin handshake
 	Duration   time.Duration
 	Steps      []StepStats
 }
 
+// stepFault is a superstep attempt failure the recovery protocol can
+// handle: err is the first fault observed, dead lists the nodes whose
+// control connections are gone (as opposed to nodes that reported a
+// retryable failure and are still alive, awaiting the rollback).
+type stepFault struct {
+	err  error
+	dead []int
+}
+
+func (f *stepFault) Error() string { return f.err.Error() }
+func (f *stepFault) Unwrap() error { return f.err }
+
+func (f *stepFault) fail(i int, err error, dead bool) {
+	if f.err == nil {
+		f.err = err
+	}
+	if dead {
+		f.dead = append(f.dead, i)
+	}
+}
+
 // coordinator is the distributed manager: it owns the control connections
-// and drives the paper's superstep protocol across nodes.
+// and drives the paper's superstep protocol across nodes — extended here
+// with the failure-model state machine: detect (liveness and progress
+// timeouts, STEP_FAILED reports, corrupt frames) -> rollback (every
+// survivor discards the attempt) -> rejoin (replacements replay their
+// interval from the sealed value file) -> retry (the same superstep runs
+// again under a fresh round number).
 type coordinator struct {
 	ln    net.Listener
-	nodes []*conn // indexed by node id
+	nodes []*conn  // indexed by node id
+	addrs []string // data-plane address book, refreshed on rejoin
 
 	// timeout bounds how long any node may go completely silent on the
 	// control plane (heartbeats count as liveness). Zero disables.
 	timeout time.Duration
+	// phaseTimeout bounds how long a node may withhold protocol progress
+	// even while heartbeating — the wedge and one-way-partition detector.
+	// Zero disables.
+	phaseTimeout time.Duration
+	// recoveryTimeout bounds one rollback/rejoin cycle.
+	recoveryTimeout time.Duration
+	// stepRetries is the run's rollback-and-retry budget, mirroring
+	// core.Config.MaxStepRetries. Zero fails fast on the first fault.
+	stepRetries int
+
+	// round numbers superstep attempts across the whole run; every
+	// rollback bumps it so stragglers from an aborted attempt are
+	// droppable on arrival at any node.
+	round uint64
+
+	// restart, when set, boots a replacement incarnation of a dead node
+	// (same id, same value file) that will dial in with a REJOIN frame.
+	restart func(id int) error
+
+	rollbacks int64
+	rejoins   int64
 }
 
-func newCoordinator(addr string, total int, timeout time.Duration) (*coordinator, error) {
+func newCoordinator(addr string, total int, cfg Config) (*coordinator, error) {
 	if addr == "" {
 		addr = "127.0.0.1:0"
 	}
@@ -48,14 +101,30 @@ func newCoordinator(addr string, total int, timeout time.Duration) (*coordinator
 	if err != nil {
 		return nil, fmt.Errorf("cluster: coordinator listen: %w", err)
 	}
-	return &coordinator{ln: ln, nodes: make([]*conn, total), timeout: timeout}, nil
+	return &coordinator{
+		ln:              ln,
+		nodes:           make([]*conn, total),
+		timeout:         cfg.NodeTimeout,
+		phaseTimeout:    cfg.PhaseTimeout,
+		recoveryTimeout: cfg.RecoveryTimeout,
+		stepRetries:     cfg.StepRetries,
+	}, nil
 }
 
 func (c *coordinator) addr() string { return c.ln.Addr().String() }
 
+// progressDeadline is the absolute bound handed to readFrameLive: phase
+// reads get phaseTimeout, recovery reads get recoveryTimeout.
+func (c *coordinator) progressDeadline(d time.Duration) time.Time {
+	if d <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(d) //lint:nondeterministic protocol progress bound; timing never feeds vertex state
+}
+
 // accept waits for every node's hello and distributes the address book.
 func (c *coordinator) accept() error {
-	addrs := make([]string, len(c.nodes))
+	c.addrs = make([]string, len(c.nodes))
 	for i := 0; i < len(c.nodes); i++ {
 		nc, err := c.ln.Accept()
 		if err != nil {
@@ -64,22 +133,26 @@ func (c *coordinator) accept() error {
 		cn := newConn(nc)
 		kind, payload, err := cn.readFrame()
 		if err != nil || kind != fHello {
-			closeQuietly(nc)
+			closeQuietly(cn)
 			return fmt.Errorf("cluster: expected hello, got frame %d (%v)", kind, err)
 		}
 		id, addr, err := parseHello(payload)
 		if err != nil {
-			closeQuietly(nc)
+			closeQuietly(cn)
 			return err
 		}
 		if int(id) >= len(c.nodes) || c.nodes[id] != nil {
-			closeQuietly(nc)
+			closeQuietly(cn)
 			return fmt.Errorf("cluster: bad or duplicate node id %d", id)
 		}
 		c.nodes[id] = cn
-		addrs[id] = addr
+		c.addrs[id] = addr
 	}
-	book := addrBookPayload(addrs)
+	return c.broadcastBook()
+}
+
+func (c *coordinator) broadcastBook() error {
+	book := addrBookPayload(c.addrs)
 	for _, n := range c.nodes {
 		if err := n.writeFrame(fAddrBook, book); err != nil {
 			return err
@@ -91,20 +164,36 @@ func (c *coordinator) accept() error {
 // run drives supersteps until convergence, maxSupersteps, or ctx
 // cancellation (checked between supersteps: a distributed superstep is
 // not interrupted mid-flight — nodes commit or the step fails whole).
+// A failed superstep consumes one unit of the run's retry budget, is
+// rolled back across the cluster (dead nodes replaced via rejoin), and
+// runs again; the budget exhausted, the fault aborts the run.
 func (c *coordinator) run(ctx context.Context, startStep int64, maxSupersteps int) (*Result, error) {
 	res := &Result{Nodes: len(c.nodes)}
-	t0 := time.Now()
+	t0 := time.Now() //lint:nondeterministic run duration is reporting only, never vertex state
+	defer func() {
+		res.Duration = time.Since(t0) //lint:nondeterministic run duration is reporting only, never vertex state
+		res.Rollbacks = c.rollbacks
+		res.Rejoins = c.rejoins
+	}()
+	retries := 0
 	step := startStep
-	for s := 0; s < maxSupersteps; s++ {
+	for s := 0; s < maxSupersteps; {
 		if ctx != nil {
 			if cerr := ctx.Err(); cerr != nil {
-				res.Duration = time.Since(t0)
 				return res, fmt.Errorf("cluster: run cancelled before superstep %d: %w", step, cerr)
 			}
 		}
 		st, err := c.superstep(step)
 		if err != nil {
-			return res, err
+			var flt *stepFault
+			if !errors.As(err, &flt) || retries >= c.stepRetries {
+				return res, err
+			}
+			retries++
+			if rerr := c.recoverStep(step, flt); rerr != nil {
+				return res, fmt.Errorf("cluster: superstep %d recovery (retry %d/%d) failed: %v (original fault: %w)", step, retries, c.stepRetries, rerr, flt.err)
+			}
+			continue // retry the same superstep under the new round
 		}
 		res.Steps = append(res.Steps, st)
 		res.Supersteps++
@@ -116,8 +205,8 @@ func (c *coordinator) run(ctx context.Context, startStep int64, maxSupersteps in
 			break
 		}
 		step++
+		s++
 	}
-	res.Duration = time.Since(t0)
 	return res, nil
 }
 
@@ -125,11 +214,15 @@ func (c *coordinator) run(ctx context.Context, startStep int64, maxSupersteps in
 // lost or silent node into a phase-labelled, step-level error instead of
 // a hang: a read error means the node's connection died; a deadline
 // timeout means the node sent nothing at all — not even a heartbeat —
-// for the coordinator's node timeout.
+// for the coordinator's node timeout; errNoProgress means the node is
+// heartbeating but made no protocol progress within the phase budget.
 func (c *coordinator) nodeRead(i int, phase string) (byte, []byte, error) {
-	kind, payload, err := c.nodes[i].readFrameLive(c.timeout)
+	kind, payload, err := c.nodes[i].readFrameLive(c.timeout, c.progressDeadline(c.phaseTimeout))
 	if err == nil {
 		return kind, payload, nil
+	}
+	if errors.Is(err, errNoProgress) {
+		return 0, nil, fmt.Errorf("cluster: node %d stalled during %s: %w", i, phase, err)
 	}
 	var ne net.Error
 	if errors.As(err, &ne) && ne.Timeout() {
@@ -138,79 +231,280 @@ func (c *coordinator) nodeRead(i int, phase string) (byte, []byte, error) {
 	return 0, nil, fmt.Errorf("cluster: node %d lost during %s: %w", i, phase, err)
 }
 
+// deadRead reports whether a nodeRead error means the connection can no
+// longer be used (the node must be replaced) as opposed to the node being
+// alive and merely failing to progress (rollback suffices).
+func deadRead(err error) bool {
+	return !errors.Is(err, errNoProgress)
+}
+
+// collect reads one frame of the expected kind from node i, folding a
+// STEP_FAILED report or any transport fault into flt.
+func (c *coordinator) collect(i int, step int64, phase string, want byte, nvals int, flt *stepFault) ([]uint64, bool) {
+	kind, payload, err := c.nodeRead(i, phase)
+	if err != nil {
+		flt.fail(i, err, deadRead(err))
+		return nil, false
+	}
+	if kind == fStepFailed {
+		_, reason, perr := parseStepFailed(payload)
+		if perr != nil {
+			flt.fail(i, perr, true)
+			return nil, false
+		}
+		flt.fail(i, fmt.Errorf("cluster: node %d failed superstep %d during %s: %s", i, step, phase, reason), false)
+		return nil, false
+	}
+	if kind != want {
+		flt.fail(i, fmt.Errorf("cluster: node %d sent frame %d during %s, want %d", i, kind, phase, want), true)
+		return nil, false
+	}
+	vals, err := readU64s(payload, nvals)
+	if err != nil {
+		flt.fail(i, err, true)
+		return nil, false
+	}
+	if int64(vals[0]) != step {
+		flt.fail(i, fmt.Errorf("cluster: node %d acked step %d during %s, want %d", i, vals[0], phase, step), true)
+		return nil, false
+	}
+	return vals, true
+}
+
+// superstep drives one attempt of superstep step across every node. A
+// failure anywhere returns a *stepFault for run's recovery loop; the
+// attempt is abandoned at the first fault (draining survivors' stale
+// frames is recovery's job).
 func (c *coordinator) superstep(step int64) (StepStats, error) {
 	st := StepStats{Step: step}
-	t0 := time.Now()
-	for _, n := range c.nodes {
-		if err := n.writeFrame(fStart, u64Payload(uint64(step))); err != nil {
-			return st, err
+	t0 := time.Now() //lint:nondeterministic step duration is reporting only, never vertex state
+	c.round++
+	flt := &stepFault{}
+	for i, n := range c.nodes {
+		if err := n.writeFrame(fStart, u64Payload(uint64(step), c.round)); err != nil {
+			flt.fail(i, fmt.Errorf("cluster: node %d lost at superstep %d start: %w", i, step, err), true)
 		}
 	}
+	if flt.err != nil {
+		return st, flt
+	}
 	for i := range c.nodes {
-		kind, payload, err := c.nodeRead(i, "dispatch")
-		if err != nil {
-			return st, err
-		}
-		if kind != fDispatchOver {
-			return st, fmt.Errorf("cluster: node %d sent frame %d, want DISPATCH_OVER", i, kind)
-		}
-		vals, err := readU64s(payload, 3)
-		if err != nil {
-			return st, err
-		}
-		if int64(vals[0]) != step {
-			return st, fmt.Errorf("cluster: node %d acked step %d, want %d", i, vals[0], step)
+		vals, ok := c.collect(i, step, "dispatch", fDispatchOver, 3, flt)
+		if !ok {
+			return st, flt
 		}
 		st.Messages += int64(vals[1])
 		st.Delivered += int64(vals[2])
 	}
-	for _, n := range c.nodes {
+	for i, n := range c.nodes {
 		if err := n.writeFrame(fComputeBarrier, u64Payload(uint64(step))); err != nil {
-			return st, err
+			flt.fail(i, fmt.Errorf("cluster: node %d lost at superstep %d barrier: %w", i, step, err), true)
+			return st, flt
 		}
 	}
 	for i := range c.nodes {
-		kind, payload, err := c.nodeRead(i, "compute")
-		if err != nil {
-			return st, err
-		}
-		if kind != fComputeOver {
-			return st, fmt.Errorf("cluster: node %d sent frame %d, want COMPUTE_OVER", i, kind)
-		}
-		vals, err := readU64s(payload, 2)
-		if err != nil {
-			return st, err
+		vals, ok := c.collect(i, step, "compute", fComputeOver, 2, flt)
+		if !ok {
+			return st, flt
 		}
 		st.Updates += int64(vals[1])
 	}
-	st.Duration = time.Since(t0)
+	st.Duration = time.Since(t0) //lint:nondeterministic step duration is reporting only, never vertex state
 	return st, nil
 }
 
-// gatherValues pulls every node's vertex payloads into one slice.
+// recoverStep is the rollback -> rejoin arc of the failure state machine:
+// every surviving node discards the aborted attempt (ROLLBACK /
+// ROLLBACK_OVER, draining whatever stale frames the abandonment left in
+// flight), nodes whose connections died are replaced via the rejoin
+// handshake, and the refreshed address book is rebroadcast so survivors
+// re-dial replacements at their new data addresses.
+func (c *coordinator) recoverStep(step int64, flt *stepFault) error {
+	metrics.Inc(metrics.CtrClusterRollbacks)
+	c.rollbacks++
+	c.round++
+	dead := make([]bool, len(c.nodes))
+	for _, i := range flt.dead {
+		dead[i] = true
+	}
+	for i, n := range c.nodes {
+		if dead[i] {
+			continue
+		}
+		if err := n.writeFrame(fRollback, u64Payload(uint64(step), c.round)); err != nil {
+			dead[i] = true
+		}
+	}
+	// Collect rollback acks, draining the aborted attempt's stale frames
+	// (DISPATCH_OVER, COMPUTE_OVER, STEP_FAILED reports) on the way. A
+	// survivor that cannot ack within the recovery budget is reclassified
+	// as dead and folded into the same rejoin pass.
+	deadline := c.progressDeadline(c.recoveryTimeout)
+	for i, n := range c.nodes {
+		if dead[i] {
+			continue
+		}
+		for {
+			kind, payload, err := n.readFrameLive(c.timeout, deadline)
+			if err != nil {
+				dead[i] = true
+				break
+			}
+			if kind != fRollbackOver {
+				continue // stale frame from the aborted attempt
+			}
+			vals, perr := readU64s(payload, 1)
+			if perr != nil || int64(vals[0]) != step {
+				continue
+			}
+			break
+		}
+	}
+	var gone []int
+	for i, d := range dead {
+		if d {
+			gone = append(gone, i)
+		}
+	}
+	sort.Ints(gone)
+	// Close dead connections first: a node that is alive but wedged or
+	// partitioned unblocks from its control read, tears itself down, and
+	// releases the value file its replacement must reopen.
+	for _, id := range gone {
+		if c.nodes[id] != nil {
+			closeQuietly(c.nodes[id])
+			c.nodes[id] = nil
+		}
+	}
+	for _, id := range gone {
+		if c.restart == nil {
+			return fmt.Errorf("cluster: node %d dead and no restart hook installed", id)
+		}
+		if err := c.restart(id); err != nil {
+			return fmt.Errorf("cluster: restarting node %d: %w", id, err)
+		}
+		if err := c.acceptRejoin(id, step, true); err != nil {
+			return fmt.Errorf("cluster: node %d rejoin: %w", id, err)
+		}
+	}
+	if len(gone) > 0 {
+		if err := c.broadcastBook(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// acceptRejoin completes the rejoin handshake with node id's replacement
+// incarnation: accept its control connection, validate the REJOIN frame
+// (right node, and a recovered epoch consistent with retrying step), and
+// — when a superstep is being rolled back — issue the ROLLBACK so a
+// replacement that had committed the aborted step rewinds it like every
+// survivor.
+func (c *coordinator) acceptRejoin(id int, step int64, rollback bool) error {
+	type deadliner interface{ SetDeadline(time.Time) error }
+	if d, ok := c.ln.(deadliner); ok && c.recoveryTimeout > 0 {
+		d.SetDeadline(c.progressDeadline(c.recoveryTimeout)) //nolint:errcheck
+		defer d.SetDeadline(time.Time{})                     //nolint:errcheck
+	}
+	for {
+		nc, err := c.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("cluster: accepting rejoin of node %d: %w", id, err)
+		}
+		cn := newConn(nc)
+		kind, payload, err := cn.readFrame()
+		if err != nil || kind != fRejoin {
+			// Not the replacement (an orphaned dial, a corrupt hello):
+			// closing it lets the stray exit; keep waiting for the rejoin.
+			closeQuietly(cn)
+			continue
+		}
+		rid, epoch, addr, err := parseRejoin(payload)
+		if err != nil || int(rid) != id {
+			closeQuietly(cn)
+			continue
+		}
+		if rollback && (int64(epoch) < step || int64(epoch) > step+1) {
+			// The replacement's durable state is outside the window a
+			// coordinated commit could have left it in: its value file is
+			// not the one this run sealed. Unrecoverable.
+			closeQuietly(cn)
+			return fmt.Errorf("cluster: node %d rejoined at epoch %d while rolling back superstep %d", id, epoch, step)
+		}
+		c.nodes[id] = cn
+		c.addrs[id] = addr
+		if rollback {
+			if err := cn.writeFrame(fRollback, u64Payload(uint64(step), c.round)); err != nil {
+				return err
+			}
+			if _, _, err := cn.readFrameLive(c.timeout, c.progressDeadline(c.recoveryTimeout)); err != nil {
+				return fmt.Errorf("cluster: node %d rejoin rollback ack: %w", id, err)
+			}
+		}
+		metrics.Inc(metrics.CtrClusterRejoins)
+		c.rejoins++
+		return nil
+	}
+}
+
+// gatherValues pulls every node's vertex payloads into one slice. The
+// gather is itself fault-tolerant: a node lost after the final superstep
+// (or a corrupt values frame) is replaced via the rejoin handshake — its
+// value file holds the committed final state — and re-asked, within the
+// same retry budget the supersteps share.
 func (c *coordinator) gatherValues(numVertices int64) ([]uint64, error) {
 	out := make([]uint64, numVertices)
-	for i, n := range c.nodes {
-		if err := n.writeFrame(fValuesReq, nil); err != nil {
+	retries := 0
+	for i := 0; i < len(c.nodes); {
+		err := c.gatherNode(i, out, numVertices)
+		if err == nil {
+			i++
+			continue
+		}
+		if retries >= c.stepRetries || c.restart == nil {
 			return nil, err
 		}
-		kind, payload, err := c.nodeRead(i, "value gather")
-		if err != nil || kind != fValues {
-			return nil, fmt.Errorf("cluster: node %d values: frame %d (%v)", i, kind, err)
+		retries++
+		closeQuietly(c.nodes[i])
+		c.nodes[i] = nil
+		if rerr := c.restart(i); rerr != nil {
+			return nil, fmt.Errorf("cluster: restarting node %d for value gather: %v (original fault: %w)", i, rerr, err)
 		}
-		first, payloads, err := parseValues(payload)
-		if err != nil {
-			return nil, err
+		// No superstep is in flight: the replacement recovered the final
+		// committed state, so the rejoin skips the rollback arc.
+		if rerr := c.acceptRejoin(i, 0, false); rerr != nil {
+			return nil, fmt.Errorf("cluster: node %d rejoin for value gather: %v (original fault: %w)", i, rerr, err)
 		}
-		if first < 0 || first+int64(len(payloads)) > numVertices {
-			return nil, fmt.Errorf("cluster: node %d values out of range", i)
+		if berr := c.broadcastBook(); berr != nil {
+			return nil, berr
 		}
-		copy(out[first:], payloads)
 	}
 	return out, nil
 }
 
-// halt tells every node to shut down and closes the control plane.
+func (c *coordinator) gatherNode(i int, out []uint64, numVertices int64) error {
+	if err := c.nodes[i].writeFrame(fValuesReq, nil); err != nil {
+		return fmt.Errorf("cluster: node %d values request: %w", i, err)
+	}
+	kind, payload, err := c.nodeRead(i, "value gather")
+	if err != nil || kind != fValues {
+		return fmt.Errorf("cluster: node %d values: frame %d (%v)", i, kind, err)
+	}
+	first, payloads, err := parseValues(payload)
+	if err != nil {
+		return err
+	}
+	if first < 0 || first+int64(len(payloads)) > numVertices {
+		return fmt.Errorf("cluster: node %d values out of range", i)
+	}
+	copy(out[first:], payloads)
+	return nil
+}
+
+// halt tells every node to shut down and closes the control plane. It is
+// the quiet teardown used on already-failing paths and after Close; Close
+// is the error-reporting variant for the success path.
 func (c *coordinator) halt() {
 	for _, n := range c.nodes {
 		if n != nil {
@@ -218,5 +512,32 @@ func (c *coordinator) halt() {
 			closeQuietly(n)
 		}
 	}
-	closeQuietly(c.ln)
+	if c.ln != nil {
+		closeQuietly(c.ln)
+	}
+}
+
+// Close halts the cluster and reports teardown errors, joining the
+// listener and control-connection close errors the way the mmap and
+// vertexfile layers do. Connections already torn down by chaos or by the
+// nodes' own teardown are expected and not reported.
+func (c *coordinator) Close() error {
+	var errs []error
+	for i, n := range c.nodes {
+		if n == nil {
+			continue
+		}
+		n.writeFrame(fHalt, []byte{0}) //nolint:errcheck
+		if err := n.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			errs = append(errs, fmt.Errorf("cluster: closing node %d control connection: %w", i, err))
+		}
+		c.nodes[i] = nil
+	}
+	if c.ln != nil {
+		if err := c.ln.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			errs = append(errs, fmt.Errorf("cluster: closing coordinator listener: %w", err))
+		}
+		c.ln = nil
+	}
+	return errors.Join(errs...)
 }

@@ -1,6 +1,10 @@
 package cluster
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"testing"
 )
 
@@ -10,10 +14,12 @@ func FuzzParseFrames(f *testing.F) {
 	f.Add([]byte{}, uint8(0))
 	f.Add(helloPayload(3, "127.0.0.1:9999"), uint8(0))
 	f.Add(addrBookPayload([]string{"a:1", "b:2"}), uint8(1))
-	f.Add(batchPayload(nil), uint8(2))
+	f.Add(batchPayload(1, 1, nil), uint8(2))
 	f.Add(valuesPayload(0, []uint64{1, 2, 3}), uint8(3))
+	f.Add(rejoinPayload(1, 7, "127.0.0.1:9999"), uint8(5))
+	f.Add(stepFailedPayload(3, "peer 1 unreachable"), uint8(6))
 	f.Fuzz(func(t *testing.T, payload []byte, which uint8) {
-		switch which % 5 {
+		switch which % 7 {
 		case 0:
 			if _, addr, err := parseHello(payload); err == nil && len(addr) > len(payload) {
 				t.Fatal("hello address longer than payload")
@@ -29,8 +35,8 @@ func FuzzParseFrames(f *testing.F) {
 				}
 			}
 		case 2:
-			if batch, err := parseBatch(payload); err == nil {
-				if len(payload) != 4+12*len(batch) {
+			if _, _, batch, err := parseBatch(payload); err == nil {
+				if len(payload) != 20+12*len(batch) {
 					t.Fatal("batch length inconsistent")
 				}
 			}
@@ -43,6 +49,14 @@ func FuzzParseFrames(f *testing.F) {
 		case 4:
 			if _, err := readU64s(payload, 3); err == nil && len(payload) < 24 {
 				t.Fatal("readU64s accepted short payload")
+			}
+		case 5:
+			if _, _, addr, err := parseRejoin(payload); err == nil && len(addr) > len(payload) {
+				t.Fatal("rejoin address longer than payload")
+			}
+		case 6:
+			if _, reason, err := parseStepFailed(payload); err == nil && len(reason) > len(payload) {
+				t.Fatal("step-failed reason longer than payload")
 			}
 		}
 	})
@@ -63,4 +77,89 @@ func FuzzRoundTripPayloads(f *testing.F) {
 			t.Fatalf("round trip (%d, %q) -> (%d, %q)", id, addr, gotID, gotAddr)
 		}
 	})
+}
+
+// encodeFrame builds one well-formed checksummed frame, mirroring
+// conn.writeFrame without a socket.
+func encodeFrame(kind byte, payload []byte) []byte {
+	var buf bytes.Buffer
+	c := &conn{bw: bufio.NewWriter(&buf)}
+	if err := c.writeFrame(kind, payload); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func crc32Of(parts ...[]byte) uint32 {
+	var crc uint32
+	for _, p := range parts {
+		crc = crc32.Update(crc, castagnoli, p)
+	}
+	return crc
+}
+
+// FuzzFrameDecode drives the checksummed-frame decoder with mutated byte
+// streams. The invariant under fuzzing: a frame that decodes without
+// error carries exactly the bytes the checksum vouches for, and any
+// truncation, bit flip, or foreign version yields an error — never a
+// panic, never a silently misparsed frame.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add(encodeFrame(fHeartbeat, nil), -1, uint8(0))
+	f.Add(encodeFrame(fBatch, batchPayload(2, 9, nil)), 12, uint8(0x40))
+	f.Add(encodeFrame(fStart, u64Payload(4, 7)), 4, uint8(0x01))
+	f.Add(encodeFrame(fStepFailed, stepFailedPayload(1, "boom")), 0, uint8(0xff))
+	f.Fuzz(func(t *testing.T, stream []byte, flip int, mask uint8) {
+		if flip >= 0 && flip < len(stream) && mask != 0 {
+			stream = append([]byte(nil), stream...)
+			stream[flip] ^= mask
+		}
+		kind, payload, err := readFrameFrom(bytes.NewReader(stream))
+		if err != nil {
+			return
+		}
+		// A successful decode must round-trip: re-encoding what was read
+		// reproduces a prefix of the input stream bit for bit.
+		re := encodeFrame(kind, payload)
+		if len(re) > len(stream) || !bytes.Equal(re, stream[:len(re)]) {
+			t.Fatalf("decoded frame (kind %d, %d payload bytes) does not re-encode to the input prefix", kind, len(payload))
+		}
+	})
+}
+
+// TestFrameDecodeRejectsCorruption pins the three corruption classes the
+// fuzzer explores: truncation, bit flips, and wrong protocol versions
+// must all error out, and flips plus version skew must be attributed to
+// the right sentinel.
+func TestFrameDecodeRejectsCorruption(t *testing.T) {
+	frame := encodeFrame(fBatch, batchPayload(3, 1, nil))
+
+	// Truncations at every boundary.
+	for n := 0; n < len(frame); n++ {
+		if _, _, err := readFrameFrom(bytes.NewReader(frame[:n])); err == nil {
+			t.Fatalf("decoder accepted a frame truncated to %d of %d bytes", n, len(frame))
+		}
+	}
+	// A flip in any byte past the length prefix must trip the checksum
+	// (or the version check, for byte 4).
+	for i := 4; i < len(frame); i++ {
+		mut := append([]byte(nil), frame...)
+		mut[i] ^= 0x10
+		_, _, err := readFrameFrom(bytes.NewReader(mut))
+		if err == nil {
+			t.Fatalf("decoder accepted a frame with byte %d flipped", i)
+		}
+		if !frameCorrupt(err) {
+			t.Fatalf("flip at byte %d: got %v, want a corruption error", i, err)
+		}
+	}
+	// A foreign protocol version is rejected as such even with a valid
+	// checksum over the foreign bytes.
+	mut := append([]byte(nil), frame...)
+	mut[4] = protoVersion + 1
+	crc := crc32Of(mut[4:6], mut[10:])
+	binary.LittleEndian.PutUint32(mut[6:], crc)
+	_, _, err := readFrameFrom(bytes.NewReader(mut))
+	if err == nil || !frameCorrupt(err) {
+		t.Fatalf("foreign version: got %v, want a version error", err)
+	}
 }

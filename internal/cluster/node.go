@@ -1,14 +1,21 @@
 package cluster
 
 import (
+	"context"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/actor"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/mmap"
 	"repro/internal/vertexfile"
 )
@@ -37,6 +44,9 @@ type NodeConfig struct {
 	// RedialBackoff is the sleep before the first redial, doubling per
 	// attempt (default 50ms).
 	RedialBackoff time.Duration
+	// RedialBackoffMax caps the doubling redial sleep (default 2s), so a
+	// long redial storm polls steadily instead of sleeping for minutes.
+	RedialBackoffMax time.Duration
 }
 
 func (c NodeConfig) withDefaults() NodeConfig {
@@ -58,14 +68,72 @@ func (c NodeConfig) withDefaults() NodeConfig {
 	if c.RedialBackoff <= 0 {
 		c.RedialBackoff = 50 * time.Millisecond
 	}
+	if c.RedialBackoffMax <= 0 {
+		c.RedialBackoffMax = 2 * time.Second
+	}
 	return c
 }
 
+// stepFailure wraps an error that aborts the current superstep attempt
+// but leaves the node healthy: transport trouble, barrier timeouts, peer
+// corruption. The node reports it to the coordinator (STEP_FAILED) and
+// stays in its control loop for the rollback that follows, instead of
+// dying and forcing a full rejoin.
+type stepFailure struct{ err error }
+
+func (e stepFailure) Error() string { return e.err.Error() }
+func (e stepFailure) Unwrap() error { return e.err }
+
+func stepFailf(format string, args ...any) error {
+	return stepFailure{err: fmt.Errorf(format, args...)}
+}
+
+// errNodeKilled marks an injected abrupt node death (the chaos harness's
+// in-process SIGKILL): the control loop exits without commit or graceful
+// protocol, and the coordinator must recover.
+var errNodeKilled = errors.New("cluster: node killed by injected chaos")
+
 // compMsg is the node-local computer mailbox envelope.
 type compMsg struct {
+	sender  int
+	round   uint64
 	batch   []core.Message
 	barrier bool
+	// quiesce, when non-nil, makes the computer discard all staged state
+	// for the aborted round and close the channel; because the mailbox is
+	// FIFO, every stale batch enqueued before the rollback is consumed
+	// first.
+	quiesce chan struct{}
 	done    bool
+}
+
+// eosMark records one peer's end-of-stream for one superstep attempt.
+type eosMark struct {
+	sender int
+	round  uint64
+}
+
+// streamFrame is one in-order unit of a peer's data stream: a message
+// batch or the end-of-stream marker.
+type streamFrame struct {
+	eos   bool
+	batch []core.Message
+}
+
+// senderStream reassembles one peer's data frames into exactly-once,
+// in-order delivery. The transport underneath is at-least-once and
+// unordered across connections: a frame whose flush errored may still
+// have been delivered before the sender redials and resends it, and an
+// old connection's receiver can race a fresh one. Sequence numbers fix
+// both — duplicates are dropped (seq below the release cursor or already
+// pending) and frames are released only in seq order — which is what
+// keeps the per-sender fold order deterministic and the retried
+// superstep bit-identical.
+type senderStream struct {
+	mu      sync.Mutex
+	round   uint64
+	next    uint64 // next seq to release; seqs are 1-based per round
+	pending map[uint64]streamFrame
 }
 
 // node is one cluster member: it owns a vertex interval, dispatches its
@@ -76,6 +144,7 @@ type node struct {
 	prog     core.Program
 	combiner core.Combiner
 	cfg      NodeConfig
+	ctx      context.Context
 
 	gf        *graph.File
 	vf        *vertexfile.File
@@ -84,48 +153,79 @@ type node struct {
 	coord     *conn
 	peers     []*conn  // outgoing data connections, indexed by node id (nil for self)
 	peerAddrs []string // data addresses from the address book, for redials
+	peerSeq   []uint64 // per-peer data-plane sequence counter, reset each round
 	listener  net.Listener
 	system    *actor.System
 	toComp    []*actor.Mailbox[compMsg]
 	ackCh     chan int64
-	eosCh     chan struct{}
+	eosCh     chan eosMark
 	failCh    chan error // peer disconnects and computing-actor panics
 	hbStop    chan struct{}
 	statsMsgs int64
+
+	// round gates the data plane: frames tagged with an older superstep
+	// attempt are dropped at arrival, so an aborted attempt's stragglers
+	// can never leak into the retry.
+	round atomic.Uint64
+	// begunStep is the superstep this node last ran Begin for (-1 none):
+	// a rollback may only restore from the bitmap when Begin actually
+	// snapshotted it for the step being rolled back.
+	begunStep int64
+	// streams reassembles each peer's data frames, indexed by node id.
+	streams []*senderStream
 }
 
 // startNode boots a node: local state, data listener, coordinator
 // handshake. It returns after the node has sent its hello; runNode drives
-// the rest.
-func startNode(id, total int, coordAddr, graphPath, valuesPath string,
-	prog core.Program, intervals []graph.Interval, cfg NodeConfig) (*node, error) {
+// the rest. With rejoin set the node is a replacement for a dead cluster
+// member: instead of creating a fresh value file it reopens and recovers
+// the dead node's sealed one — PR 2's durability contract is exactly what
+// makes the interval replayable — and announces itself with a REJOIN
+// frame carrying the recovered epoch.
+func startNode(ctx context.Context, id, total int, coordAddr, graphPath, valuesPath string,
+	prog core.Program, intervals []graph.Interval, cfg NodeConfig, rejoin bool) (*node, error) {
 	cfg = cfg.withDefaults()
 	gf, err := graph.OpenFile(graphPath, mmap.ModeAuto)
 	if err != nil {
 		return nil, err
 	}
-	vf, err := vertexfile.Create(valuesPath, gf.NumVertices, prog.Init)
+	var vf *vertexfile.File
+	if rejoin {
+		vf, err = vertexfile.Open(valuesPath)
+		if err == nil {
+			_, err = vf.Recover()
+		}
+	} else {
+		vf, err = vertexfile.Create(valuesPath, gf.NumVertices, prog.Init)
+	}
 	if err != nil {
 		closeQuietly(gf)
 		return nil, err
 	}
 	n := &node{
-		id:       id,
-		total:    total,
-		prog:     prog,
-		cfg:      cfg,
-		gf:       gf,
-		vf:       vf,
-		interval: intervals[id],
-		bounds:   make([]int64, total+1),
-		peers:    make([]*conn, total),
-		system:   actor.NewSystem(fmt.Sprintf("node-%d", id), actor.RestartPolicy{}),
-		ackCh:    make(chan int64, cfg.Computers),
-		eosCh:    make(chan struct{}, total),
-		failCh:   make(chan error, total+cfg.Computers+1),
+		id:        id,
+		total:     total,
+		prog:      prog,
+		cfg:       cfg,
+		ctx:       ctx,
+		gf:        gf,
+		vf:        vf,
+		interval:  intervals[id],
+		bounds:    make([]int64, total+1),
+		peers:     make([]*conn, total),
+		peerSeq:   make([]uint64, total),
+		streams:   make([]*senderStream, total),
+		system:    actor.NewSystem(fmt.Sprintf("node-%d", id), actor.RestartPolicy{}),
+		ackCh:     make(chan int64, cfg.Computers),
+		eosCh:     make(chan eosMark, 4*total+4),
+		failCh:    make(chan error, total+cfg.Computers+1),
+		begunStep: -1,
 	}
 	if c, ok := prog.(core.Combiner); ok {
 		n.combiner = c
+	}
+	for i := range n.streams {
+		n.streams[i] = &senderStream{next: 1, pending: make(map[uint64]streamFrame)}
 	}
 	for i, iv := range intervals {
 		n.bounds[i] = iv.FirstVertex
@@ -161,7 +261,13 @@ func startNode(id, total int, coordAddr, graphPath, valuesPath string,
 		return nil, err
 	}
 	n.coord = newConn(cc)
-	if err := n.coord.writeFrame(fHello, helloPayload(uint32(id), ln.Addr().String())); err != nil {
+	hello := helloPayload(uint32(id), ln.Addr().String())
+	kind := byte(fHello)
+	if rejoin {
+		hello = rejoinPayload(uint32(id), uint64(vf.Epoch()), ln.Addr().String())
+		kind = fRejoin
+	}
+	if err := n.coord.writeFrame(kind, hello); err != nil {
 		n.close()
 		return nil, err
 	}
@@ -212,33 +318,101 @@ func (n *node) acceptLoop() {
 	}
 }
 
-// receive folds one peer's frames into the local computers. A read error
-// ends the receiver silently: with sender-side reconnect a dropped
+// receive folds one peer's frames into the local computers. A clean read
+// error ends the receiver silently: with sender-side reconnect a dropped
 // connection is routine — the peer redials, a fresh receiver takes over,
-// and a peer that is truly gone is caught by the sender's redial budget
-// and this node's barrier timeout. Malformed frames still fail loudly.
+// and the stream's sequence numbers absorb the overlap. A corrupt frame
+// (checksum or version mismatch) is different: the stream can no longer
+// be trusted, so it is reported as a step failure — routing corruption
+// into the rollback path — before the receiver exits.
 func (n *node) receive(c *conn) {
 	defer closeQuietly(c)
+	sender := -1
 	for {
 		kind, payload, err := c.readFrame()
 		if err != nil {
+			if frameCorrupt(err) {
+				n.reportFailure(stepFailf("cluster: node %d: corrupt frame from peer %d: %w", n.id, sender, err))
+			}
 			return
 		}
 		switch kind {
 		case fPeerHello:
-			// informational only
-		case fBatch:
-			batch, err := parseBatch(payload)
-			if err != nil {
-				n.reportFailure(err)
+			if len(payload) < 4 {
+				n.reportFailure(stepFailf("cluster: node %d: short peer hello", n.id))
 				return
 			}
-			n.routeLocal(batch)
+			s := int(binary.LittleEndian.Uint32(payload))
+			if s < 0 || s >= n.total || s == n.id {
+				n.reportFailure(stepFailf("cluster: node %d: peer hello from bogus node %d", n.id, s))
+				return
+			}
+			sender = s
+		case fBatch:
+			round, seq, batch, perr := parseBatch(payload)
+			if perr != nil {
+				n.reportFailure(perr)
+				return
+			}
+			if sender < 0 {
+				n.reportFailure(stepFailf("cluster: node %d: data batch before peer hello", n.id))
+				return
+			}
+			n.deliverData(sender, round, seq, streamFrame{batch: batch})
 		case fEOS:
-			n.eosCh <- struct{}{} //lint:actorshare eosCh is buffered to the peer count, so one EOS per peer can never block
+			vals, perr := readU64s(payload, 2)
+			if perr != nil {
+				n.reportFailure(perr)
+				return
+			}
+			if sender < 0 {
+				n.reportFailure(stepFailf("cluster: node %d: end-of-stream before peer hello", n.id))
+				return
+			}
+			n.deliverData(sender, vals[0], vals[1], streamFrame{eos: true})
 		default:
 			n.reportFailure(fmt.Errorf("cluster: node %d: unexpected peer frame %d", n.id, kind))
 			return
+		}
+	}
+}
+
+// deliverData feeds one data frame into the sender's reassembly stream,
+// releasing any frames that are now in order. Frames from a round older
+// than the gate (an aborted attempt's stragglers) are dropped.
+func (n *node) deliverData(sender int, round, seq uint64, fr streamFrame) {
+	if round < n.round.Load() {
+		return
+	}
+	s := n.streams[sender]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if round < s.round {
+		return
+	}
+	if round > s.round {
+		s.round = round
+		s.next = 1
+		clear(s.pending)
+	}
+	if seq < s.next {
+		return // duplicate of an already-released frame (resent after redial)
+	}
+	if _, dup := s.pending[seq]; dup {
+		return
+	}
+	s.pending[seq] = fr
+	for {
+		f, ok := s.pending[s.next]
+		if !ok {
+			return
+		}
+		delete(s.pending, s.next)
+		s.next++
+		if f.eos {
+			n.eosCh <- eosMark{sender: sender, round: s.round} //lint:actorshare eosCh is buffered past one mark per peer per in-flight round, and rollback drains it
+		} else {
+			n.routeLocal(s.round, sender, f.batch)
 		}
 	}
 }
@@ -254,9 +428,9 @@ func (n *node) reportFailure(err error) {
 
 // routeLocal distributes a batch of locally-owned messages across the
 // node's computing actors.
-func (n *node) routeLocal(batch []core.Message) {
+func (n *node) routeLocal(round uint64, sender int, batch []core.Message) {
 	if len(n.toComp) == 1 {
-		n.toComp[0].Put(compMsg{batch: batch}) //nolint:errcheck
+		n.toComp[0].Put(compMsg{sender: sender, round: round, batch: batch}) //nolint:errcheck
 		return
 	}
 	parts := make([][]core.Message, len(n.toComp))
@@ -266,7 +440,7 @@ func (n *node) routeLocal(batch []core.Message) {
 	}
 	for w, p := range parts {
 		if len(p) > 0 {
-			n.toComp[w].Put(compMsg{batch: p}) //nolint:errcheck
+			n.toComp[w].Put(compMsg{sender: sender, round: round, batch: p}) //nolint:errcheck
 		}
 	}
 }
@@ -278,7 +452,10 @@ func (n *node) ownerOf(v graph.VertexID) int {
 	return i
 }
 
-// runNode executes the node's control loop until HALT.
+// runNode executes the node's control loop until HALT. Failures are
+// classified: a stepFailure is reported to the coordinator and the node
+// stays alive for the rollback-and-retry protocol; anything else is fatal
+// and the node dies, leaving recovery to a replacement incarnation.
 func (n *node) runNode() error {
 	defer n.close()
 	for {
@@ -294,10 +471,11 @@ func (n *node) runNode() error {
 			}
 			// Heartbeats start before peer dialing so a slow or stalled
 			// data-plane dial cannot delay the first liveness ping past
-			// the coordinator's node timeout. Supervised: close() closes
-			// hbStop before system.Wait, so the loop terminates and Wait
-			// covers it.
-			if n.cfg.HeartbeatInterval > 0 {
+			// the coordinator's node timeout. Spawned once: a rebroadcast
+			// address book (after a rejoin) must not stack heartbeaters.
+			// Supervised: close() closes hbStop before system.Wait, so
+			// the loop terminates and Wait covers it.
+			if n.cfg.HeartbeatInterval > 0 && n.hbStop == nil {
 				n.hbStop = make(chan struct{})
 				stop := n.hbStop
 				n.system.SpawnFunc(fmt.Sprintf("node-%d-heartbeat", n.id), func() error {
@@ -305,15 +483,17 @@ func (n *node) runNode() error {
 					return nil
 				})
 			}
-			if err := n.dialPeers(addrs); err != nil {
+			if err := n.updatePeers(addrs); err != nil {
 				return err
 			}
 		case fStart:
-			vals, err := readU64s(payload, 1)
+			vals, err := readU64s(payload, 2)
 			if err != nil {
 				return err
 			}
-			if err := n.dispatchPhase(int64(vals[0])); err != nil {
+			step, round := int64(vals[0]), vals[1]
+			n.round.Store(round)
+			if err := n.stepOutcome(step, n.dispatchPhase(step, round)); err != nil {
 				return err
 			}
 		case fComputeBarrier:
@@ -321,8 +501,19 @@ func (n *node) runNode() error {
 			if err != nil {
 				return err
 			}
-			if err := n.barrierPhase(int64(vals[0])); err != nil {
+			if err := n.stepOutcome(int64(vals[0]), n.barrierPhase(int64(vals[0]))); err != nil {
 				return err
+			}
+		case fRollback:
+			vals, err := readU64s(payload, 2)
+			if err != nil {
+				return err
+			}
+			if err := n.rollbackStep(int64(vals[0]), vals[1]); err != nil {
+				return err
+			}
+			if err := n.coord.writeFrame(fRollbackOver, u64Payload(vals[0])); err != nil {
+				return fmt.Errorf("cluster: node %d rollback ack: %w", n.id, err)
 			}
 		case fValuesReq:
 			if err := n.sendValues(); err != nil {
@@ -336,19 +527,104 @@ func (n *node) runNode() error {
 	}
 }
 
-func (n *node) dialPeers(addrs []string) error {
+// stepOutcome routes a phase result: nil passes through, a stepFailure is
+// reported to the coordinator (the node stays in its control loop and
+// waits for the rollback), and everything else — including an injected
+// kill — is fatal.
+func (n *node) stepOutcome(step int64, err error) error {
+	if err == nil {
+		return nil
+	}
+	var sf stepFailure
+	if !errors.As(err, &sf) || errors.Is(err, errNodeKilled) {
+		return err
+	}
+	if werr := n.coord.writeFrame(fStepFailed, stepFailedPayload(uint64(step), err.Error())); werr != nil {
+		return fmt.Errorf("cluster: node %d reporting step failure (%v): %w", n.id, err, werr)
+	}
+	return nil
+}
+
+// rollbackStep discards every trace of the aborted superstep attempt:
+// the round gate advances (in-flight stragglers drop on arrival), the
+// peer streams reset, the computers quiesce their staged batches, the
+// barrier bookkeeping drains, and the value file rolls back to the start
+// of step — via Rollback if this node was mid-step, via Rewind if it had
+// already committed before the failure was detected elsewhere, or not at
+// all if it never began the step (the file is already at its start).
+func (n *node) rollbackStep(step int64, newRound uint64) error {
+	n.round.Store(newRound)
+	for _, s := range n.streams {
+		s.mu.Lock()
+		if s.round < newRound {
+			s.round = newRound
+			s.next = 1
+			clear(s.pending)
+		}
+		s.mu.Unlock()
+	}
+	// Quiesce the computers. The marker lands behind any stale batch in
+	// the FIFO mailboxes (deliverData publishes under the stream lock the
+	// reset above just held, so nothing stale can be enqueued after it).
+	for _, mb := range n.toComp {
+		q := make(chan struct{})
+		if err := mb.Put(compMsg{quiesce: q}); err != nil {
+			return err
+		}
+		<-q
+	}
+	for drained := false; !drained; {
+		select {
+		case <-n.eosCh:
+		case <-n.ackCh:
+		case <-n.failCh:
+		default:
+			drained = true
+		}
+	}
+	// Reset the data-plane sequence counters for the retry.
+	for i := range n.peerSeq {
+		n.peerSeq[i] = 0
+	}
+	switch {
+	case n.vf.Epoch() == step+1:
+		if err := n.vf.Rewind(step); err != nil {
+			return err
+		}
+	case n.vf.Epoch() == step && n.begunStep == step:
+		if err := n.vf.Rollback(step, !n.cfg.DisableSync); err != nil {
+			return err
+		}
+	}
+	n.begunStep = -1
+	return nil
+}
+
+// updatePeers installs a (re)broadcast address book: connections to peers
+// whose address changed (a rejoined replacement) are dropped so the next
+// send dials the fresh address, and missing connections are established
+// eagerly, best-effort — a failed dial here is retried with backoff by
+// sendPeer when the dispatch phase actually needs the peer.
+func (n *node) updatePeers(addrs []string) error {
 	if len(addrs) != n.total {
 		return fmt.Errorf("cluster: node %d: address book of %d entries, want %d", n.id, len(addrs), n.total)
 	}
-	n.peerAddrs = addrs
 	for i := range addrs {
 		if i == n.id {
 			continue
 		}
-		var id [4]byte
-		id[0] = byte(n.id)
-		if err := n.sendPeer(i, fPeerHello, id[:]); err != nil {
-			return err
+		if n.peerAddrs != nil && n.peerAddrs[i] != addrs[i] && n.peers[i] != nil {
+			closeQuietly(n.peers[i])
+			n.peers[i] = nil
+		}
+	}
+	n.peerAddrs = addrs
+	for i := range addrs {
+		if i == n.id || n.peers[i] != nil {
+			continue
+		}
+		if c, err := n.dialPeer(i); err == nil {
+			n.peers[i] = c
 		}
 	}
 	return nil
@@ -372,7 +648,8 @@ func (n *node) heartbeatLoop(stop <-chan struct{}) {
 	}
 }
 
-// dialPeer establishes a fresh data-plane connection to peer p.
+// dialPeer establishes a fresh data-plane connection to peer p and
+// identifies this node on it, so the receiver can attribute the stream.
 func (n *node) dialPeer(p int) (*conn, error) {
 	nc, err := net.Dial("tcp", n.peerAddrs[p])
 	if err != nil {
@@ -380,13 +657,20 @@ func (n *node) dialPeer(p int) (*conn, error) {
 	}
 	c := newConn(nc)
 	c.data = true
+	var id [4]byte
+	binary.LittleEndian.PutUint32(id[:], uint32(n.id))
+	if err := c.writeFrame(fPeerHello, id[:]); err != nil {
+		closeQuietly(c)
+		return nil, err
+	}
 	return c, nil
 }
 
 // sendPeer writes one frame to peer p's data connection, redialing with
-// bounded exponential backoff when the transport fails. The data plane
-// flushes whole frames, and an injected drop fires before anything is
-// buffered, so resending the frame on a fresh connection loses nothing.
+// capped exponential backoff when the transport fails. The data plane
+// flushes whole frames and the receiver deduplicates by sequence number,
+// so resending the frame on a fresh connection is safe even when the
+// "failed" write was in fact delivered.
 func (n *node) sendPeer(p int, kind byte, payload []byte) error {
 	var err error
 	if n.peers[p] != nil {
@@ -394,7 +678,7 @@ func (n *node) sendPeer(p int, kind byte, payload []byte) error {
 			return nil
 		}
 		if n.cfg.PeerRedials < 0 {
-			return fmt.Errorf("cluster: node %d: peer %d write failed (reconnect disabled): %w", n.id, p, err)
+			return stepFailf("cluster: node %d: peer %d write failed (reconnect disabled): %w", n.id, p, err)
 		}
 	}
 	attempts := n.cfg.PeerRedials
@@ -405,8 +689,20 @@ func (n *node) sendPeer(p int, kind byte, payload []byte) error {
 	for attempt := 0; attempt < attempts; attempt++ {
 		if err != nil {
 			// Only back off after a failure; a first-time dial is instant.
-			time.Sleep(backoff)
+			// The sleep is capped and context-aware: a SIGTERM mid-storm
+			// must interrupt the wait, not sit out an exponential backlog.
+			metrics.Inc(metrics.CtrClusterRedials)
+			t := time.NewTimer(backoff)
+			select {
+			case <-t.C:
+			case <-n.ctx.Done():
+				t.Stop()
+				return fmt.Errorf("cluster: node %d: redial to peer %d cancelled: %w", n.id, p, n.ctx.Err())
+			}
 			backoff *= 2
+			if backoff > n.cfg.RedialBackoffMax {
+				backoff = n.cfg.RedialBackoffMax
+			}
 		}
 		c, derr := n.dialPeer(p)
 		if derr != nil {
@@ -424,14 +720,27 @@ func (n *node) sendPeer(p int, kind byte, payload []byte) error {
 		n.peers[p] = c
 		return nil
 	}
-	return fmt.Errorf("cluster: node %d: peer %d unreachable after %d redials: %w", n.id, p, attempts, err)
+	return stepFailf("cluster: node %d: peer %d unreachable after %d redials: %w", n.id, p, attempts, err)
+}
+
+// sendData sends the next in-sequence data frame of the current round to
+// peer p. The sequence number advances even when the send fails: the
+// frame may have reached the peer anyway, and burning the seq keeps a
+// half-delivered attempt from colliding with a later resend.
+func (n *node) sendData(p int, kind byte, payload []byte) error {
+	n.peerSeq[p]++
+	return n.sendPeer(p, kind, payload)
 }
 
 // dispatchPhase streams the node's interval, routing messages locally or
 // to peers, then signals end-of-stream and DISPATCH_OVER.
-func (n *node) dispatchPhase(step int64) error {
+func (n *node) dispatchPhase(step int64, round uint64) error {
 	if err := n.vf.Begin(step, !n.cfg.DisableSync); err != nil {
 		return err
+	}
+	n.begunStep = step
+	for i := range n.peerSeq {
+		n.peerSeq[i] = 0
 	}
 	col := vertexfile.DispatchCol(step)
 	weighted := n.gf.Weighted()
@@ -448,7 +757,7 @@ func (n *node) dispatchPhase(step int64) error {
 			b = core.CombineBatch(b, n.combiner)
 		}
 		delivered += int64(len(b))
-		return n.toComp[w].Put(compMsg{batch: b})
+		return n.toComp[w].Put(compMsg{sender: n.id, round: round, batch: b})
 	}
 	flushRemote := func(p int) error {
 		b := remote[p]
@@ -457,13 +766,16 @@ func (n *node) dispatchPhase(step int64) error {
 			b = core.CombineBatch(b, n.combiner)
 		}
 		delivered += int64(len(b))
-		return n.sendPeer(p, fBatch, batchPayload(b))
+		return n.sendData(p, fBatch, batchPayload(round, n.peerSeq[p]+1, b))
 	}
 
 	for {
 		v, deg, edges, ok := cur.Next()
 		if !ok {
 			break
+		}
+		if fault.Error(fault.SiteNodeKillDispatch) != nil {
+			return fmt.Errorf("cluster: node %d mid-dispatch: %w", n.id, errNodeKilled)
 		}
 		slot := n.vf.Load(col, v)
 		if vertexfile.Stale(slot) {
@@ -519,19 +831,20 @@ func (n *node) dispatchPhase(step int64) error {
 		if i == n.id {
 			continue
 		}
-		if err := n.sendPeer(i, fEOS, u64Payload(uint64(step))); err != nil {
-			return fmt.Errorf("cluster: node %d EOS to %d: %w", n.id, i, err)
+		if err := n.sendData(i, fEOS, u64Payload(round, n.peerSeq[i]+1)); err != nil {
+			return stepFailf("cluster: node %d EOS to %d: %w", n.id, i, err)
 		}
 	}
 	n.statsMsgs += generated
 	return n.coord.writeFrame(fDispatchOver, u64Payload(uint64(step), uint64(generated), uint64(delivered)))
 }
 
-// barrierPhase waits for every peer's end-of-stream, drains the local
-// computers, commits the superstep, and acknowledges the coordinator.
-// Peer disconnects and computing-actor failures unwind the wait instead
-// of deadlocking it.
+// barrierPhase waits for every peer's end-of-stream, folds the staged
+// batches, commits the superstep, and acknowledges the coordinator. Peer
+// disconnects and computing-actor failures unwind the wait as step
+// failures instead of deadlocking it.
 func (n *node) barrierPhase(step int64) error {
+	round := n.round.Load()
 	// One budget for the whole barrier: a lost peer (no end-of-stream)
 	// or a wedged computer fails the superstep with a labelled error
 	// instead of blocking the cluster forever.
@@ -541,17 +854,22 @@ func (n *node) barrierPhase(step int64) error {
 		defer tm.Stop()
 		timeoutC = tm.C
 	}
-	for i := 0; i < n.total-1; i++ {
+	seen := make([]bool, n.total)
+	for need := n.total - 1; need > 0; {
 		select {
-		case <-n.eosCh:
+		case mk := <-n.eosCh:
+			if mk.round == round && !seen[mk.sender] {
+				seen[mk.sender] = true
+				need--
+			}
 		case err := <-n.failCh:
-			return err
+			return stepFailure{err: err}
 		case <-timeoutC:
-			return fmt.Errorf("cluster: node %d: superstep %d compute barrier timed out after %v waiting for peer end-of-stream", n.id, step, n.cfg.BarrierTimeout)
+			return stepFailf("cluster: node %d: superstep %d compute barrier timed out after %v waiting for peer end-of-stream", n.id, step, n.cfg.BarrierTimeout)
 		}
 	}
 	for _, mb := range n.toComp {
-		if err := mb.Put(compMsg{barrier: true}); err != nil {
+		if err := mb.Put(compMsg{barrier: true, round: round}); err != nil {
 			return err
 		}
 	}
@@ -561,14 +879,18 @@ func (n *node) barrierPhase(step int64) error {
 		case u := <-n.ackCh:
 			updates += u
 		case err := <-n.failCh:
-			return err
+			return stepFailure{err: err}
 		case <-timeoutC:
-			return fmt.Errorf("cluster: node %d: superstep %d compute barrier timed out after %v waiting for computer acks", n.id, step, n.cfg.BarrierTimeout)
+			return stepFailf("cluster: node %d: superstep %d compute barrier timed out after %v waiting for computer acks", n.id, step, n.cfg.BarrierTimeout)
 		}
+	}
+	if fault.Error(fault.SiteNodeKillBarrier) != nil {
+		return fmt.Errorf("cluster: node %d mid-barrier: %w", n.id, errNodeKilled)
 	}
 	if err := n.vf.Commit(step, true, !n.cfg.DisableSync); err != nil {
 		return err
 	}
+	n.begunStep = -1
 	return n.coord.writeFrame(fComputeOver, u64Payload(uint64(step), uint64(updates)))
 }
 
@@ -582,11 +904,19 @@ func (n *node) sendValues() error {
 }
 
 // nodeComputer is the node-local computing actor (paper Algorithm 3, with
-// remote batches arriving through the same mailbox).
+// remote batches arriving through the same mailbox). Unlike the
+// single-machine engine it does not fold messages the moment they
+// arrive: arrival order across peers is a race, and a bit-identical
+// retry needs a deterministic fold. Batches are staged per sender —
+// each sender's stream is already in deterministic (sequence) order —
+// and folded at the barrier in sender-id order. For combinable programs
+// staged runs are compacted eagerly with the stable combiner, so the
+// dispatch/compute overlap still does the combining work in-flight.
 type nodeComputer struct {
 	node    *node
 	id      int
 	updates int64
+	staged  [][]core.Message // indexed by sender node id
 }
 
 // Execute runs the computing actor loop. Panics in the vertex program are
@@ -599,20 +929,55 @@ func (c *nodeComputer) Execute() (err error) {
 		}
 	}()
 	n := c.node
+	c.staged = make([][]core.Message, n.total)
 	for {
 		m, ok := n.toComp[c.id].Get()
 		if !ok || m.done {
 			return nil
 		}
+		if m.quiesce != nil {
+			for i := range c.staged {
+				c.staged[i] = nil
+			}
+			c.updates = 0
+			close(m.quiesce)
+			continue
+		}
 		if m.barrier {
+			if m.round == n.round.Load() {
+				c.apply()
+			}
 			//lint:ctxblock ackCh is buffered to the computer count, so one ack per barrier can never block
 			n.ackCh <- c.updates //lint:actorshare ackCh is buffered to the computer count, so one ack per barrier can never block
 			c.updates = 0
 			continue
 		}
-		step := n.vf.Epoch()
-		dcol, ucol := vertexfile.DispatchCol(step), vertexfile.UpdateCol(step)
-		for _, msg := range m.batch {
+		if m.round < n.round.Load() {
+			continue // straggler from an aborted attempt
+		}
+		c.staged[m.sender] = append(c.staged[m.sender], m.batch...)
+		if n.combiner != nil && len(c.staged[m.sender]) >= 2*n.cfg.BatchSize {
+			c.staged[m.sender] = core.CombineBatch(c.staged[m.sender], n.combiner)
+		}
+	}
+}
+
+// apply folds the staged batches into the update column, sender by sender
+// in node-id order — the deterministic fold the staging exists for.
+func (c *nodeComputer) apply() {
+	n := c.node
+	step := n.vf.Epoch()
+	dcol, ucol := vertexfile.DispatchCol(step), vertexfile.UpdateCol(step)
+	for snd := range c.staged {
+		b := c.staged[snd]
+		c.staged[snd] = nil
+		if len(b) == 0 {
+			continue
+		}
+		if n.combiner != nil {
+			b = core.CombineBatch(b, n.combiner)
+		}
+		for _, msg := range b {
 			v := int64(msg.Dst)
 			slot := n.vf.Load(ucol, v)
 			first := vertexfile.Stale(slot)

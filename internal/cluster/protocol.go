@@ -3,7 +3,9 @@ package cluster
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"sync"
@@ -11,36 +13,74 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/metrics"
 )
 
-// Wire protocol: length-prefixed frames, little endian.
+// Wire protocol: length-prefixed, checksummed frames, little endian.
 //
-//	frame  := length uint32 | kind uint8 | payload
-//	length counts kind+payload bytes.
+//	frame  := length uint32 | version uint8 | kind uint8 | crc uint32 | payload
+//	length counts version+kind+crc+payload bytes (6 + len(payload)).
+//	crc is CRC32C (Castagnoli) over version, kind, and payload — the
+//	checksum field itself excluded — so a bit flipped anywhere in the
+//	frame body, a truncation, or a torn write is detected at decode
+//	instead of being silently deserialized into vertex state.
 const (
 	fHello          = 1  // node -> coordinator: nodeID u32, dataAddr string
 	fAddrBook       = 2  // coordinator -> node: n u32, then n strings
-	fStart          = 3  // coordinator -> node: step u64
+	fStart          = 3  // coordinator -> node: step u64, round u64
 	fDispatchOver   = 4  // node -> coordinator: step u64, generated u64, delivered u64
 	fComputeBarrier = 5  // coordinator -> node: step u64
 	fComputeOver    = 6  // node -> coordinator: step u64, updates u64
 	fHalt           = 7  // coordinator -> node: converged u8
 	fValuesReq      = 8  // coordinator -> node
 	fValues         = 9  // node -> coordinator: first u64, count u64, payloads
-	fBatch          = 10 // node -> node: count u32, (dst u32, val u64)*
-	fEOS            = 11 // node -> node: step u64
+	fBatch          = 10 // node -> node: round u64, seq u64, count u32, (dst u32, val u64)*
+	fEOS            = 11 // node -> node: round u64, seq u64 (the sender's final seq for the round)
 	fPeerHello      = 12 // node -> node: sender nodeID u32
 	fHeartbeat      = 13 // node -> coordinator: liveness ping, no payload semantics
+	fRejoin         = 14 // node -> coordinator: nodeID u32, epoch u64, dataAddr string
+	fRollback       = 15 // coordinator -> node: step u64, round u64 (discard in-flight state; next attempt is round)
+	fRollbackOver   = 16 // node -> coordinator: step u64 (rollback done, quiesced)
+	fStepFailed     = 17 // node -> coordinator: step u64, reason string (retryable step-level failure)
 )
 
+// protoVersion is the frame format version. A peer speaking any other
+// version is rejected at the first frame instead of being misparsed.
+const protoVersion = 2
+
 const maxFrame = 64 << 20
+
+// frameOverhead is the byte count of version+kind+crc counted by the
+// length prefix beyond the payload.
+const frameOverhead = 6
+
+// castagnoli is the CRC32C table shared by every frame encode/decode.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errFrameChecksum and errFrameVersion are matched with errors.Is by
+// readers that route corruption into the superstep rollback path rather
+// than treating it as a clean disconnect.
+var (
+	errFrameChecksum = errors.New("cluster: frame checksum mismatch")
+	errFrameVersion  = errors.New("cluster: frame protocol version mismatch")
+)
+
+// frameCorrupt reports whether err means the peer's byte stream is
+// damaged (checksum or version failure) as opposed to closed or timed out.
+func frameCorrupt(err error) bool {
+	return errors.Is(err, errFrameChecksum) || errors.Is(err, errFrameVersion)
+}
 
 // conn wraps a TCP connection with buffered, mutex-guarded frame I/O.
 // Reads and writes may proceed concurrently; concurrent writers serialize
 // on the write lock, so a frame is never interleaved.
 type conn struct {
-	c  net.Conn
-	br *bufio.Reader
+	c net.Conn
+
+	// raw is the unwrapped connection: deadlines must reach the real
+	// socket even when c is the flaky chaos wrapper.
+	raw net.Conn
+	br  *bufio.Reader
 
 	// data marks node-to-node data-plane connections, the ones subject to
 	// the fault package's drop/stall injection sites.
@@ -50,11 +90,16 @@ type conn struct {
 	bw  *bufio.Writer
 }
 
-func newConn(c net.Conn) *conn {
+// newConn wraps nc for frame I/O. Every connection — control and data
+// plane — goes through the flaky chaos wrapper; when no fault plan is
+// active the wrapper is a single atomic load per write.
+func newConn(nc net.Conn) *conn {
+	fc := wrapFaulty(nc)
 	return &conn{
-		c:  c,
-		br: bufio.NewReaderSize(c, 1<<20),
-		bw: bufio.NewWriterSize(c, 1<<20),
+		c:   fc,
+		raw: nc,
+		br:  bufio.NewReaderSize(fc, 1<<20),
+		bw:  bufio.NewWriterSize(fc, 1<<20),
 	}
 }
 
@@ -80,9 +125,13 @@ func (c *conn) writeFrame(kind byte, payload []byte) error {
 	}
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	var hdr [5]byte
-	binary.LittleEndian.PutUint32(hdr[0:], uint32(1+len(payload)))
-	hdr[4] = kind
+	var hdr [10]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(frameOverhead+len(payload)))
+	hdr[4] = protoVersion
+	hdr[5] = kind
+	crc := crc32.Update(0, castagnoli, hdr[4:6])
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[6:], crc)
 	if _, err := c.bw.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -92,46 +141,83 @@ func (c *conn) writeFrame(kind byte, payload []byte) error {
 	return c.bw.Flush()
 }
 
-// readFrame receives the next frame.
-func (c *conn) readFrame() (kind byte, payload []byte, err error) {
+// readFrameFrom decodes one checksummed frame from r. Split out from conn
+// so the fuzzer can drive the decoder with raw byte streams. Any header
+// the checksum does not vouch for — wrong version, corrupt bytes,
+// truncation mid-frame — yields an error, never a misparsed frame.
+func readFrameFrom(r io.Reader) (kind byte, payload []byte, err error) {
 	var hdr [4]byte
-	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
-	if n == 0 || n > maxFrame {
+	if n < frameOverhead || n > maxFrame {
 		return 0, nil, fmt.Errorf("cluster: bad frame length %d", n)
 	}
 	buf := make([]byte, n)
-	if _, err := io.ReadFull(c.br, buf); err != nil {
+	if _, err := io.ReadFull(r, buf); err != nil {
 		return 0, nil, err
 	}
-	return buf[0], buf[1:], nil
+	if buf[0] != protoVersion {
+		return 0, nil, fmt.Errorf("%w: got %d, want %d", errFrameVersion, buf[0], protoVersion)
+	}
+	want := binary.LittleEndian.Uint32(buf[2:6])
+	got := crc32.Update(0, castagnoli, buf[0:2])
+	got = crc32.Update(got, castagnoli, buf[frameOverhead:])
+	if got != want {
+		metrics.Inc(metrics.CtrClusterChecksumFailures)
+		return 0, nil, fmt.Errorf("%w: computed %#x, frame carries %#x", errFrameChecksum, got, want)
+	}
+	return buf[1], buf[frameOverhead:], nil
+}
+
+// readFrame receives the next frame.
+func (c *conn) readFrame() (kind byte, payload []byte, err error) {
+	return readFrameFrom(c.br)
 }
 
 // readFrameLive reads the next non-heartbeat frame, bounding how long the
 // peer may go silent: every received frame — heartbeats included —
 // refreshes the deadline, so a node that is alive but slow to make
 // progress is distinguished from one that is gone. d <= 0 disables the
-// deadline.
-func (c *conn) readFrameLive(d time.Duration) (byte, []byte, error) {
+// liveness deadline. A non-zero progress time additionally bounds the
+// whole read — heartbeats do NOT extend it — so a node that is alive but
+// making no protocol progress (wedged, or cut off by a one-way partition
+// its heartbeats still cross) is eventually surfaced as errNoProgress.
+func (c *conn) readFrameLive(d time.Duration, progress time.Time) (byte, []byte, error) {
 	for {
+		deadline := time.Time{}
 		if d > 0 {
-			c.c.SetReadDeadline(time.Now().Add(d)) //nolint:errcheck
+			deadline = time.Now().Add(d) //lint:nondeterministic liveness deadline; timing never feeds vertex state
+		}
+		if !progress.IsZero() && (deadline.IsZero() || progress.Before(deadline)) {
+			deadline = progress
+		}
+		if !deadline.IsZero() {
+			c.raw.SetReadDeadline(deadline) //nolint:errcheck
 		}
 		kind, payload, err := c.readFrame()
 		if err != nil {
+			var ne net.Error
+			//lint:nondeterministic distinguishing a liveness expiry from a progress expiry needs the clock; timing never feeds vertex state
+			if errors.As(err, &ne) && ne.Timeout() && !progress.IsZero() && !time.Now().Before(progress) {
+				return 0, nil, errNoProgress
+			}
 			return 0, nil, err
 		}
 		if kind == fHeartbeat {
 			continue
 		}
-		if d > 0 {
-			c.c.SetReadDeadline(time.Time{}) //nolint:errcheck
+		if !deadline.IsZero() {
+			c.raw.SetReadDeadline(time.Time{}) //nolint:errcheck
 		}
 		return kind, payload, nil
 	}
 }
+
+// errNoProgress marks a read that saw liveness (heartbeats) but no
+// protocol frame within the coordinator's phase-progress budget.
+var errNoProgress = errors.New("cluster: no protocol progress within the phase timeout")
 
 // payload builders --------------------------------------------------------
 
@@ -174,6 +260,57 @@ func parseHello(p []byte) (node uint32, addr string, err error) {
 	return node, string(p[6 : 6+n]), nil
 }
 
+// rejoinPayload is the hello of a restarted node: which node it is, the
+// epoch its recovered vertexfile sits at, and its fresh data address.
+func rejoinPayload(node uint32, epoch uint64, addr string) []byte {
+	b := make([]byte, 4+8+2+len(addr))
+	binary.LittleEndian.PutUint32(b[0:], node)
+	binary.LittleEndian.PutUint64(b[4:], epoch)
+	binary.LittleEndian.PutUint16(b[12:], uint16(len(addr)))
+	copy(b[14:], addr)
+	return b
+}
+
+func parseRejoin(p []byte) (node uint32, epoch uint64, addr string, err error) {
+	if len(p) < 14 {
+		return 0, 0, "", fmt.Errorf("cluster: short rejoin")
+	}
+	node = binary.LittleEndian.Uint32(p[0:])
+	epoch = binary.LittleEndian.Uint64(p[4:])
+	n := int(binary.LittleEndian.Uint16(p[12:]))
+	if len(p) < 14+n {
+		return 0, 0, "", fmt.Errorf("cluster: truncated rejoin address")
+	}
+	return node, epoch, string(p[14 : 14+n]), nil
+}
+
+// stepFailedPayload reports a retryable step-level failure to the
+// coordinator. The reason is bounded so a pathological error can never
+// approach the frame limit.
+func stepFailedPayload(step uint64, reason string) []byte {
+	const maxReason = 1 << 12
+	if len(reason) > maxReason {
+		reason = reason[:maxReason]
+	}
+	b := make([]byte, 8+2+len(reason))
+	binary.LittleEndian.PutUint64(b[0:], step)
+	binary.LittleEndian.PutUint16(b[8:], uint16(len(reason)))
+	copy(b[10:], reason)
+	return b
+}
+
+func parseStepFailed(p []byte) (step uint64, reason string, err error) {
+	if len(p) < 10 {
+		return 0, "", fmt.Errorf("cluster: short step-failed frame")
+	}
+	step = binary.LittleEndian.Uint64(p[0:])
+	n := int(binary.LittleEndian.Uint16(p[8:]))
+	if len(p) < 10+n {
+		return 0, "", fmt.Errorf("cluster: truncated step-failed reason")
+	}
+	return step, string(p[10 : 10+n]), nil
+}
+
 func addrBookPayload(addrs []string) []byte {
 	b := make([]byte, 4)
 	binary.LittleEndian.PutUint32(b, uint32(len(addrs)))
@@ -211,10 +348,18 @@ func parseAddrBook(p []byte) ([]string, error) {
 	return addrs, nil
 }
 
-func batchPayload(batch []core.Message) []byte {
-	b := make([]byte, 4+12*len(batch))
-	binary.LittleEndian.PutUint32(b[0:], uint32(len(batch)))
-	off := 4
+// batchPayload frames a data batch tagged with the superstep attempt
+// (round) and the sender's per-round sequence number. The tags make the
+// data plane exactly-once over an at-least-once transport: a resent
+// frame that was in fact delivered is deduplicated by seq, frames racing
+// across an old and a redialed connection are released in seq order, and
+// anything from an aborted round is dropped at the gate.
+func batchPayload(round, seq uint64, batch []core.Message) []byte {
+	b := make([]byte, 16+4+12*len(batch))
+	binary.LittleEndian.PutUint64(b[0:], round)
+	binary.LittleEndian.PutUint64(b[8:], seq)
+	binary.LittleEndian.PutUint32(b[16:], uint32(len(batch)))
+	off := 20
 	for _, m := range batch {
 		binary.LittleEndian.PutUint32(b[off:], m.Dst)
 		binary.LittleEndian.PutUint64(b[off+4:], m.Val)
@@ -223,18 +368,20 @@ func batchPayload(batch []core.Message) []byte {
 	return b
 }
 
-func parseBatch(p []byte) ([]core.Message, error) {
-	if len(p) < 4 {
-		return nil, fmt.Errorf("cluster: short batch")
+func parseBatch(p []byte) (round, seq uint64, batch []core.Message, err error) {
+	if len(p) < 20 {
+		return 0, 0, nil, fmt.Errorf("cluster: short batch")
 	}
-	n := int(binary.LittleEndian.Uint32(p))
+	round = binary.LittleEndian.Uint64(p[0:])
+	seq = binary.LittleEndian.Uint64(p[8:])
+	n := int(binary.LittleEndian.Uint32(p[16:]))
 	// Guard the multiplication: an adversarial count must not wrap around
 	// and slip past the length check.
-	if n < 0 || n > (len(p)-4)/12 || len(p) != 4+12*n {
-		return nil, fmt.Errorf("cluster: batch of %d messages in %d bytes", n, len(p))
+	if n < 0 || n > (len(p)-20)/12 || len(p) != 20+12*n {
+		return 0, 0, nil, fmt.Errorf("cluster: batch of %d messages in %d bytes", n, len(p))
 	}
 	out := make([]core.Message, n)
-	off := 4
+	off := 20
 	for i := range out {
 		out[i] = core.Message{
 			Dst: binary.LittleEndian.Uint32(p[off:]),
@@ -242,7 +389,7 @@ func parseBatch(p []byte) ([]core.Message, error) {
 		}
 		off += 12
 	}
-	return out, nil
+	return round, seq, out, nil
 }
 
 func valuesPayload(first int64, payloads []uint64) []byte {

@@ -61,6 +61,28 @@ const (
 	// SiteConnStall fires per data-plane frame write in the cluster;
 	// Stall sleeps for the injection's Delay, simulating a stalled link.
 	SiteConnStall = "cluster.conn.stall"
+
+	// The cluster.conn.* sites below fire per raw write inside the
+	// cluster's flaky transport wrapper, under both control and data
+	// planes — the hostile-network vocabulary of the chaos harness.
+	//
+	// SiteConnDelay: Stall sleeps for the injection's Delay before the
+	// write proceeds, simulating a congested or high-latency link.
+	SiteConnDelay = "cluster.conn.delay"
+	// SiteConnReset: the connection is closed mid-stream and the write
+	// fails, simulating an RST that can tear a frame in half.
+	SiteConnReset = "cluster.conn.reset"
+	// SiteConnShortWrite: a prefix of the bytes reaches the wire before
+	// the connection dies — the torn-frame case checksums must catch.
+	SiteConnShortWrite = "cluster.conn.shortwrite"
+	// SiteConnCorrupt: one bit of the written bytes is flipped in transit;
+	// the frame checksum must detect it, never silently deserialize it.
+	SiteConnCorrupt = "cluster.conn.corrupt"
+	// SiteConnPartition: writes are silently blackholed for the
+	// injection's Delay — a one-way partition that heals by itself. The
+	// reads keep flowing, which is exactly the asymmetry heartbeat-based
+	// liveness cannot see.
+	SiteConnPartition = "cluster.conn.partition"
 	// SiteColumnSync fires in vertexfile.File.CommitState between the
 	// reconcile pass and the column msync; Error simulates the column
 	// write-back failing, which must leave the header unsealed (still
@@ -91,6 +113,19 @@ const (
 	// SiteKillCommitDone: in CommitState, after the sealed header is
 	// synced (the superstep is durable; death here must lose nothing).
 	SiteKillCommitDone = "kill.commit.done"
+
+	// The cluster.node.kill.* sites simulate a cluster node dying abruptly
+	// (in-process SIGKILL): consulted with Error, a firing makes the node
+	// abandon the superstep without commit, close nothing gracefully, and
+	// exit its control loop — the coordinator must detect the death and
+	// drive rollback + rejoin.
+	//
+	// SiteNodeKillDispatch fires once per vertex a node dispatches, so a
+	// plan can park the death anywhere inside the dispatch stream.
+	SiteNodeKillDispatch = "cluster.node.kill.dispatch"
+	// SiteNodeKillBarrier fires at the compute barrier, before the
+	// node commits — mid-barrier death, update column dirty.
+	SiteNodeKillBarrier = "cluster.node.kill.barrier"
 )
 
 // ErrInjected is matched (via errors.Is) by every error this package

@@ -8,8 +8,9 @@ import (
 // Determinism keeps recovery-critical code replayable. The durability
 // contract promises that a -resume after a crash ends bit-identical to an
 // uninterrupted run; that only holds if nothing on the superstep path
-// consults sources the replay cannot reproduce. Flagged in the engine and
-// vertex-file packages:
+// consults sources the replay cannot reproduce. Flagged in the engine,
+// vertex-file, and cluster packages (a rolled-back superstep retried
+// across the cluster must regenerate the same message stream):
 //
 //   - wall-clock reads (time.Now / time.Since / time.Until);
 //   - the global math/rand source (package-level rand.X calls — a locally
@@ -23,7 +24,7 @@ var Determinism = &Analyzer{
 	Aliases: []string{"nondeterministic"},
 	Doc: "wall-clock reads, the global math/rand source, and unordered " +
 		"map iteration are forbidden in recovery-critical packages",
-	Packages: []string{"internal/core", "internal/vertexfile"},
+	Packages: []string{"internal/core", "internal/vertexfile", "internal/cluster"},
 	Run:      runDeterminism,
 }
 

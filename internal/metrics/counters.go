@@ -42,6 +42,23 @@ const (
 	// the mailbox traffic that replaces per-batch messages.
 	CtrAccumDenseSegs  = "core.accum.segments.dense"
 	CtrAccumSparseSegs = "core.accum.segments.sparse"
+
+	// The cluster.* counters record the distributed recovery machinery;
+	// the chaos harness asserts on them to prove a disturbed run actually
+	// exercised rollback and rejoin rather than getting lucky.
+	//
+	// CtrClusterRedials counts data-plane redial attempts after a failed
+	// peer write.
+	CtrClusterRedials = "cluster.redials"
+	// CtrClusterRollbacks counts coordinator-driven superstep rollbacks
+	// (every node discards in-flight state and the step is retried).
+	CtrClusterRollbacks = "cluster.rollbacks"
+	// CtrClusterRejoins counts nodes that rejoined a running job via the
+	// rejoin handshake after being declared dead.
+	CtrClusterRejoins = "cluster.rejoins"
+	// CtrClusterChecksumFailures counts frames rejected because their
+	// CRC32C checksum did not match — corruption detected, not applied.
+	CtrClusterChecksumFailures = "cluster.checksum_failures"
 )
 
 // counters is a process-wide registry of named monotonic counters. The

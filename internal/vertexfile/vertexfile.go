@@ -746,6 +746,44 @@ func (f *File) Rollback(step int64, durable bool) error {
 	return f.syncHeader()
 }
 
+// Rewind un-commits superstep step: a file whose epoch is already step+1
+// (Commit ran) is rolled back to the start of step, as if Begin(step) had
+// just sealed it running and the crash happened immediately. It exists
+// for coordinated distributed retry — when the cluster rolls a superstep
+// back, nodes that committed before the failure was detected must rewind
+// to rejoin the nodes that never finished.
+//
+// Soundness rests on two invariants that hold between Commit(step) and
+// the next Begin: the old dispatch column DispatchCol(step) is still
+// payload-immutable (Commit's reconcile pass only toggles its flags and
+// writes the other column), so it remains the exact start-of-step
+// snapshot; and the bitmap region still holds the active set Begin(step)
+// sealed (Commit never touches it). Rewind therefore re-declares the
+// superstep interrupted — epoch back to step, state running, header
+// sealed and synced FIRST, so a crash at any instant leaves a header
+// that describes a recoverable in-progress step — and then delegates to
+// Recover, which restores the flags exactly from the bitmap and re-seals
+// the digest with the same data-before-header ordering as Commit.
+func (f *File) Rewind(step int64) error {
+	if f.InProgress() {
+		return fmt.Errorf("vertexfile: rewind superstep %d: file records an in-progress superstep; use Rollback or Recover", step)
+	}
+	if f.Epoch() != step+1 {
+		return fmt.Errorf("vertexfile: rewind superstep %d, but epoch is %d, want %d", step, f.Epoch(), step+1)
+	}
+	f.setEpoch(step)
+	f.setState(stateRunning)
+	atomic.StoreUint64(&f.header[hdrFlags], 0)
+	f.sealHeader()
+	if err := f.syncHeader(); err != nil {
+		return fmt.Errorf("vertexfile: rewind superstep %d: %w", step, err)
+	}
+	if _, err := f.Recover(); err != nil {
+		return fmt.Errorf("vertexfile: rewind superstep %d: %w", step, err)
+	}
+	return nil
+}
+
 // Value returns the newest payload of v. It must only be called between
 // supersteps (after Commit), when the dispatch column of the next
 // superstep holds the newest payload of every vertex.

@@ -484,3 +484,89 @@ func TestRecoverRestoresLastCommitProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRewindUncommitsSuperstep pins the contract cluster recovery leans
+// on: Rewind(step) on a file that just committed step must step the
+// epoch back, discard the step's updates, and restore the dispatch
+// column's active set exactly — so re-running the superstep regenerates
+// the original message stream and lands on the original answer.
+func TestRewindUncommitsSuperstep(t *testing.T) {
+	f := create(t, 2, func(v int64) (uint64, bool) { return uint64(10 + v), true })
+	if err := f.Begin(0, true); err != nil {
+		t.Fatal(err)
+	}
+	f.Store(UpdateCol(0), 0, Pack(99, false)) // vertex 0 updated, vertex 1 idle
+	if err := f.Commit(0, true, true); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := f.Rewind(1); err == nil {
+		t.Fatal("Rewind with wrong step succeeded")
+	}
+	if err := f.Rewind(0); err != nil {
+		t.Fatal(err)
+	}
+	if f.Epoch() != 0 || f.InProgress() {
+		t.Fatalf("after rewind: epoch=%d inProgress=%v, want epoch 0, idle", f.Epoch(), f.InProgress())
+	}
+	// The committed update is gone and both vertices are active again,
+	// exactly as Begin(0) left them.
+	d, u := DispatchCol(0), UpdateCol(0)
+	for v := int64(0); v < 2; v++ {
+		if s := f.Load(d, v); Stale(s) || Payload(s) != uint64(10+v) {
+			t.Fatalf("dispatch slot %d after rewind = %#x, want fresh %d", v, s, 10+v)
+		}
+		if s := f.Load(u, v); !Stale(s) || Payload(s) != uint64(10+v) {
+			t.Fatalf("update slot %d after rewind = %#x, want stale %d", v, s, 10+v)
+		}
+	}
+
+	// The re-run commits the same answer as the first attempt.
+	if err := f.Begin(0, true); err != nil {
+		t.Fatal(err)
+	}
+	f.Store(UpdateCol(0), 0, Pack(99, false))
+	if err := f.Commit(0, true, true); err != nil {
+		t.Fatal(err)
+	}
+	if f.Value(0) != 99 || f.Value(1) != 11 {
+		t.Fatalf("re-run values = %v, want [99 11]", f.Values())
+	}
+}
+
+// TestRewindRestoresPartialActiveSet rewinds a superstep whose active
+// set was a strict subset: the restored dispatch flags must match the
+// subset, not conservatively re-activate everything.
+func TestRewindRestoresPartialActiveSet(t *testing.T) {
+	f := create(t, 2, func(v int64) (uint64, bool) { return uint64(10 + v), true })
+	f.Begin(0, true)
+	f.Store(UpdateCol(0), 0, Pack(99, false))
+	f.Commit(0, true, true)
+	// Entering superstep 1 only vertex 0 is active.
+	f.Begin(1, true)
+	f.Store(UpdateCol(1), 0, Pack(100, false))
+	f.Commit(1, true, true)
+
+	if err := f.Rewind(1); err != nil {
+		t.Fatal(err)
+	}
+	d := DispatchCol(1)
+	if s := f.Load(d, 0); Stale(s) || Payload(s) != 99 {
+		t.Fatalf("active vertex after rewind = %#x, want fresh 99", s)
+	}
+	if s := f.Load(d, 1); !Stale(s) || Payload(s) != 11 {
+		t.Fatalf("idle vertex after rewind = %#x, want stale 11", s)
+	}
+}
+
+// TestRewindRejectsInProgress refuses to rewind across an open
+// superstep; Rollback/Recover own that state.
+func TestRewindRejectsInProgress(t *testing.T) {
+	f := create(t, 1, nil)
+	f.Begin(0, true)
+	f.Commit(0, true, true)
+	f.Begin(1, true)
+	if err := f.Rewind(0); err == nil {
+		t.Fatal("Rewind of an in-progress file succeeded")
+	}
+}
