@@ -28,8 +28,10 @@ lint:
 # the race detector (includes the fault-injection recovery tests), a
 # shuffled-order pass over the engine and actor packages to catch
 # inter-test state leaks, the kill-torture harness against the real
-# binary, plus the chaos smoke slice (one node kill + one corrupted
-# frame on a live 3-node cluster; the full schedule is `make chaos`).
+# binary, plus the chaos smoke slices: one node kill + one corrupted
+# frame, and the elastic-membership schedule (drain under load, mid-job
+# join, permanent-death redistribution, kill mid-migration) on live
+# 3-node clusters. The full randomized schedule is `make chaos`.
 check:
 	$(GO) vet ./...
 	$(MAKE) lint
@@ -37,7 +39,7 @@ check:
 	$(GO) test -race -count=1 ./internal/core
 	$(GO) test -shuffle=on -count=1 ./internal/core ./internal/actor
 	$(GO) test -count=1 -run 'Torture|Interrupt|ExitCodes' ./internal/crashtest
-	$(GO) test -count=1 -run 'TestChaosSmoke|TestChaosCorruptFrameDetected' ./internal/chaostest
+	$(GO) test -count=1 -run 'TestChaosSmoke|TestChaosMigrationSmoke|TestChaosElastic|TestChaosCorruptFrameDetected' ./internal/chaostest
 	$(MAKE) bench-smoke
 
 # Kill-torture: run cmd/gpsa as a subprocess, SIGKILL it at >=20

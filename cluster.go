@@ -36,10 +36,36 @@ type ClusterOptions struct {
 	PhaseTimeout time.Duration
 	// RecoveryTimeout bounds one rollback/rejoin cycle (0 = 30s).
 	RecoveryTimeout time.Duration
+	// Splits is how many vertex intervals each initial node starts with
+	// (0 = 1). Elastic membership migrates whole intervals, so Splits >= 2
+	// gives joins and rebalancing sub-node granularity to move.
+	Splits int
+	// Events schedules elastic-membership operations — mid-job joins and
+	// drains — at superstep barriers.
+	Events []MembershipEvent
+	// RedistributeDead retires a crashed node permanently, salvaging its
+	// sealed value file and migrating its intervals to the survivors,
+	// instead of restarting a same-id replacement.
+	RedistributeDead bool
+	// Rebalance runs the greedy edge-weight balancer at every barrier,
+	// migrating intervals toward the balance point (free once balanced).
+	Rebalance bool
 }
 
 // ClusterResult summarizes a distributed run.
 type ClusterResult = cluster.Result
+
+// MembershipEvent schedules a node join or drain at a superstep barrier.
+type MembershipEvent = cluster.MembershipEvent
+
+// Assignment is one row of the live interval -> node routing table.
+type Assignment = cluster.Assignment
+
+// Membership operations for ClusterOptions.Events.
+const (
+	OpJoin  = cluster.OpJoin
+	OpDrain = cluster.OpDrain
+)
 
 // RunDistributed executes prog over the on-disk CSR graph at graphPath on
 // an in-process TCP cluster — the paper's actor model extended across
@@ -48,6 +74,10 @@ type ClusterResult = cluster.Result
 // cross-node messages travel over loopback TCP and fold on arrival, so
 // the dispatch/compute overlap spans the cluster.
 func RunDistributed(graphPath string, prog Program, opts ClusterOptions) (*ClusterResult, []uint64, error) {
+	policy := cluster.RestartDead
+	if opts.RedistributeDead {
+		policy = cluster.RedistributeDead
+	}
 	return cluster.Run(graphPath, prog, cluster.Config{
 		Context:           opts.Context,
 		Nodes:             opts.Nodes,
@@ -57,6 +87,10 @@ func RunDistributed(graphPath string, prog Program, opts ClusterOptions) (*Clust
 		NodeTimeout:       opts.NodeTimeout,
 		PhaseTimeout:      opts.PhaseTimeout,
 		RecoveryTimeout:   opts.RecoveryTimeout,
+		Splits:            opts.Splits,
+		Events:            opts.Events,
+		DeadNodes:         policy,
+		Rebalance:         opts.Rebalance,
 		Node:              cluster.NodeConfig{Computers: opts.ComputersPerNode},
 	})
 }

@@ -16,6 +16,15 @@
 // torture harness uses (internal/chaostest), e.g.
 //
 //	GPSA_FAULT='site=cluster.node.kill.barrier,after=2' gpsa-cluster -graph g.gpsa -algo cc -nodes 3 -retries 4
+//
+// Membership is elastic: -drain shrinks the cluster mid-job (every
+// interval the node owns live-migrates to the survivors before it
+// exits), -join grows it (new nodes boot mid-job and receive intervals
+// by migration), and -redistribute retires crashed nodes permanently
+// instead of restarting them. -splits controls migration granularity.
+//
+//	gpsa-cluster -graph g.gpsa -algo cc -nodes 3 -splits 4 -drain 1@2
+//	gpsa-cluster -graph g.gpsa -algo pagerank -nodes 3 -splits 4 -join 2 -rebalance
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"repro"
@@ -52,7 +62,12 @@ func run() int {
 		phaseTO    = flag.Duration("phase-timeout", 0, "fail a superstep when a node heartbeats without progress this long (0 = 4x node-timeout)")
 		recoveryTO = flag.Duration("recovery-timeout", 0, "bound one rollback/rejoin cycle (0 = 30s)")
 		heartbeat  = flag.Duration("heartbeat", 0, "idle-node heartbeat interval (0 = 500ms, negative disables)")
-		verbose    = flag.Bool("v", false, "report armed fault plans and recovery activity")
+		splits     = flag.Int("splits", 0, "vertex intervals per node (0 = 1); >= 2 gives migration sub-node granularity")
+		drains     = flag.String("drain", "", "drain nodes mid-job: comma-separated node@step entries, e.g. 1@2,0@5")
+		joins      = flag.String("join", "", "join new nodes mid-job: comma-separated barrier steps, e.g. 2,5")
+		rebalance  = flag.Bool("rebalance", false, "migrate intervals toward the edge-weight balance point at every barrier")
+		redist     = flag.Bool("redistribute", false, "retire crashed nodes permanently, salvaging their intervals to survivors (default: restart them)")
+		verbose    = flag.Bool("v", false, "report armed fault plans, recovery activity, and the final interval assignment table")
 	)
 	flag.Usage = func() {
 		w := flag.CommandLine.Output()
@@ -90,6 +105,12 @@ exit codes:
 		return exitUsage
 	}
 
+	events, err := parseEvents(*drains, *joins)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gpsa-cluster: %v\n", err)
+		return exitUsage
+	}
+
 	if armed, err := fault.ActivateFromEnv(); err != nil {
 		fmt.Fprintf(os.Stderr, "gpsa-cluster: %v\n", err)
 		return exitUsage
@@ -113,6 +134,10 @@ exit codes:
 		NodeTimeout:       *nodeTO,
 		PhaseTimeout:      *phaseTO,
 		RecoveryTimeout:   *recoveryTO,
+		Splits:            *splits,
+		Events:            events,
+		RedistributeDead:  *redist,
+		Rebalance:         *rebalance,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gpsa-cluster: %v\n", err)
@@ -132,6 +157,50 @@ exit codes:
 	if res.Rollbacks > 0 || res.Rejoins > 0 {
 		fmt.Printf("recovery: %d superstep rollbacks, %d node rejoins\n", res.Rollbacks, res.Rejoins)
 	}
+	if res.Migrations > 0 || res.Redistributions > 0 || res.Joins > 0 || res.Drains > 0 {
+		fmt.Printf("membership: %d joins, %d drains, %d interval migrations, %d dead-node redistributions; %d members at end\n",
+			res.Joins, res.Drains, res.Migrations, res.Redistributions, res.LiveNodes)
+	}
+	// The assignment table is the live routing state: after any
+	// migration it is the only place the final interval placement shows.
+	if *verbose || res.Migrations > 0 || res.Redistributions > 0 {
+		fmt.Println("interval assignments:")
+		for _, a := range res.Assignments {
+			fmt.Printf("  interval %3d  vertices [%8d, %8d)  -> node %d\n", a.Interval, a.First, a.End, a.Node)
+		}
+	}
 	fmt.Printf("computed values for %d vertices\n", len(values))
 	return 0
+}
+
+// parseEvents builds the membership schedule from the -drain (node@step)
+// and -join (step) flag lists.
+func parseEvents(drains, joins string) ([]gpsa.MembershipEvent, error) {
+	var events []gpsa.MembershipEvent
+	for _, ent := range splitList(drains) {
+		var node int
+		var step int64
+		if _, err := fmt.Sscanf(ent, "%d@%d", &node, &step); err != nil {
+			return nil, fmt.Errorf("bad -drain entry %q, want node@step", ent)
+		}
+		events = append(events, gpsa.MembershipEvent{Step: step, Op: gpsa.OpDrain, Node: node})
+	}
+	for _, ent := range splitList(joins) {
+		var step int64
+		if _, err := fmt.Sscanf(ent, "%d", &step); err != nil {
+			return nil, fmt.Errorf("bad -join entry %q, want a superstep number", ent)
+		}
+		events = append(events, gpsa.MembershipEvent{Step: step, Op: gpsa.OpJoin})
+	}
+	return events, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, ent := range strings.Split(s, ",") {
+		if ent = strings.TrimSpace(ent); ent != "" {
+			out = append(out, ent)
+		}
+	}
+	return out
 }

@@ -31,17 +31,21 @@ func TestMain(m *testing.M) {
 // callers can count firings.
 func runScenario(t *testing.T, sc Scenario) *fault.Plan {
 	t.Helper()
-	want, err := fx.Baseline(sc.Baseline, sc.Prog, sc.Symmetric, sc.MaxSupersteps)
+	want, err := fx.Baseline(sc.Baseline, sc.Prog, sc.Symmetric, sc.MaxSupersteps, sc.Splits)
 	if err != nil {
 		t.Fatal(err)
 	}
 	rollbacks0 := metrics.Counter(metrics.CtrClusterRollbacks)
 	rejoins0 := metrics.Counter(metrics.CtrClusterRejoins)
+	migrations0 := metrics.Counter(metrics.CtrClusterMigrations)
+	redist0 := metrics.Counter(metrics.CtrClusterRedistributions)
+	joins0 := metrics.Counter(metrics.CtrClusterJoins)
+	drains0 := metrics.Counter(metrics.CtrClusterDrains)
 
 	plan := fault.NewPlan(sc.Seed, sc.Injections...)
 	fault.Activate(plan)
 	defer fault.Deactivate()
-	res, values, err := cluster.Run(fx.Graph(sc.Symmetric), sc.Prog, Config(sc.MaxSupersteps))
+	res, values, err := cluster.Run(fx.Graph(sc.Symmetric), sc.Prog, sc.ClusterConfig())
 	fault.Deactivate()
 	if err != nil {
 		t.Fatalf("disturbed run failed: %v", err)
@@ -59,21 +63,38 @@ func runScenario(t *testing.T, sc Scenario) *fault.Plan {
 			t.Fatalf("chaos site %s armed but never fired (hits %d); the schedule tested nothing", in.Site, plan.Hits(in.Site))
 		}
 	}
-	if sc.WantRollbacks {
-		if res.Rollbacks == 0 {
-			t.Fatal("scenario expected superstep rollbacks, result reports none")
+	assertCounter := func(what string, resCount int64, name string, before int64) {
+		t.Helper()
+		if resCount == 0 {
+			t.Fatalf("scenario expected %s, result reports none", what)
 		}
-		if got := metrics.Counter(metrics.CtrClusterRollbacks); got <= rollbacks0 {
-			t.Fatalf("cluster.rollbacks metric did not advance (%d -> %d)", rollbacks0, got)
+		if got := metrics.Counter(name); got <= before {
+			t.Fatalf("%s metric did not advance (%d -> %d)", name, before, got)
 		}
 	}
+	if sc.WantRollbacks {
+		assertCounter("superstep rollbacks", res.Rollbacks, metrics.CtrClusterRollbacks, rollbacks0)
+	}
 	if sc.WantRejoins {
-		if res.Rejoins == 0 {
-			t.Fatal("scenario expected node rejoins, result reports none")
-		}
-		if got := metrics.Counter(metrics.CtrClusterRejoins); got <= rejoins0 {
-			t.Fatalf("cluster.rejoins metric did not advance (%d -> %d)", rejoins0, got)
-		}
+		assertCounter("node rejoins", res.Rejoins, metrics.CtrClusterRejoins, rejoins0)
+	}
+	if sc.WantMigrations {
+		assertCounter("interval migrations", res.Migrations, metrics.CtrClusterMigrations, migrations0)
+	}
+	if sc.WantRedistributions {
+		assertCounter("dead-node redistributions", res.Redistributions, metrics.CtrClusterRedistributions, redist0)
+	}
+	if sc.WantJoins {
+		assertCounter("node joins", res.Joins, metrics.CtrClusterJoins, joins0)
+	}
+	if sc.WantDrains {
+		assertCounter("node drains", res.Drains, metrics.CtrClusterDrains, drains0)
+	}
+	if sc.WantLive > 0 && res.LiveNodes != sc.WantLive {
+		t.Fatalf("run ended with %d live members, want %d", res.LiveNodes, sc.WantLive)
+	}
+	if len(res.Assignments) == 0 {
+		t.Fatal("result carries no interval assignment table")
 	}
 	return plan
 }
@@ -96,6 +117,95 @@ func TestChaosSmoke(t *testing.T) {
 		WantRollbacks: true,
 		WantRejoins:   true,
 	})
+}
+
+// TestChaosMigrationSmoke is the always-on slice of the elastic-
+// membership schedule: a 3-node CC job with 4 intervals per node drains
+// node 1 at the superstep-2 barrier — every interval it owns live-
+// migrates to the survivors mid-job — and the run must still end
+// bit-identical to a fixed-membership baseline that never migrated
+// anything. Runs with the ordinary test suite and as the `make check`
+// chaos slice.
+func TestChaosMigrationSmoke(t *testing.T) {
+	runScenario(t, Scenario{
+		Name:           "smoke-cc-drain-under-load",
+		Prog:           algorithms.ConnectedComponents{},
+		Baseline:       "cc-s4",
+		Symmetric:      true,
+		MaxSupersteps:  100,
+		Seed:           31,
+		Splits:         4,
+		Events:         []cluster.MembershipEvent{{Step: 2, Op: cluster.OpDrain, Node: 1}},
+		WantMigrations: true,
+		WantDrains:     true,
+		WantLive:       2,
+	})
+}
+
+// TestChaosElastic is the always-on elastic-membership schedule: node
+// replacement after permanent death, a mid-job join, a drain under load,
+// and a node killed in the middle of a migration. Every disturbed run
+// must end bit-identical to its undisturbed fixed-membership baseline,
+// with the membership machinery provably exercised via the cluster.*
+// counters.
+func TestChaosElastic(t *testing.T) {
+	pagerank := algorithms.PageRank{}
+	cc := algorithms.ConnectedComponents{}
+
+	scenarios := []Scenario{
+		{
+			// A node dies for good mid-dispatch: under RedistributeDead its
+			// sealed value file is salvaged and its intervals adopted by the
+			// survivors — the cluster finishes the job with 2 members and no
+			// rejoin ever happens.
+			Name: "cc-replace-after-permanent-death", Prog: cc, Baseline: "cc-s4", Symmetric: true, MaxSupersteps: 100, Seed: 33,
+			Splits:        4,
+			Redistribute:  true,
+			Injections:    []fault.Injection{{Site: fault.SiteNodeKillDispatch, After: 17}},
+			WantRollbacks: true, WantRedistributions: true, WantLive: 2,
+		},
+		{
+			// A brand-new node joins at the superstep-2 barrier: it boots a
+			// fresh value file fast-forwarded to the join epoch and receives
+			// intervals via live migration.
+			Name: "pagerank-join-mid-job", Prog: pagerank, Baseline: "pagerank-s4", MaxSupersteps: 5, Seed: 34,
+			Splits:    4,
+			Events:    []cluster.MembershipEvent{{Step: 2, Op: cluster.OpJoin}},
+			WantJoins: true, WantMigrations: true, WantLive: 4,
+		},
+		{
+			// Drain under load on the short PageRank job: migrations land
+			// between scored supersteps, not after convergence.
+			Name: "pagerank-drain-under-load", Prog: pagerank, Baseline: "pagerank-s4", MaxSupersteps: 5, Seed: 35,
+			Splits:     4,
+			Events:     []cluster.MembershipEvent{{Step: 2, Op: cluster.OpDrain, Node: 2}},
+			WantDrains: true, WantMigrations: true, WantLive: 2,
+		},
+		{
+			// The donor is killed handling the very first MIGRATE frame of a
+			// drain: the rollback/rejoin machinery replaces it and the drain
+			// reruns at the same barrier to completion.
+			Name: "cc-kill-mid-migration", Prog: cc, Baseline: "cc-s4", Symmetric: true, MaxSupersteps: 100, Seed: 36,
+			Splits:        4,
+			Events:        []cluster.MembershipEvent{{Step: 2, Op: cluster.OpDrain, Node: 2}},
+			Injections:    []fault.Injection{{Site: fault.SiteNodeKillMigrate, After: 1}},
+			WantRollbacks: true, WantRejoins: true, WantMigrations: true, WantDrains: true, WantLive: 2,
+		},
+		{
+			// A migration frame is bit-flipped in transit: the CRC32C check
+			// rejects it, the fault is absorbed as a rollback, and the drain
+			// still completes bit-exactly.
+			Name: "cc-migrate-corrupt-frame", Prog: cc, Baseline: "cc-s4", Symmetric: true, MaxSupersteps: 100, Seed: 37,
+			Splits:        4,
+			Events:        []cluster.MembershipEvent{{Step: 2, Op: cluster.OpDrain, Node: 1}},
+			Injections:    []fault.Injection{{Site: fault.SiteMigrateCorrupt, After: 2}},
+			WantRollbacks: true, WantMigrations: true, WantDrains: true, WantLive: 2,
+		},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) { runScenario(t, sc) })
+	}
 }
 
 // TestChaosTorture is the full seeded network-torture schedule
@@ -167,6 +277,36 @@ func TestChaosTorture(t *testing.T) {
 		{
 			Name: "cc-slow-link", Prog: cc, Baseline: "cc", Symmetric: true, MaxSupersteps: 100, Seed: 23,
 			Injections: []fault.Injection{{Site: fault.SiteConnDelay, After: 15, Count: 3, Delay: 300 * time.Millisecond}},
+		},
+		{
+			// Elastic churn with the weight balancer on: a join at step 1
+			// hands the newcomer intervals, the balancer keeps the spread
+			// tight afterwards, and a kill in a later dispatch phase rolls
+			// back over the post-migration routing table.
+			Name: "cc-join-rebalance-kill", Prog: cc, Baseline: "cc-s4", Symmetric: true, MaxSupersteps: 100, Seed: 24,
+			Splits:     4,
+			Events:     []cluster.MembershipEvent{{Step: 1, Op: cluster.OpJoin}},
+			Rebalance:  true,
+			Injections: []fault.Injection{{Site: fault.SiteNodeKillDispatch, After: 200}},
+			WantJoins:  true, WantMigrations: true, WantRollbacks: true, WantRejoins: true,
+		},
+		{
+			// A connection reset injected on a membership frame: the drain's
+			// MIGRATE exchange dies mid-flight and reruns after recovery.
+			Name: "pagerank-migrate-reset", Prog: pagerank, Baseline: "pagerank-s4", MaxSupersteps: 5, Seed: 25,
+			Splits:        4,
+			Events:        []cluster.MembershipEvent{{Step: 1, Op: cluster.OpDrain, Node: 0}},
+			Injections:    []fault.Injection{{Site: fault.SiteMigrateReset, After: 3}},
+			WantRollbacks: true, WantMigrations: true, WantDrains: true, WantLive: 2,
+		},
+		{
+			// A torn membership frame: the receiver sees a truncated frame
+			// and the checksummed framing refuses it.
+			Name: "cc-migrate-short-write", Prog: cc, Baseline: "cc-s4", Symmetric: true, MaxSupersteps: 100, Seed: 26,
+			Splits:        4,
+			Events:        []cluster.MembershipEvent{{Step: 2, Op: cluster.OpDrain, Node: 1}},
+			Injections:    []fault.Injection{{Site: fault.SiteMigrateShortWrite, After: 2}},
+			WantRollbacks: true, WantMigrations: true, WantDrains: true, WantLive: 2,
 		},
 	}
 

@@ -99,8 +99,12 @@ func Config(maxSupersteps int) cluster.Config {
 
 // Baseline returns the undisturbed final vertex values for prog on the
 // chosen graph — the bit-exactness reference every disturbed run is held
-// to. Memoized per key; must not be called with a fault plan active.
-func (f *Fixture) Baseline(key string, prog core.Program, symmetric bool, maxSupersteps int) ([]uint64, error) {
+// to. The baseline shares the scenario's interval partition (splits) —
+// partition geometry is what batch boundaries and fold order hang off —
+// but runs with FIXED membership and no chaos: an elastic run is held
+// bit-identical to a never-disturbed, never-migrated cluster. Memoized
+// per key; must not be called with a fault plan active.
+func (f *Fixture) Baseline(key string, prog core.Program, symmetric bool, maxSupersteps, splits int) ([]uint64, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if v, ok := f.baselines[key]; ok {
@@ -109,7 +113,9 @@ func (f *Fixture) Baseline(key string, prog core.Program, symmetric bool, maxSup
 	if fault.Enabled() {
 		return nil, fmt.Errorf("chaostest: baseline %q requested while a fault plan is active", key)
 	}
-	_, values, err := cluster.Run(f.Graph(symmetric), prog, Config(maxSupersteps))
+	cfg := Config(maxSupersteps)
+	cfg.Splits = splits
+	_, values, err := cluster.Run(f.Graph(symmetric), prog, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("chaostest: undisturbed baseline %q failed: %w", key, err)
 	}
@@ -121,17 +127,49 @@ func (f *Fixture) Baseline(key string, prog core.Program, symmetric bool, maxSup
 type Scenario struct {
 	Name          string
 	Prog          core.Program
-	Baseline      string // baseline memo key (algorithm identity)
+	Baseline      string // baseline memo key (algorithm identity + splits)
 	Symmetric     bool
 	MaxSupersteps int
 	Seed          int64
 	Injections    []fault.Injection
 
-	// WantRejoins / WantRollbacks assert the run's recovery counters, so
-	// a schedule meant to kill nodes fails loudly if its faults were
-	// absorbed without ever exercising the machinery under test.
-	WantRejoins   bool
-	WantRollbacks bool
+	// Splits sets intervals-per-node (cluster.Config.Splits); the
+	// undisturbed baseline shares it. Elastic scenarios need >= 2 so
+	// migration has sub-node granularity to move.
+	Splits int
+	// Events schedules joins and drains into the disturbed run; the
+	// baseline never sees them.
+	Events []cluster.MembershipEvent
+	// Redistribute switches the disturbed run to RedistributeDead: a
+	// killed node is retired and its intervals salvaged to survivors.
+	Redistribute bool
+	// Rebalance enables the per-barrier edge-weight balancer.
+	Rebalance bool
+
+	// Want* assert the run's recovery and membership counters, so a
+	// schedule meant to kill, migrate, join, or drain fails loudly if its
+	// faults were absorbed without ever exercising the machinery under
+	// test. WantLive, when > 0, pins the final member count.
+	WantRejoins         bool
+	WantRollbacks       bool
+	WantMigrations      bool
+	WantRedistributions bool
+	WantJoins           bool
+	WantDrains          bool
+	WantLive            int
+}
+
+// ClusterConfig is the disturbed run's configuration: the shared chaos
+// Config plus the scenario's elastic-membership knobs.
+func (sc Scenario) ClusterConfig() cluster.Config {
+	cfg := Config(sc.MaxSupersteps)
+	cfg.Splits = sc.Splits
+	cfg.Events = sc.Events
+	if sc.Redistribute {
+		cfg.DeadNodes = cluster.RedistributeDead
+	}
+	cfg.Rebalance = sc.Rebalance
+	return cfg
 }
 
 // KillAndPartitionSites are the chaos sites that count toward the

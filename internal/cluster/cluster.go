@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"repro/internal/actor"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/mmap"
+	"repro/internal/vertexfile"
 )
 
 // Config tunes a distributed run.
@@ -52,6 +54,25 @@ type Config struct {
 	// from the sealed value file — and retried, at most this many times
 	// per run. Zero (the default) fails fast on the first fault.
 	StepRetries int
+	// Splits is how many vertex intervals each initial node starts with
+	// (default 1). The partition is fixed for the life of the job —
+	// determinism hangs off that — so Splits bounds migration
+	// granularity: joins and rebalancing need Splits >= 2 to have
+	// anything to move without emptying a donor.
+	Splits int
+	// Events schedules elastic-membership operations (joins, drains) at
+	// superstep barriers. Events are applied in Step order; ids for
+	// joined nodes are assigned in order above Nodes.
+	Events []MembershipEvent
+	// DeadNodes selects the recovery policy for nodes whose control
+	// connection dies: RestartDead (default) boots a same-id replacement;
+	// RedistributeDead salvages the dead node's sealed value file and
+	// migrates its intervals to survivors (N -> N-1 degradation).
+	DeadNodes DeadNodePolicy
+	// Rebalance, when set, runs the greedy edge-weight balancer at every
+	// barrier and migrates intervals toward the balance point (a no-op —
+	// zero frames — once balanced).
+	Rebalance bool
 }
 
 // Run executes prog over the on-disk CSR graph at graphPath on an
@@ -89,23 +110,62 @@ func Run(graphPath string, prog core.Program, cfg Config) (*Result, []uint64, er
 		workDir = dir
 	}
 
-	// Partition the vertex space by edge count, like dispatcher intervals.
+	if cfg.Splits <= 0 {
+		cfg.Splits = 1
+	}
+	joins := 0
+	for _, ev := range cfg.Events {
+		if ev.Op != OpJoin && ev.Op != OpDrain {
+			return nil, nil, fmt.Errorf("cluster: unknown membership op %d", int(ev.Op))
+		}
+		if ev.Step < 0 {
+			return nil, nil, fmt.Errorf("cluster: membership event at negative step %d", ev.Step)
+		}
+		if ev.Op == OpJoin {
+			joins++
+		}
+	}
+	events := append([]MembershipEvent(nil), cfg.Events...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Step < events[j].Step })
+
+	// Partition the vertex space by edge count into a FIXED interval
+	// table: Splits intervals per initial node. Membership changes move
+	// whole intervals between nodes; the partition itself — and with it
+	// batch boundaries, combine groups, and fold order — never changes,
+	// which is why an elastic run stays bit-identical to a fixed one.
 	gf, err := graph.OpenFile(graphPath, mmap.ModeAuto)
 	if err != nil {
 		return nil, nil, err
 	}
-	intervals := gf.Partition(cfg.Nodes)
+	intervals := gf.Partition(cfg.Nodes * cfg.Splits)
 	numVertices := gf.NumVertices
 	if err := gf.Close(); err != nil {
 		return nil, nil, err
 	}
-	total := len(intervals)
+	nivs := len(intervals)
+	initial := cfg.Nodes
+	if nivs < initial {
+		initial = nivs // tiny graph: index snapping yielded fewer intervals
+	}
+	total := initial + joins // node id space
+	owners := make([]int, nivs)
+	weights := make([]int64, nivs)
+	for iv := range intervals {
+		owners[iv] = iv * initial / nivs // contiguous runs, ascending
+		weights[iv] = intervals[iv].Edges
+	}
 
-	coord, err := newCoordinator("", total, cfg)
+	coord, err := newCoordinator("", initial, total, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer coord.halt()
+	coord.ivs = intervals
+	coord.owners = owners
+	coord.weights = weights
+	coord.policy = cfg.DeadNodes
+	coord.events = events
+	coord.rebalance = cfg.Rebalance
 
 	// Boot the nodes; each control loop runs as a supervised actor, so a
 	// panicking node surfaces as a collected failure instead of crashing
@@ -115,29 +175,59 @@ func Run(graphPath string, prog core.Program, cfg Config) (*Result, []uint64, er
 	// recovered-from incarnation's death is not an error of this run.
 	sys := actor.NewSystemContext(cfg.Context, "cluster-nodes", actor.RestartPolicy{})
 	refs := make([]*actor.Ref, total)
-	boot := func(id int, rejoin bool) error {
-		n, err := startNode(sys.Context(), id, total, coord.addr(), graphPath,
-			filepath.Join(workDir, fmt.Sprintf("node-%d.gpvf", id)), prog, intervals, cfg.Node, rejoin)
+	nodePath := func(id int) string {
+		return filepath.Join(workDir, fmt.Sprintf("node-%d.gpvf", id))
+	}
+	boot := func(id int, mode bootMode, joinEpoch int64) error {
+		n, err := startNode(sys.Context(), nodeSpec{
+			id:         id,
+			total:      total,
+			coordAddr:  coord.addr(),
+			graphPath:  graphPath,
+			valuesPath: nodePath(id),
+			prog:       prog,
+			ivs:        intervals,
+			owners:     coord.owners,
+			cfg:        cfg.Node,
+			mode:       mode,
+			joinEpoch:  joinEpoch,
+		})
 		if err != nil {
 			return fmt.Errorf("cluster: starting node %d: %w", id, err)
 		}
 		refs[id] = sys.SpawnFunc(fmt.Sprintf("node-%d", id), n.runNode)
 		return nil
 	}
-	coord.restart = func(id int) error {
-		// The replacement reopens the dead node's value file, so the old
-		// incarnation must have finished tearing down (the coordinator
-		// closed its control connection; its exit is bounded by its own
-		// phase timeouts) before the new one maps it.
+	awaitOld := func(id int) error {
+		// The replacement reopens (or truncates) the dead node's value
+		// file, so the old incarnation must have finished tearing down
+		// (the coordinator closed its control connection; its exit is
+		// bounded by its own phase timeouts) before the new one maps it.
 		if old := refs[id]; old != nil {
-			if err := awaitRef(old, cfg.RecoveryTimeout); err != nil {
-				return err
-			}
+			return awaitRef(old, cfg.RecoveryTimeout)
 		}
-		return boot(id, true)
+		return nil
 	}
-	for i := 0; i < total; i++ {
-		if err := boot(i, false); err != nil {
+	coord.restart = func(id int) error {
+		if err := awaitOld(id); err != nil {
+			return err
+		}
+		return boot(id, bootRejoin, 0)
+	}
+	coord.bootJoin = func(id int, step int64) error {
+		if err := awaitOld(id); err != nil {
+			return err
+		}
+		return boot(id, bootJoin, step)
+	}
+	coord.salvage = func(id int, step int64, ivs []graph.Interval) ([][]byte, error) {
+		if err := awaitOld(id); err != nil {
+			return nil, err
+		}
+		return salvageIntervals(nodePath(id), step, ivs)
+	}
+	for i := 0; i < initial; i++ {
+		if err := boot(i, bootFresh, 0); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -162,14 +252,65 @@ func Run(graphPath string, prog core.Program, cfg Config) (*Result, []uint64, er
 		return res, values, cerr
 	}
 	for id, r := range refs {
+		if r == nil {
+			continue // a join slot whose event never fired
+		}
 		if err := awaitRef(r, cfg.NodeTimeout); err != nil {
 			return res, values, err
+		}
+		if !coord.live[id] {
+			// Retired mid-run: a drained node exits cleanly, and a
+			// permanently-dead redistributed node's final error was already
+			// recovered from — neither is an error of this run.
+			continue
 		}
 		if rerr := r.Err(); rerr != nil {
 			return res, values, fmt.Errorf("cluster: node %d failed: %w", id, rerr)
 		}
 	}
 	return res, values, nil
+}
+
+// salvageIntervals opens a dead node's sealed value file and extracts
+// the given vertex ranges for redistribution. The file may be mid-commit
+// (Recover finishes or rewinds the torn step) or sealed one epoch ahead
+// of the retrying superstep — a death after local commit of the aborted
+// attempt — in which case it is rewound to step, exactly as a rejoining
+// replacement would have done before replaying.
+func salvageIntervals(path string, step int64, ivs []graph.Interval) ([][]byte, error) {
+	vf, err := vertexfile.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if vf.InProgress() {
+		if _, err := vf.Recover(); err != nil {
+			closeQuietly(vf)
+			return nil, err
+		}
+	}
+	if vf.Epoch() == step+1 {
+		if err := vf.Rewind(step); err != nil {
+			closeQuietly(vf)
+			return nil, err
+		}
+	}
+	if vf.Epoch() != step {
+		closeQuietly(vf)
+		return nil, fmt.Errorf("cluster: salvage of %s: sealed at epoch %d while recovering superstep %d", path, vf.Epoch(), step)
+	}
+	blobs := make([][]byte, len(ivs))
+	for k, iv := range ivs {
+		b, err := vf.ExtractInterval(iv.FirstVertex, iv.EndVertex)
+		if err != nil {
+			closeQuietly(vf)
+			return nil, err
+		}
+		blobs[k] = b
+	}
+	if err := vf.Close(); err != nil {
+		return nil, err
+	}
+	return blobs, nil
 }
 
 // awaitRef waits (bounded) for one actor incarnation to finish.

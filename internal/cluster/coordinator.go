@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/graph"
 	"repro/internal/metrics"
 )
 
@@ -22,16 +23,80 @@ type StepStats struct {
 
 // Result summarizes a distributed run.
 type Result struct {
-	Nodes      int
-	Supersteps int
-	Converged  bool
-	Messages   int64
-	Delivered  int64
-	Updates    int64
-	Rollbacks  int64 // superstep rollback-and-retry cycles this run survived
-	Rejoins    int64 // dead nodes replaced via the rejoin handshake
-	Duration   time.Duration
-	Steps      []StepStats
+	Nodes           int // initial cluster size
+	LiveNodes       int // members at the end of the run (joins and drains shift it)
+	Supersteps      int
+	Converged       bool
+	Messages        int64
+	Delivered       int64
+	Updates         int64
+	Rollbacks       int64 // superstep rollback-and-retry cycles this run survived
+	Rejoins         int64 // dead nodes replaced via the rejoin handshake
+	Migrations      int64 // intervals moved live between nodes (join/drain/rebalance)
+	Redistributions int64 // intervals of permanently dead nodes salvaged to survivors
+	Joins           int64 // new nodes absorbed mid-job
+	Drains          int64 // nodes shed cleanly mid-job
+	Duration        time.Duration
+	Steps           []StepStats
+	// Assignments is the final interval -> node table, the live routing
+	// state a rebalance or membership change would otherwise leave
+	// invisible.
+	Assignments []Assignment
+}
+
+// Assignment is one row of the interval -> node routing table.
+type Assignment struct {
+	Interval   int
+	First, End int64 // vertex range [First, End)
+	Node       int
+}
+
+// DeadNodePolicy selects how the coordinator handles a node whose
+// control connection died mid-run.
+type DeadNodePolicy int
+
+const (
+	// RestartDead boots a same-id replacement that reopens the dead
+	// node's sealed value file and rejoins — the PR 7 recovery, which
+	// needs the node's storage (and id) to come back.
+	RestartDead DeadNodePolicy = iota
+	// RedistributeDead salvages the dead node's intervals from its sealed
+	// value file and migrates them to the surviving members: the cluster
+	// degrades gracefully from N to N-1 instead of waiting for a
+	// same-node restart.
+	RedistributeDead
+)
+
+// MembershipOp is a planned elastic-membership operation.
+type MembershipOp int
+
+const (
+	// OpJoin adds a brand-new node to the running job; it receives
+	// intervals via live migration. Join ids are assigned in order above
+	// the initial node count.
+	OpJoin MembershipOp = iota + 1
+	// OpDrain migrates every interval off a node and sheds it cleanly.
+	OpDrain
+)
+
+func (o MembershipOp) String() string {
+	switch o {
+	case OpJoin:
+		return "join"
+	case OpDrain:
+		return "drain"
+	}
+	return fmt.Sprintf("MembershipOp(%d)", int(o))
+}
+
+// MembershipEvent schedules one membership operation at the barrier
+// before superstep Step (or the first barrier after it, if the run is
+// mid-recovery at that instant).
+type MembershipEvent struct {
+	Step int64
+	Op   MembershipOp
+	// Node is the node to drain (OpDrain); ignored for OpJoin.
+	Node int
 }
 
 // stepFault is a superstep attempt failure the recovery protocol can
@@ -88,12 +153,45 @@ type coordinator struct {
 	// restart, when set, boots a replacement incarnation of a dead node
 	// (same id, same value file) that will dial in with a REJOIN frame.
 	restart func(id int) error
+	// bootJoin, when set, boots a brand-new node (fresh value file
+	// fast-forwarded to epoch step) that will dial in with a JOIN frame.
+	bootJoin func(id int, step int64) error
+	// salvage, when set, extracts the listed vertex ranges from dead node
+	// id's sealed value file (rewinding a torn or one-ahead epoch to step
+	// first) so RedistributeDead can hand them to survivors.
+	salvage func(id int, step int64, ivs []graph.Interval) ([][]byte, error)
 
-	rollbacks int64
-	rejoins   int64
+	// The elastic-membership routing state. ivs is the fixed partition
+	// (it never changes for the life of the job — determinism hangs off
+	// that); owners maps interval -> owning node and is the one table
+	// migration rewrites; weights is each interval's edge count, the load
+	// measure join/drain/rebalance placement balances.
+	ivs     []graph.Interval
+	owners  []int
+	weights []int64
+	// live marks current members. initial nodes start live; joins extend
+	// it, drains and redistributed deaths retire entries.
+	live    []bool
+	initial int
+	// nextJoin is the id the next OpJoin will boot; join ids are assigned
+	// in order above initial.
+	nextJoin  int
+	policy    DeadNodePolicy
+	events    []MembershipEvent // sorted by Step; applied at barriers
+	nextEvent int
+	rebalance bool
+
+	rollbacks       int64
+	rejoins         int64
+	migrations      int64
+	redistributions int64
+	joins           int64
+	drains          int64
 }
 
-func newCoordinator(addr string, total int, cfg Config) (*coordinator, error) {
+// newCoordinator listens for a cluster of initial nodes with id space
+// maxNodes (initial plus every plannable join).
+func newCoordinator(addr string, initial, maxNodes int, cfg Config) (*coordinator, error) {
 	if addr == "" {
 		addr = "127.0.0.1:0"
 	}
@@ -101,14 +199,92 @@ func newCoordinator(addr string, total int, cfg Config) (*coordinator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: coordinator listen: %w", err)
 	}
-	return &coordinator{
+	c := &coordinator{
 		ln:              ln,
-		nodes:           make([]*conn, total),
+		nodes:           make([]*conn, maxNodes),
+		live:            make([]bool, maxNodes),
+		initial:         initial,
+		nextJoin:        initial,
 		timeout:         cfg.NodeTimeout,
 		phaseTimeout:    cfg.PhaseTimeout,
 		recoveryTimeout: cfg.RecoveryTimeout,
 		stepRetries:     cfg.StepRetries,
-	}, nil
+	}
+	for i := 0; i < initial; i++ {
+		c.live[i] = true
+	}
+	return c, nil
+}
+
+// members returns the live node ids in ascending order.
+func (c *coordinator) members() []int {
+	out := make([]int, 0, len(c.live))
+	for i, l := range c.live {
+		if l {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (c *coordinator) liveCount() int {
+	n := 0
+	for _, l := range c.live {
+		if l {
+			n++
+		}
+	}
+	return n
+}
+
+// ownedBy returns the intervals node id currently owns, ascending.
+func (c *coordinator) ownedBy(id int) []int {
+	var out []int
+	for iv, o := range c.owners {
+		if o == id {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// nodeWeights sums owned interval edge weights per node.
+func (c *coordinator) nodeWeights() []int64 {
+	w := make([]int64, len(c.nodes))
+	for iv, o := range c.owners {
+		w[o] += c.weights[iv]
+	}
+	return w
+}
+
+// lightestOther returns the least-loaded live member other than exclude
+// (ties to the lowest id), or -1 if none exists.
+func (c *coordinator) lightestOther(exclude int) int {
+	w := c.nodeWeights()
+	best := -1
+	for i := range c.nodes {
+		if !c.live[i] || i == exclude {
+			continue
+		}
+		if best < 0 || w[i] < w[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// assignments snapshots the interval -> node routing table.
+func (c *coordinator) assignments() []Assignment {
+	out := make([]Assignment, len(c.ivs))
+	for iv := range c.ivs {
+		out[iv] = Assignment{
+			Interval: iv,
+			First:    c.ivs[iv].FirstVertex,
+			End:      c.ivs[iv].EndVertex,
+			Node:     c.owners[iv],
+		}
+	}
+	return out
 }
 
 func (c *coordinator) addr() string { return c.ln.Addr().String() }
@@ -122,10 +298,12 @@ func (c *coordinator) progressDeadline(d time.Duration) time.Time {
 	return time.Now().Add(d) //lint:nondeterministic protocol progress bound; timing never feeds vertex state
 }
 
-// accept waits for every node's hello and distributes the address book.
+// accept waits for every initial node's hello and distributes the
+// address book. Join slots above initial stay empty until their
+// MembershipEvent fires.
 func (c *coordinator) accept() error {
 	c.addrs = make([]string, len(c.nodes))
-	for i := 0; i < len(c.nodes); i++ {
+	for i := 0; i < c.initial; i++ {
 		nc, err := c.ln.Accept()
 		if err != nil {
 			return fmt.Errorf("cluster: coordinator accept: %w", err)
@@ -141,7 +319,7 @@ func (c *coordinator) accept() error {
 			closeQuietly(cn)
 			return err
 		}
-		if int(id) >= len(c.nodes) || c.nodes[id] != nil {
+		if int(id) >= c.initial || c.nodes[id] != nil {
 			closeQuietly(cn)
 			return fmt.Errorf("cluster: bad or duplicate node id %d", id)
 		}
@@ -154,6 +332,9 @@ func (c *coordinator) accept() error {
 func (c *coordinator) broadcastBook() error {
 	book := addrBookPayload(c.addrs)
 	for _, n := range c.nodes {
+		if n == nil {
+			continue
+		}
 		if err := n.writeFrame(fAddrBook, book); err != nil {
 			return err
 		}
@@ -168,12 +349,18 @@ func (c *coordinator) broadcastBook() error {
 // rolled back across the cluster (dead nodes replaced via rejoin), and
 // runs again; the budget exhausted, the fault aborts the run.
 func (c *coordinator) run(ctx context.Context, startStep int64, maxSupersteps int) (*Result, error) {
-	res := &Result{Nodes: len(c.nodes)}
+	res := &Result{Nodes: c.initial}
 	t0 := time.Now() //lint:nondeterministic run duration is reporting only, never vertex state
 	defer func() {
 		res.Duration = time.Since(t0) //lint:nondeterministic run duration is reporting only, never vertex state
 		res.Rollbacks = c.rollbacks
 		res.Rejoins = c.rejoins
+		res.Migrations = c.migrations
+		res.Redistributions = c.redistributions
+		res.Joins = c.joins
+		res.Drains = c.drains
+		res.LiveNodes = c.liveCount()
+		res.Assignments = c.assignments()
 	}()
 	retries := 0
 	step := startStep
@@ -181,6 +368,41 @@ func (c *coordinator) run(ctx context.Context, startStep int64, maxSupersteps in
 		if ctx != nil {
 			if cerr := ctx.Err(); cerr != nil {
 				return res, fmt.Errorf("cluster: run cancelled before superstep %d: %w", step, cerr)
+			}
+		}
+		// Membership changes only ever happen here, at the barrier: no
+		// superstep is in flight, every member's value file is sealed at
+		// epoch step, so an interval extracted on one node and adopted on
+		// another is bit-identical state transfer. A faulted operation
+		// consumes a retry, is rolled back like a failed superstep, and
+		// runs again at the same barrier (nextEvent has not advanced).
+		if c.nextEvent < len(c.events) && c.events[c.nextEvent].Step <= step {
+			ev := c.events[c.nextEvent]
+			if err := c.memberOp(step, ev); err != nil {
+				var flt *stepFault
+				if !errors.As(err, &flt) || retries >= c.stepRetries {
+					return res, fmt.Errorf("cluster: %s at superstep %d: %w", ev.Op, step, err)
+				}
+				retries++
+				if rerr := c.recoverStep(step, flt); rerr != nil {
+					return res, fmt.Errorf("cluster: %s at superstep %d recovery (retry %d/%d) failed: %v (original fault: %w)", ev.Op, step, retries, c.stepRetries, rerr, flt.err)
+				}
+				continue // retry the same membership op under the new round
+			}
+			c.nextEvent++
+			continue // another event may be scheduled at this same barrier
+		}
+		if c.rebalance {
+			if err := c.rebalanceStep(step); err != nil {
+				var flt *stepFault
+				if !errors.As(err, &flt) || retries >= c.stepRetries {
+					return res, err
+				}
+				retries++
+				if rerr := c.recoverStep(step, flt); rerr != nil {
+					return res, fmt.Errorf("cluster: rebalance at superstep %d recovery (retry %d/%d) failed: %v (original fault: %w)", step, retries, c.stepRetries, rerr, flt.err)
+				}
+				continue
 			}
 		}
 		st, err := c.superstep(step)
@@ -280,15 +502,16 @@ func (c *coordinator) superstep(step int64) (StepStats, error) {
 	t0 := time.Now() //lint:nondeterministic step duration is reporting only, never vertex state
 	c.round++
 	flt := &stepFault{}
-	for i, n := range c.nodes {
-		if err := n.writeFrame(fStart, u64Payload(uint64(step), c.round)); err != nil {
+	mem := c.members()
+	for _, i := range mem {
+		if err := c.nodes[i].writeFrame(fStart, u64Payload(uint64(step), c.round)); err != nil {
 			flt.fail(i, fmt.Errorf("cluster: node %d lost at superstep %d start: %w", i, step, err), true)
 		}
 	}
 	if flt.err != nil {
 		return st, flt
 	}
-	for i := range c.nodes {
+	for _, i := range mem {
 		vals, ok := c.collect(i, step, "dispatch", fDispatchOver, 3, flt)
 		if !ok {
 			return st, flt
@@ -296,13 +519,13 @@ func (c *coordinator) superstep(step int64) (StepStats, error) {
 		st.Messages += int64(vals[1])
 		st.Delivered += int64(vals[2])
 	}
-	for i, n := range c.nodes {
-		if err := n.writeFrame(fComputeBarrier, u64Payload(uint64(step))); err != nil {
+	for _, i := range mem {
+		if err := c.nodes[i].writeFrame(fComputeBarrier, u64Payload(uint64(step))); err != nil {
 			flt.fail(i, fmt.Errorf("cluster: node %d lost at superstep %d barrier: %w", i, step, err), true)
 			return st, flt
 		}
 	}
-	for i := range c.nodes {
+	for _, i := range mem {
 		vals, ok := c.collect(i, step, "compute", fComputeOver, 2, flt)
 		if !ok {
 			return st, flt
@@ -328,7 +551,7 @@ func (c *coordinator) recoverStep(step int64, flt *stepFault) error {
 		dead[i] = true
 	}
 	for i, n := range c.nodes {
-		if dead[i] {
+		if n == nil || dead[i] {
 			continue
 		}
 		if err := n.writeFrame(fRollback, u64Payload(uint64(step), c.round)); err != nil {
@@ -341,7 +564,7 @@ func (c *coordinator) recoverStep(step int64, flt *stepFault) error {
 	// as dead and folded into the same rejoin pass.
 	deadline := c.progressDeadline(c.recoveryTimeout)
 	for i, n := range c.nodes {
-		if dead[i] {
+		if n == nil || dead[i] {
 			continue
 		}
 		for {
@@ -377,6 +600,15 @@ func (c *coordinator) recoverStep(step int64, flt *stepFault) error {
 		}
 	}
 	for _, id := range gone {
+		// Under RedistributeDead a dead node is retired for good: its
+		// sealed value file is salvaged and its intervals migrate to the
+		// survivors, as long as at least one survivor remains to take them.
+		if c.policy == RedistributeDead && c.liveCount() > 1 {
+			if err := c.redistribute(id, step); err != nil {
+				return err
+			}
+			continue
+		}
 		if c.restart == nil {
 			return fmt.Errorf("cluster: node %d dead and no restart hook installed", id)
 		}
@@ -388,8 +620,389 @@ func (c *coordinator) recoverStep(step int64, flt *stepFault) error {
 		}
 	}
 	if len(gone) > 0 {
-		if err := c.broadcastBook(); err != nil {
-			return err
+		// Every survivor (and replacement) must hold the refreshed address
+		// book AND routing table before any fStart: a redistribution just
+		// rewrote owners, and even a plain rejoin changed a data address.
+		if err := c.syncMembership(); err != nil {
+			return fmt.Errorf("cluster: membership sync after recovery: %w", err)
+		}
+	}
+	return nil
+}
+
+// redistribute retires dead node id permanently, salvaging its owned
+// intervals from its sealed value file and adopting them at the
+// least-loaded survivors. It runs inside recoverStep, after every
+// survivor acked the rollback — so all live files sit clean at epoch
+// step and adoption is bit-exact. Failures here are fatal to the run
+// (there is no inner recovery inside recovery); the retry budget guards
+// the outer superstep loop, not this arc.
+func (c *coordinator) redistribute(id int, step int64) error {
+	owned := c.ownedBy(id)
+	c.live[id] = false
+	c.addrs[id] = ""
+	if len(owned) == 0 {
+		return nil // a joiner that died before receiving any interval
+	}
+	if c.salvage == nil {
+		return fmt.Errorf("cluster: node %d dead and no salvage hook installed", id)
+	}
+	ranges := make([]graph.Interval, len(owned))
+	for k, iv := range owned {
+		ranges[k] = c.ivs[iv]
+	}
+	blobs, err := c.salvage(id, step, ranges)
+	if err != nil {
+		return fmt.Errorf("cluster: salvaging dead node %d: %w", id, err)
+	}
+	if len(blobs) != len(owned) {
+		return fmt.Errorf("cluster: salvage of node %d returned %d blobs for %d intervals", id, len(blobs), len(owned))
+	}
+	for k, iv := range owned {
+		to := c.lightestOther(id)
+		if to < 0 {
+			return fmt.Errorf("cluster: no survivor left to adopt interval %d of dead node %d", iv, id)
+		}
+		flt := &stepFault{}
+		if !c.adoptAt(to, iv, blobs[k], flt) {
+			return fmt.Errorf("cluster: redistributing interval %d of dead node %d to node %d: %w", iv, id, to, flt.err)
+		}
+		c.owners[iv] = to
+		c.redistributions++
+		metrics.Inc(metrics.CtrClusterRedistributions)
+	}
+	return nil
+}
+
+// memberOp applies one scheduled membership event at the barrier before
+// superstep step. A *stepFault return is retryable via recoverStep.
+func (c *coordinator) memberOp(step int64, ev MembershipEvent) error {
+	switch ev.Op {
+	case OpJoin:
+		return c.joinOp(step)
+	case OpDrain:
+		return c.drainOp(step, ev.Node)
+	}
+	return fmt.Errorf("cluster: unknown membership op %d", int(ev.Op))
+}
+
+// joinOp absorbs a brand-new node mid-job: boot it with a fresh value
+// file fast-forwarded to the current epoch, accept its JOIN handshake,
+// then live-migrate intervals onto it until the edge-weight balance has
+// nothing left to move (at minimum one interval — an empty member would
+// corrupt the barrier arithmetic). On a faulted retry the boot and any
+// completed migrations are kept; only the remaining moves rerun.
+func (c *coordinator) joinOp(step int64) error {
+	id := c.nextJoin
+	if id >= len(c.nodes) {
+		return fmt.Errorf("cluster: no join slots left (id space %d)", len(c.nodes))
+	}
+	if c.nodes[id] == nil {
+		if c.bootJoin == nil {
+			return fmt.Errorf("cluster: no join hook installed")
+		}
+		if err := c.bootJoin(id, step); err != nil {
+			return fmt.Errorf("cluster: booting joiner %d: %w", id, err)
+		}
+		if err := c.acceptJoin(id, step); err != nil {
+			return &stepFault{err: err, dead: []int{id}}
+		}
+	}
+	c.live[id] = true
+	flt := &stepFault{}
+	for _, mv := range c.planMoves() {
+		if !c.migrateInterval(step, mv.iv, mv.from, mv.to, flt) {
+			return flt
+		}
+	}
+	if len(c.ownedBy(id)) == 0 {
+		// The weight balance found nothing small enough to move (e.g. one
+		// giant interval per node). Force the lightest interval off the
+		// most-loaded donor that can spare one.
+		w := c.nodeWeights()
+		from, best := -1, -1
+		for i := range c.nodes {
+			if !c.live[i] || i == id || len(c.ownedBy(i)) < 2 {
+				continue
+			}
+			if from < 0 || w[i] > w[from] {
+				from = i
+			}
+		}
+		if from >= 0 {
+			for _, iv := range c.ownedBy(from) {
+				if best < 0 || c.weights[iv] < c.weights[best] {
+					best = iv
+				}
+			}
+		}
+		if best < 0 {
+			return fmt.Errorf("cluster: joiner %d cannot receive an interval: every member owns a single interval (need Splits >= 2)", id)
+		}
+		if !c.migrateInterval(step, best, from, id, flt) {
+			return flt
+		}
+	}
+	if err := c.syncMembership(); err != nil {
+		return err
+	}
+	c.joins++
+	metrics.Inc(metrics.CtrClusterJoins)
+	c.nextJoin++
+	return nil
+}
+
+// acceptJoin accepts joiner id's control connection and validates its
+// JOIN frame: right node, and a value file fast-forwarded to exactly the
+// barrier epoch (step) it is joining at.
+func (c *coordinator) acceptJoin(id int, step int64) error {
+	type deadliner interface{ SetDeadline(time.Time) error }
+	if d, ok := c.ln.(deadliner); ok && c.recoveryTimeout > 0 {
+		d.SetDeadline(c.progressDeadline(c.recoveryTimeout)) //nolint:errcheck
+		defer d.SetDeadline(time.Time{})                     //nolint:errcheck
+	}
+	for {
+		nc, err := c.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("cluster: accepting join of node %d: %w", id, err)
+		}
+		cn := newConn(nc)
+		kind, payload, err := cn.readFrame()
+		if err != nil || kind != fJoin {
+			closeQuietly(cn)
+			continue // a stray dial; keep waiting for the joiner
+		}
+		jid, epoch, addr, err := parseRejoin(payload) // JOIN reuses the REJOIN payload shape
+		if err != nil || int(jid) != id {
+			closeQuietly(cn)
+			continue
+		}
+		if int64(epoch) != step {
+			closeQuietly(cn)
+			return fmt.Errorf("cluster: node %d joined at epoch %d, want %d", id, epoch, step)
+		}
+		c.nodes[id] = cn
+		c.addrs[id] = addr
+		return nil
+	}
+}
+
+// drainOp migrates every interval off node id to the least-loaded other
+// members, tells it to exit cleanly, and retires it. Draining an
+// already-retired node is a no-op (a retried drain whose node died and
+// was redistributed mid-operation lands here).
+func (c *coordinator) drainOp(step int64, id int) error {
+	if id < 0 || id >= len(c.nodes) {
+		return fmt.Errorf("cluster: drain of unknown node %d", id)
+	}
+	if !c.live[id] {
+		return nil
+	}
+	if c.liveCount() <= 1 {
+		return fmt.Errorf("cluster: refusing to drain node %d: it is the last member", id)
+	}
+	flt := &stepFault{}
+	for _, iv := range c.ownedBy(id) {
+		to := c.lightestOther(id)
+		if to < 0 {
+			return fmt.Errorf("cluster: no member left to take interval %d from draining node %d", iv, id)
+		}
+		if !c.migrateInterval(step, iv, id, to, flt) {
+			return flt
+		}
+	}
+	if err := c.nodes[id].writeFrame(fDrain, nil); err != nil {
+		flt.fail(id, fmt.Errorf("cluster: node %d lost at drain: %w", id, err), true)
+		return flt
+	}
+	kind, _, err := c.nodes[id].readFrameLive(c.timeout, c.progressDeadline(c.recoveryTimeout))
+	if err != nil || kind != fDrainOver {
+		// The node owns nothing anymore; a retried drain will skip straight
+		// to the DRAIN frame after recovery restarts it.
+		flt.fail(id, fmt.Errorf("cluster: node %d drain ack: frame %d (%v)", id, kind, err), true)
+		return flt
+	}
+	c.live[id] = false
+	c.addrs[id] = ""
+	closeQuietly(c.nodes[id])
+	c.nodes[id] = nil
+	if err := c.syncMembership(); err != nil {
+		return err
+	}
+	c.drains++
+	metrics.Inc(metrics.CtrClusterDrains)
+	return nil
+}
+
+// rebalanceStep runs the greedy edge-weight balancer at a barrier and
+// migrates whatever it proposes. At the balanced fixed point it sends no
+// frames at all, so enabling rebalancing on a stable cluster is free.
+func (c *coordinator) rebalanceStep(step int64) error {
+	moves := c.planMoves()
+	if len(moves) == 0 {
+		return nil
+	}
+	flt := &stepFault{}
+	for _, mv := range moves {
+		if !c.migrateInterval(step, mv.iv, mv.from, mv.to, flt) {
+			return flt
+		}
+	}
+	return c.syncMembership()
+}
+
+type move struct{ iv, from, to int }
+
+// planMoves computes a deterministic greedy sequence of interval
+// migrations that narrows the edge-weight spread across live members:
+// repeatedly move the heaviest interval that (a) its donor — the most
+// loaded member — can spare (it keeps at least one interval) and (b) is
+// strictly lighter than the donor-to-lightest gap, so every move
+// strictly shrinks the pairwise spread and the loop terminates. All ties
+// break to the lowest id, keeping the plan a pure function of
+// (owners, weights, live) — chaos reruns replay the identical plan.
+func (c *coordinator) planMoves() []move {
+	owners := append([]int(nil), c.owners...)
+	w := make([]int64, len(c.nodes))
+	count := make([]int, len(c.nodes))
+	for iv, o := range owners {
+		w[o] += c.weights[iv]
+		count[o]++
+	}
+	var moves []move
+	for len(moves) < len(owners) {
+		h, l := -1, -1
+		for i := range c.nodes {
+			if !c.live[i] {
+				continue
+			}
+			if h < 0 || w[i] > w[h] {
+				h = i
+			}
+			if l < 0 || w[i] < w[l] {
+				l = i
+			}
+		}
+		if h < 0 || h == l {
+			break
+		}
+		gap := w[h] - w[l]
+		best := -1
+		for iv, o := range owners {
+			if o != h || count[h] < 2 {
+				continue
+			}
+			if wt := c.weights[iv]; wt <= 0 || wt >= gap {
+				continue
+			}
+			if best < 0 || c.weights[iv] > c.weights[best] {
+				best = iv
+			}
+		}
+		if best < 0 {
+			break
+		}
+		owners[best] = l
+		w[h] -= c.weights[best]
+		w[l] += c.weights[best]
+		count[h]--
+		count[l]++
+		moves = append(moves, move{iv: best, from: h, to: l})
+	}
+	return moves
+}
+
+// migrateInterval moves one interval from donor to recipient through the
+// MIGRATE protocol: MIGRATE_OUT asks the donor to extract the sealed
+// interval at the barrier epoch, MIGRATE_DATA carries the checksummed
+// blob back, MIGRATE_IN hands it to the recipient, MIGRATE_DONE acks the
+// adoption. Only then does the coordinator's owners table flip — so a
+// fault anywhere leaves the donor authoritative and the move simply
+// reruns after recovery. Reports false with the fault folded into flt.
+func (c *coordinator) migrateInterval(step int64, iv, from, to int, flt *stepFault) bool {
+	if err := c.nodes[from].writeFrame(fMigrateOut, migrateReqPayload(uint32(iv), uint64(step))); err != nil {
+		flt.fail(from, fmt.Errorf("cluster: node %d lost at migrate-out of interval %d: %w", from, iv, err), true)
+		return false
+	}
+	kind, payload, err := c.nodeRead(from, "migration extract")
+	if err != nil {
+		flt.fail(from, err, deadRead(err))
+		return false
+	}
+	if kind != fMigrateData {
+		flt.fail(from, fmt.Errorf("cluster: node %d sent frame %d during migration extract, want MIGRATE_DATA", from, kind), true)
+		return false
+	}
+	gotIv, blob, perr := parseMigrateBlob(payload)
+	if perr != nil || int(gotIv) != iv {
+		flt.fail(from, fmt.Errorf("cluster: node %d migrate data for interval %d, want %d (%v)", from, gotIv, iv, perr), true)
+		return false
+	}
+	if !c.adoptAt(to, iv, blob, flt) {
+		return false
+	}
+	c.owners[iv] = to
+	c.migrations++
+	metrics.Inc(metrics.CtrClusterMigrations)
+	return true
+}
+
+// adoptAt ships an extracted interval blob to node to and waits for its
+// MIGRATE_DONE ack (the node validated the blob's digest and installed
+// the slots before replying).
+func (c *coordinator) adoptAt(to, iv int, blob []byte, flt *stepFault) bool {
+	if err := c.nodes[to].writeFrame(fMigrateIn, migrateBlobPayload(uint32(iv), blob)); err != nil {
+		flt.fail(to, fmt.Errorf("cluster: node %d lost at migrate-in of interval %d: %w", to, iv, err), true)
+		return false
+	}
+	kind, payload, err := c.nodeRead(to, "migration adopt")
+	if err != nil {
+		flt.fail(to, err, deadRead(err))
+		return false
+	}
+	if kind != fMigrateDone {
+		flt.fail(to, fmt.Errorf("cluster: node %d sent frame %d during migration adopt, want MIGRATE_DONE", to, kind), true)
+		return false
+	}
+	ackIv, perr := parseIv(payload)
+	if perr != nil || int(ackIv) != iv {
+		flt.fail(to, fmt.Errorf("cluster: node %d acked adoption of interval %d, want %d (%v)", to, ackIv, iv, perr), true)
+		return false
+	}
+	return true
+}
+
+// syncMembership pushes the refreshed address book and routing table to
+// every member and waits for each ROUTING_OVER ack, so no fStart can
+// race a node still holding the old table. It runs after every
+// membership change, in the same barrier window as the migrations it
+// publishes.
+func (c *coordinator) syncMembership() error {
+	book := addrBookPayload(c.addrs)
+	routing := routingPayload(c.owners)
+	flt := &stepFault{}
+	mem := c.members()
+	for _, i := range mem {
+		if err := c.nodes[i].writeFrame(fAddrBook, book); err != nil {
+			flt.fail(i, fmt.Errorf("cluster: node %d lost at membership sync: %w", i, err), true)
+			continue
+		}
+		if err := c.nodes[i].writeFrame(fRouting, routing); err != nil {
+			flt.fail(i, fmt.Errorf("cluster: node %d lost at routing sync: %w", i, err), true)
+		}
+	}
+	if flt.err != nil {
+		return flt
+	}
+	for _, i := range mem {
+		kind, _, err := c.nodeRead(i, "membership sync")
+		if err != nil {
+			flt.fail(i, err, deadRead(err))
+			return flt
+		}
+		if kind != fRoutingOver {
+			flt.fail(i, fmt.Errorf("cluster: node %d sent frame %d during membership sync, want ROUTING_OVER", i, kind), true)
+			return flt
 		}
 	}
 	return nil
@@ -448,55 +1061,61 @@ func (c *coordinator) acceptRejoin(id int, step int64, rollback bool) error {
 	}
 }
 
-// gatherValues pulls every node's vertex payloads into one slice. The
-// gather is itself fault-tolerant: a node lost after the final superstep
-// (or a corrupt values frame) is replaced via the rejoin handshake — its
-// value file holds the committed final state — and re-asked, within the
-// same retry budget the supersteps share.
+// gatherValues pulls every interval's vertex payloads from its owning
+// node into one slice. The gather is itself fault-tolerant: a node lost
+// after the final superstep (or a corrupt values frame) is replaced via
+// the rejoin handshake — its value file holds the committed final state —
+// and re-asked, within the same retry budget the supersteps share.
 func (c *coordinator) gatherValues(numVertices int64) ([]uint64, error) {
 	out := make([]uint64, numVertices)
 	retries := 0
-	for i := 0; i < len(c.nodes); {
-		err := c.gatherNode(i, out, numVertices)
+	for iv := 0; iv < len(c.ivs); {
+		owner := c.owners[iv]
+		err := c.gatherInterval(iv, owner, out)
 		if err == nil {
-			i++
+			iv++
 			continue
 		}
 		if retries >= c.stepRetries || c.restart == nil {
 			return nil, err
 		}
 		retries++
-		closeQuietly(c.nodes[i])
-		c.nodes[i] = nil
-		if rerr := c.restart(i); rerr != nil {
-			return nil, fmt.Errorf("cluster: restarting node %d for value gather: %v (original fault: %w)", i, rerr, err)
+		if c.nodes[owner] != nil {
+			closeQuietly(c.nodes[owner])
+			c.nodes[owner] = nil
+		}
+		if rerr := c.restart(owner); rerr != nil {
+			return nil, fmt.Errorf("cluster: restarting node %d for value gather: %v (original fault: %w)", owner, rerr, err)
 		}
 		// No superstep is in flight: the replacement recovered the final
-		// committed state, so the rejoin skips the rollback arc.
-		if rerr := c.acceptRejoin(i, 0, false); rerr != nil {
-			return nil, fmt.Errorf("cluster: node %d rejoin for value gather: %v (original fault: %w)", i, rerr, err)
+		// committed state, so the rejoin skips the rollback arc. It does
+		// need the current routing table back, though — its boot spec
+		// carries the initial assignment, not the post-migration one.
+		if rerr := c.acceptRejoin(owner, 0, false); rerr != nil {
+			return nil, fmt.Errorf("cluster: node %d rejoin for value gather: %v (original fault: %w)", owner, rerr, err)
 		}
-		if berr := c.broadcastBook(); berr != nil {
-			return nil, berr
+		if berr := c.syncMembership(); berr != nil {
+			return nil, fmt.Errorf("cluster: membership sync for value gather: %v (original fault: %w)", berr, err)
 		}
 	}
 	return out, nil
 }
 
-func (c *coordinator) gatherNode(i int, out []uint64, numVertices int64) error {
-	if err := c.nodes[i].writeFrame(fValuesReq, nil); err != nil {
-		return fmt.Errorf("cluster: node %d values request: %w", i, err)
+func (c *coordinator) gatherInterval(iv, owner int, out []uint64) error {
+	if err := c.nodes[owner].writeFrame(fValuesReq, ivPayload(uint32(iv))); err != nil {
+		return fmt.Errorf("cluster: node %d values request for interval %d: %w", owner, iv, err)
 	}
-	kind, payload, err := c.nodeRead(i, "value gather")
+	kind, payload, err := c.nodeRead(owner, "value gather")
 	if err != nil || kind != fValues {
-		return fmt.Errorf("cluster: node %d values: frame %d (%v)", i, kind, err)
+		return fmt.Errorf("cluster: node %d values for interval %d: frame %d (%v)", owner, iv, kind, err)
 	}
 	first, payloads, err := parseValues(payload)
 	if err != nil {
 		return err
 	}
-	if first < 0 || first+int64(len(payloads)) > numVertices {
-		return fmt.Errorf("cluster: node %d values out of range", i)
+	if first != c.ivs[iv].FirstVertex || first+int64(len(payloads)) != c.ivs[iv].EndVertex {
+		return fmt.Errorf("cluster: node %d returned vertices [%d,%d) for interval %d, want [%d,%d)",
+			owner, first, first+int64(len(payloads)), iv, c.ivs[iv].FirstVertex, c.ivs[iv].EndVertex)
 	}
 	copy(out[first:], payloads)
 	return nil

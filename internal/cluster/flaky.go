@@ -66,3 +66,23 @@ func (f *flakyConn) Write(b []byte) (int, error) {
 	}
 	return f.Conn.Write(b)
 }
+
+// membershipFault consults the cluster.migrate.* fault sites on behalf
+// of writeFrame, which calls it once per elastic-membership frame
+// (MIGRATE/JOIN/DRAIN/ROUTING) about to hit the wire. The generic
+// cluster.conn.* sites above fire per raw write on every link; these
+// fire per membership frame, so a seeded plan can park a disturbance on
+// exactly the Nth step of a migration. Delay stalls the frame, reset
+// kills the connection before anything is buffered (err non-nil), and
+// corrupt/short-write report that writeFrame itself must damage the
+// frame after sealing its checksum — the receiver, not the sender, has
+// to catch those.
+func membershipFault() (corrupt, short bool, err error) {
+	fault.Stall(fault.SiteMigrateStall)
+	if ferr := fault.Error(fault.SiteMigrateReset); ferr != nil {
+		return false, false, ferr
+	}
+	corrupt = fault.Error(fault.SiteMigrateCorrupt) != nil
+	short = fault.Error(fault.SiteMigrateShortWrite) != nil
+	return corrupt, short, nil
+}

@@ -14,12 +14,16 @@ func FuzzParseFrames(f *testing.F) {
 	f.Add([]byte{}, uint8(0))
 	f.Add(helloPayload(3, "127.0.0.1:9999"), uint8(0))
 	f.Add(addrBookPayload([]string{"a:1", "b:2"}), uint8(1))
-	f.Add(batchPayload(1, 1, nil), uint8(2))
+	f.Add(batchPayload(1, 1, 0, nil), uint8(2))
 	f.Add(valuesPayload(0, []uint64{1, 2, 3}), uint8(3))
 	f.Add(rejoinPayload(1, 7, "127.0.0.1:9999"), uint8(5))
 	f.Add(stepFailedPayload(3, "peer 1 unreachable"), uint8(6))
+	f.Add(migrateReqPayload(5, 11), uint8(7))
+	f.Add(migrateBlobPayload(2, []byte{1, 2, 3, 4}), uint8(8))
+	f.Add(routingPayload([]int{0, 1, 1, 2}), uint8(9))
+	f.Add(ivPayload(9), uint8(10))
 	f.Fuzz(func(t *testing.T, payload []byte, which uint8) {
-		switch which % 7 {
+		switch which % 11 {
 		case 0:
 			if _, addr, err := parseHello(payload); err == nil && len(addr) > len(payload) {
 				t.Fatal("hello address longer than payload")
@@ -35,8 +39,8 @@ func FuzzParseFrames(f *testing.F) {
 				}
 			}
 		case 2:
-			if _, _, batch, err := parseBatch(payload); err == nil {
-				if len(payload) != 20+12*len(batch) {
+			if _, _, _, batch, err := parseBatch(payload); err == nil {
+				if len(payload) != 24+12*len(batch) {
 					t.Fatal("batch length inconsistent")
 				}
 			}
@@ -57,6 +61,24 @@ func FuzzParseFrames(f *testing.F) {
 		case 6:
 			if _, reason, err := parseStepFailed(payload); err == nil && len(reason) > len(payload) {
 				t.Fatal("step-failed reason longer than payload")
+			}
+		case 7:
+			if _, _, err := parseMigrateReq(payload); err == nil && len(payload) != 12 {
+				t.Fatal("migrate request length inconsistent")
+			}
+		case 8:
+			if _, blob, err := parseMigrateBlob(payload); err == nil && len(blob) != len(payload)-4 {
+				t.Fatal("migrate blob length inconsistent")
+			}
+		case 9:
+			if owners, err := parseRouting(payload); err == nil {
+				if len(payload) != 4+4*len(owners) || len(owners) == 0 {
+					t.Fatal("routing table length inconsistent")
+				}
+			}
+		case 10:
+			if _, err := parseIv(payload); err == nil && len(payload) != 4 {
+				t.Fatal("interval id length inconsistent")
 			}
 		}
 	})
@@ -105,9 +127,16 @@ func crc32Of(parts ...[]byte) uint32 {
 // panic, never a silently misparsed frame.
 func FuzzFrameDecode(f *testing.F) {
 	f.Add(encodeFrame(fHeartbeat, nil), -1, uint8(0))
-	f.Add(encodeFrame(fBatch, batchPayload(2, 9, nil)), 12, uint8(0x40))
+	f.Add(encodeFrame(fBatch, batchPayload(2, 9, 1, nil)), 12, uint8(0x40))
 	f.Add(encodeFrame(fStart, u64Payload(4, 7)), 4, uint8(0x01))
 	f.Add(encodeFrame(fStepFailed, stepFailedPayload(1, "boom")), 0, uint8(0xff))
+	f.Add(encodeFrame(fMigrateOut, migrateReqPayload(3, 8)), 8, uint8(0x20))
+	f.Add(encodeFrame(fMigrateData, migrateBlobPayload(3, []byte{9, 9, 9})), 14, uint8(0x04))
+	f.Add(encodeFrame(fMigrateIn, migrateBlobPayload(1, []byte{7})), -1, uint8(0))
+	f.Add(encodeFrame(fMigrateDone, ivPayload(6)), 10, uint8(0x80))
+	f.Add(encodeFrame(fRouting, routingPayload([]int{0, 2, 1})), 11, uint8(0x02))
+	f.Add(encodeFrame(fJoin, rejoinPayload(4, 2, "127.0.0.1:7")), 9, uint8(0x08))
+	f.Add(encodeFrame(fDrain, nil), 5, uint8(0x10))
 	f.Fuzz(func(t *testing.T, stream []byte, flip int, mask uint8) {
 		if flip >= 0 && flip < len(stream) && mask != 0 {
 			stream = append([]byte(nil), stream...)
@@ -131,30 +160,39 @@ func FuzzFrameDecode(f *testing.F) {
 // must all error out, and flips plus version skew must be attributed to
 // the right sentinel.
 func TestFrameDecodeRejectsCorruption(t *testing.T) {
-	frame := encodeFrame(fBatch, batchPayload(3, 1, nil))
-
-	// Truncations at every boundary.
-	for n := 0; n < len(frame); n++ {
-		if _, _, err := readFrameFrom(bytes.NewReader(frame[:n])); err == nil {
-			t.Fatalf("decoder accepted a frame truncated to %d of %d bytes", n, len(frame))
-		}
+	// One data-plane frame and one of each new elastic-membership frame:
+	// the CRC32C framing guarantees hold for migration traffic too.
+	frames := map[string][]byte{
+		"batch":        encodeFrame(fBatch, batchPayload(3, 1, 2, nil)),
+		"migrate-out":  encodeFrame(fMigrateOut, migrateReqPayload(1, 4)),
+		"migrate-data": encodeFrame(fMigrateData, migrateBlobPayload(1, []byte{0xde, 0xad})),
+		"routing":      encodeFrame(fRouting, routingPayload([]int{1, 0})),
+		"drain":        encodeFrame(fDrain, nil),
 	}
-	// A flip in any byte past the length prefix must trip the checksum
-	// (or the version check, for byte 4).
-	for i := 4; i < len(frame); i++ {
-		mut := append([]byte(nil), frame...)
-		mut[i] ^= 0x10
-		_, _, err := readFrameFrom(bytes.NewReader(mut))
-		if err == nil {
-			t.Fatalf("decoder accepted a frame with byte %d flipped", i)
+	for name, frame := range frames {
+		// Truncations at every boundary.
+		for n := 0; n < len(frame); n++ {
+			if _, _, err := readFrameFrom(bytes.NewReader(frame[:n])); err == nil {
+				t.Fatalf("%s: decoder accepted a frame truncated to %d of %d bytes", name, n, len(frame))
+			}
 		}
-		if !frameCorrupt(err) {
-			t.Fatalf("flip at byte %d: got %v, want a corruption error", i, err)
+		// A flip in any byte past the length prefix must trip the checksum
+		// (or the version check, for byte 4).
+		for i := 4; i < len(frame); i++ {
+			mut := append([]byte(nil), frame...)
+			mut[i] ^= 0x10
+			_, _, err := readFrameFrom(bytes.NewReader(mut))
+			if err == nil {
+				t.Fatalf("%s: decoder accepted a frame with byte %d flipped", name, i)
+			}
+			if !frameCorrupt(err) {
+				t.Fatalf("%s: flip at byte %d: got %v, want a corruption error", name, i, err)
+			}
 		}
 	}
 	// A foreign protocol version is rejected as such even with a valid
 	// checksum over the foreign bytes.
-	mut := append([]byte(nil), frame...)
+	mut := append([]byte(nil), frames["batch"]...)
 	mut[4] = protoVersion + 1
 	crc := crc32Of(mut[4:6], mut[10:])
 	binary.LittleEndian.PutUint32(mut[6:], crc)

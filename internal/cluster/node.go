@@ -93,9 +93,12 @@ func stepFailf(format string, args ...any) error {
 // protocol, and the coordinator must recover.
 var errNodeKilled = errors.New("cluster: node killed by injected chaos")
 
-// compMsg is the node-local computer mailbox envelope.
+// compMsg is the node-local computer mailbox envelope. src is the
+// SOURCE INTERVAL the batch was generated from — not a node id: staging
+// and fold order are keyed by the fixed interval partition, so they are
+// invariant under migration, join, and drain.
 type compMsg struct {
-	sender  int
+	src     int
 	round   uint64
 	batch   []core.Message
 	barrier bool
@@ -114,9 +117,10 @@ type eosMark struct {
 }
 
 // streamFrame is one in-order unit of a peer's data stream: a message
-// batch or the end-of-stream marker.
+// batch (tagged with its source interval) or the end-of-stream marker.
 type streamFrame struct {
 	eos   bool
+	src   int
 	batch []core.Message
 }
 
@@ -136,11 +140,17 @@ type senderStream struct {
 	pending map[uint64]streamFrame
 }
 
-// node is one cluster member: it owns a vertex interval, dispatches its
-// share of the edge file, and computes updates for its own vertices.
+// node is one cluster member. It owns a SET of vertex intervals — the
+// fixed partition is finer than the node set, and the owners table maps
+// each interval to its current host — dispatches their share of the edge
+// file, and computes updates for their vertices. The owners table is the
+// routing state elastic membership swaps atomically at barriers; the
+// interval partition itself never changes for the life of a job, which
+// is what keeps batch formation and fold order bit-identical across
+// migrations.
 type node struct {
 	id       int
-	total    int
+	total    int // size of the node ID SPACE (initial nodes + plannable joins), not the live member count
 	prog     core.Program
 	combiner core.Combiner
 	cfg      NodeConfig
@@ -148,8 +158,11 @@ type node struct {
 
 	gf        *graph.File
 	vf        *vertexfile.File
-	interval  graph.Interval
-	bounds    []int64 // bounds[i] = first vertex of node i; len total+1
+	ivs       []graph.Interval // the fixed partition, immutable for the job
+	ivBounds  []int64          // ivBounds[i] = first vertex of interval i; len(ivs)+1
+	owners    []int            // owners[i] = node currently hosting interval i
+	member    []bool           // member[id] = node id owns at least one interval
+	nMembers  int
 	coord     *conn
 	peers     []*conn  // outgoing data connections, indexed by node id (nil for self)
 	peerAddrs []string // data addresses from the address book, for redials
@@ -175,28 +188,64 @@ type node struct {
 	streams []*senderStream
 }
 
+// bootMode selects how a node enters the cluster.
+type bootMode int
+
+const (
+	// bootFresh creates a new value file and announces with HELLO (the
+	// ordinary job start).
+	bootFresh bootMode = iota
+	// bootRejoin reopens and recovers a dead incarnation's sealed value
+	// file — PR 2's durability contract is exactly what makes the
+	// intervals replayable — and announces with REJOIN and the recovered
+	// epoch.
+	bootRejoin
+	// bootJoin is a brand-new node entering a RUNNING job: its value file
+	// is created fresh and fast-forwarded to the join epoch (every vertex
+	// inert), ready for AdoptInterval to paint in the ranges it will own;
+	// it announces with JOIN.
+	bootJoin
+)
+
+// nodeSpec gathers what startNode needs to boot one node.
+type nodeSpec struct {
+	id         int
+	total      int // node ID space: initial nodes + plannable joins
+	coordAddr  string
+	graphPath  string
+	valuesPath string
+	prog       core.Program
+	ivs        []graph.Interval
+	owners     []int
+	cfg        NodeConfig
+	mode       bootMode
+	joinEpoch  int64 // bootJoin: the epoch the running job sits at
+}
+
 // startNode boots a node: local state, data listener, coordinator
-// handshake. It returns after the node has sent its hello; runNode drives
-// the rest. With rejoin set the node is a replacement for a dead cluster
-// member: instead of creating a fresh value file it reopens and recovers
-// the dead node's sealed one — PR 2's durability contract is exactly what
-// makes the interval replayable — and announces itself with a REJOIN
-// frame carrying the recovered epoch.
-func startNode(ctx context.Context, id, total int, coordAddr, graphPath, valuesPath string,
-	prog core.Program, intervals []graph.Interval, cfg NodeConfig, rejoin bool) (*node, error) {
-	cfg = cfg.withDefaults()
-	gf, err := graph.OpenFile(graphPath, mmap.ModeAuto)
+// handshake. It returns after the node has sent its hello; runNode
+// drives the rest.
+func startNode(ctx context.Context, spec nodeSpec) (*node, error) {
+	id, total := spec.id, spec.total
+	cfg := spec.cfg.withDefaults()
+	gf, err := graph.OpenFile(spec.graphPath, mmap.ModeAuto)
 	if err != nil {
 		return nil, err
 	}
 	var vf *vertexfile.File
-	if rejoin {
-		vf, err = vertexfile.Open(valuesPath)
+	switch spec.mode {
+	case bootRejoin:
+		vf, err = vertexfile.Open(spec.valuesPath)
 		if err == nil {
 			_, err = vf.Recover()
 		}
-	} else {
-		vf, err = vertexfile.Create(valuesPath, gf.NumVertices, prog.Init)
+	case bootJoin:
+		vf, err = vertexfile.Create(spec.valuesPath, gf.NumVertices, spec.prog.Init)
+		if err == nil {
+			err = vf.FastForward(spec.joinEpoch, !cfg.DisableSync)
+		}
+	default:
+		vf, err = vertexfile.Create(spec.valuesPath, gf.NumVertices, spec.prog.Init)
 	}
 	if err != nil {
 		closeQuietly(gf)
@@ -205,13 +254,13 @@ func startNode(ctx context.Context, id, total int, coordAddr, graphPath, valuesP
 	n := &node{
 		id:        id,
 		total:     total,
-		prog:      prog,
+		prog:      spec.prog,
 		cfg:       cfg,
 		ctx:       ctx,
 		gf:        gf,
 		vf:        vf,
-		interval:  intervals[id],
-		bounds:    make([]int64, total+1),
+		ivs:       spec.ivs,
+		ivBounds:  make([]int64, len(spec.ivs)+1),
 		peers:     make([]*conn, total),
 		peerSeq:   make([]uint64, total),
 		streams:   make([]*senderStream, total),
@@ -221,16 +270,20 @@ func startNode(ctx context.Context, id, total int, coordAddr, graphPath, valuesP
 		failCh:    make(chan error, total+cfg.Computers+1),
 		begunStep: -1,
 	}
-	if c, ok := prog.(core.Combiner); ok {
+	if c, ok := spec.prog.(core.Combiner); ok {
 		n.combiner = c
 	}
 	for i := range n.streams {
 		n.streams[i] = &senderStream{next: 1, pending: make(map[uint64]streamFrame)}
 	}
-	for i, iv := range intervals {
-		n.bounds[i] = iv.FirstVertex
+	for i, iv := range spec.ivs {
+		n.ivBounds[i] = iv.FirstVertex
 	}
-	n.bounds[total] = gf.NumVertices
+	n.ivBounds[len(spec.ivs)] = gf.NumVertices
+	if err := n.installRouting(spec.owners); err != nil {
+		n.close()
+		return nil, err
+	}
 
 	// Computing actors must exist before any peer traffic can arrive.
 	n.toComp = make([]*actor.Mailbox[compMsg], cfg.Computers)
@@ -255,7 +308,7 @@ func startNode(ctx context.Context, id, total int, coordAddr, graphPath, valuesP
 	})
 
 	// Control connection.
-	cc, err := net.Dial("tcp", coordAddr)
+	cc, err := net.Dial("tcp", spec.coordAddr)
 	if err != nil {
 		n.close()
 		return nil, err
@@ -263,15 +316,51 @@ func startNode(ctx context.Context, id, total int, coordAddr, graphPath, valuesP
 	n.coord = newConn(cc)
 	hello := helloPayload(uint32(id), ln.Addr().String())
 	kind := byte(fHello)
-	if rejoin {
+	switch spec.mode {
+	case bootRejoin:
 		hello = rejoinPayload(uint32(id), uint64(vf.Epoch()), ln.Addr().String())
 		kind = fRejoin
+	case bootJoin:
+		hello = rejoinPayload(uint32(id), uint64(vf.Epoch()), ln.Addr().String())
+		kind = fJoin
 	}
 	if err := n.coord.writeFrame(kind, hello); err != nil {
 		n.close()
 		return nil, err
 	}
 	return n, nil
+}
+
+// installRouting atomically swaps in a new interval -> node table. It is
+// only called between supersteps (boot, or an fRouting frame at a
+// membership barrier), so no dispatch or fold is in flight.
+func (n *node) installRouting(owners []int) error {
+	if len(owners) != len(n.ivs) {
+		return fmt.Errorf("cluster: node %d: routing table of %d intervals, want %d", n.id, len(owners), len(n.ivs))
+	}
+	member := make([]bool, n.total)
+	for iv, o := range owners {
+		if o < 0 || o >= n.total {
+			return fmt.Errorf("cluster: node %d: interval %d routed to bogus node %d", n.id, iv, o)
+		}
+		member[o] = true
+	}
+	count := 0
+	for _, m := range member {
+		if m {
+			count++
+		}
+	}
+	n.owners = append([]int(nil), owners...)
+	n.member = member
+	n.nMembers = count
+	return nil
+}
+
+// ivOf returns the interval containing vertex v.
+func (n *node) ivOf(v int64) int {
+	// ivBounds is sorted; find the last bound <= v.
+	return sort.Search(len(n.ivs), func(i int) bool { return n.ivBounds[i+1] > v })
 }
 
 func (n *node) close() {
@@ -349,7 +438,7 @@ func (n *node) receive(c *conn) {
 			}
 			sender = s
 		case fBatch:
-			round, seq, batch, perr := parseBatch(payload)
+			round, seq, src, batch, perr := parseBatch(payload)
 			if perr != nil {
 				n.reportFailure(perr)
 				return
@@ -358,7 +447,11 @@ func (n *node) receive(c *conn) {
 				n.reportFailure(stepFailf("cluster: node %d: data batch before peer hello", n.id))
 				return
 			}
-			n.deliverData(sender, round, seq, streamFrame{batch: batch})
+			if int(src) >= len(n.ivs) {
+				n.reportFailure(stepFailf("cluster: node %d: batch from bogus interval %d", n.id, src))
+				return
+			}
+			n.deliverData(sender, round, seq, streamFrame{src: int(src), batch: batch})
 		case fEOS:
 			vals, perr := readU64s(payload, 2)
 			if perr != nil {
@@ -412,7 +505,7 @@ func (n *node) deliverData(sender int, round, seq uint64, fr streamFrame) {
 		if f.eos {
 			n.eosCh <- eosMark{sender: sender, round: s.round} //lint:actorshare eosCh is buffered past one mark per peer per in-flight round, and rollback drains it
 		} else {
-			n.routeLocal(s.round, sender, f.batch)
+			n.routeLocal(s.round, f.src, f.batch)
 		}
 	}
 }
@@ -426,11 +519,15 @@ func (n *node) reportFailure(err error) {
 	}
 }
 
-// routeLocal distributes a batch of locally-owned messages across the
-// node's computing actors.
-func (n *node) routeLocal(round uint64, sender int, batch []core.Message) {
+// routeLocal distributes a batch generated by source interval src across
+// the node's computing actors. Both the wire path (receive) and the
+// co-hosted loopback path (flushCross in dispatchInterval) come through
+// here, so a batch is split across workers identically whether its
+// source interval lives on this node or another — the property that
+// keeps results bit-identical across migrations.
+func (n *node) routeLocal(round uint64, src int, batch []core.Message) {
 	if len(n.toComp) == 1 {
-		n.toComp[0].Put(compMsg{sender: sender, round: round, batch: batch}) //nolint:errcheck
+		n.toComp[0].Put(compMsg{src: src, round: round, batch: batch}) //nolint:errcheck
 		return
 	}
 	parts := make([][]core.Message, len(n.toComp))
@@ -440,16 +537,14 @@ func (n *node) routeLocal(round uint64, sender int, batch []core.Message) {
 	}
 	for w, p := range parts {
 		if len(p) > 0 {
-			n.toComp[w].Put(compMsg{sender: sender, round: round, batch: p}) //nolint:errcheck
+			n.toComp[w].Put(compMsg{src: src, round: round, batch: p}) //nolint:errcheck
 		}
 	}
 }
 
-// ownerOf returns the node owning vertex v.
+// ownerOf returns the node currently hosting vertex v's interval.
 func (n *node) ownerOf(v graph.VertexID) int {
-	// bounds is sorted; find the last bound <= v.
-	i := sort.Search(n.total, func(i int) bool { return n.bounds[i+1] > int64(v) })
-	return i
+	return n.owners[n.ivOf(int64(v))]
 }
 
 // runNode executes the node's control loop until HALT. Failures are
@@ -516,15 +611,86 @@ func (n *node) runNode() error {
 				return fmt.Errorf("cluster: node %d rollback ack: %w", n.id, err)
 			}
 		case fValuesReq:
-			if err := n.sendValues(); err != nil {
+			iv, err := parseIv(payload)
+			if err != nil {
 				return err
 			}
+			if err := n.sendValues(int(iv)); err != nil {
+				return err
+			}
+		case fMigrateOut:
+			iv, epoch, err := parseMigrateReq(payload)
+			if err != nil {
+				return err
+			}
+			if ferr := fault.Error(fault.SiteNodeKillMigrate); ferr != nil {
+				return fmt.Errorf("cluster: node %d mid-migration (donor): %w", n.id, errNodeKilled)
+			}
+			blob, err := n.extractInterval(int(iv), int64(epoch))
+			if err != nil {
+				return err
+			}
+			if err := n.coord.writeFrame(fMigrateData, migrateBlobPayload(iv, blob)); err != nil {
+				return fmt.Errorf("cluster: node %d migrate data: %w", n.id, err)
+			}
+		case fMigrateIn:
+			iv, blob, err := parseMigrateBlob(payload)
+			if err != nil {
+				return err
+			}
+			if ferr := fault.Error(fault.SiteNodeKillMigrate); ferr != nil {
+				return fmt.Errorf("cluster: node %d mid-migration (recipient): %w", n.id, errNodeKilled)
+			}
+			if err := n.vf.AdoptInterval(blob, !n.cfg.DisableSync); err != nil {
+				return fmt.Errorf("cluster: node %d adopting interval %d: %w", n.id, iv, err)
+			}
+			if err := n.coord.writeFrame(fMigrateDone, ivPayload(iv)); err != nil {
+				return fmt.Errorf("cluster: node %d migrate done: %w", n.id, err)
+			}
+		case fRouting:
+			owners, err := parseRouting(payload)
+			if err != nil {
+				return err
+			}
+			if err := n.installRouting(owners); err != nil {
+				return err
+			}
+			if err := n.coord.writeFrame(fRoutingOver, nil); err != nil {
+				return fmt.Errorf("cluster: node %d routing ack: %w", n.id, err)
+			}
+		case fDrain:
+			// All intervals have been migrated off; acknowledge and exit
+			// cleanly — the value file seals at its last committed epoch.
+			if err := n.coord.writeFrame(fDrainOver, nil); err != nil {
+				return fmt.Errorf("cluster: node %d drain ack: %w", n.id, err)
+			}
+			return nil
 		case fHalt:
 			return nil
 		default:
 			return fmt.Errorf("cluster: node %d: unexpected control frame %d", n.id, kind)
 		}
 	}
+}
+
+// extractInterval serializes interval iv of this node's value file for a
+// migration, validating that this node actually hosts it, that donor and
+// coordinator agree on the barrier epoch, and that the blob fits a frame.
+func (n *node) extractInterval(iv int, epoch int64) ([]byte, error) {
+	if iv < 0 || iv >= len(n.ivs) || n.owners[iv] != n.id {
+		return nil, fmt.Errorf("cluster: node %d asked to extract interval %d it does not host", n.id, iv)
+	}
+	if epoch != n.vf.Epoch() {
+		return nil, fmt.Errorf("cluster: node %d: migration of interval %d pinned to epoch %d, file is at %d", n.id, iv, epoch, n.vf.Epoch())
+	}
+	blob, err := n.vf.ExtractInterval(n.ivs[iv].FirstVertex, n.ivs[iv].EndVertex)
+	if err != nil {
+		return nil, err
+	}
+	if len(blob)+4+frameOverhead > maxFrame {
+		return nil, fmt.Errorf("cluster: node %d: interval %d blob of %d bytes exceeds the frame limit", n.id, iv, len(blob))
+	}
+	return blob, nil
 }
 
 // stepOutcome routes a phase result: nil passes through, a stepFailure is
@@ -604,7 +770,9 @@ func (n *node) rollbackStep(step int64, newRound uint64) error {
 // whose address changed (a rejoined replacement) are dropped so the next
 // send dials the fresh address, and missing connections are established
 // eagerly, best-effort — a failed dial here is retried with backoff by
-// sendPeer when the dispatch phase actually needs the peer.
+// sendPeer when the dispatch phase actually needs the peer. An empty
+// entry is a node that has not joined yet, was drained, or was retired
+// after redistribution: no connection is kept or dialed for it.
 func (n *node) updatePeers(addrs []string) error {
 	if len(addrs) != n.total {
 		return fmt.Errorf("cluster: node %d: address book of %d entries, want %d", n.id, len(addrs), n.total)
@@ -620,7 +788,7 @@ func (n *node) updatePeers(addrs []string) error {
 	}
 	n.peerAddrs = addrs
 	for i := range addrs {
-		if i == n.id || n.peers[i] != nil {
+		if i == n.id || n.peers[i] != nil || addrs[i] == "" {
 			continue
 		}
 		if c, err := n.dialPeer(i); err == nil {
@@ -732,8 +900,12 @@ func (n *node) sendData(p int, kind byte, payload []byte) error {
 	return n.sendPeer(p, kind, payload)
 }
 
-// dispatchPhase streams the node's interval, routing messages locally or
-// to peers, then signals end-of-stream and DISPATCH_OVER.
+// dispatchPhase streams every interval this node hosts, in ascending
+// interval order, then signals end-of-stream to every member peer and
+// DISPATCH_OVER. Batch formation happens per source interval with fresh
+// buffers (dispatchInterval), so batch boundaries and combine groups
+// depend only on the fixed partition — routing decides where a batch
+// goes, never how it is formed.
 func (n *node) dispatchPhase(step int64, round uint64) error {
 	if err := n.vf.Begin(step, !n.cfg.DisableSync); err != nil {
 		return err
@@ -742,13 +914,42 @@ func (n *node) dispatchPhase(step int64, round uint64) error {
 	for i := range n.peerSeq {
 		n.peerSeq[i] = 0
 	}
+	var generated, delivered int64
+	for iv := range n.ivs {
+		if n.owners[iv] != n.id {
+			continue
+		}
+		if err := n.dispatchInterval(step, round, iv, &generated, &delivered); err != nil {
+			return err
+		}
+	}
+	// End-of-stream on every member peer connection, then DISPATCH_OVER.
+	for i := range n.peers {
+		if i == n.id || !n.member[i] {
+			continue
+		}
+		if err := n.sendData(i, fEOS, u64Payload(round, n.peerSeq[i]+1)); err != nil {
+			return stepFailf("cluster: node %d EOS to %d: %w", n.id, i, err)
+		}
+	}
+	n.statsMsgs += generated
+	return n.coord.writeFrame(fDispatchOver, u64Payload(uint64(step), uint64(generated), uint64(delivered)))
+}
+
+// dispatchInterval streams one hosted interval src. Messages staying
+// inside src split directly across the local computing actors; messages
+// crossing into another interval d buffer per destination interval and
+// flush either over the wire to d's owner or through the loopback
+// (routeLocal) when d is co-hosted. A destination vertex belongs to
+// exactly one interval, so its messages always take the same path shape
+// and fold in the same order regardless of which node hosts what.
+func (n *node) dispatchInterval(step int64, round uint64, src int, generated, delivered *int64) error {
 	col := vertexfile.DispatchCol(step)
 	weighted := n.gf.Weighted()
-	cur := n.gf.Cursor(n.interval)
+	cur := n.gf.Cursor(n.ivs[src])
 
 	local := make([][]core.Message, len(n.toComp))
-	remote := make([][]core.Message, n.total)
-	var generated, delivered int64
+	cross := make([][]core.Message, len(n.ivs))
 
 	flushLocal := func(w int) error {
 		b := local[w]
@@ -756,17 +957,22 @@ func (n *node) dispatchPhase(step int64, round uint64) error {
 		if n.combiner != nil {
 			b = core.CombineBatch(b, n.combiner)
 		}
-		delivered += int64(len(b))
-		return n.toComp[w].Put(compMsg{sender: n.id, round: round, batch: b})
+		*delivered += int64(len(b))
+		return n.toComp[w].Put(compMsg{src: src, round: round, batch: b})
 	}
-	flushRemote := func(p int) error {
-		b := remote[p]
-		remote[p] = nil
+	flushCross := func(d int) error {
+		b := cross[d]
+		cross[d] = nil
 		if n.combiner != nil {
 			b = core.CombineBatch(b, n.combiner)
 		}
-		delivered += int64(len(b))
-		return n.sendData(p, fBatch, batchPayload(round, n.peerSeq[p]+1, b))
+		*delivered += int64(len(b))
+		owner := n.owners[d]
+		if owner == n.id {
+			n.routeLocal(round, src, b)
+			return nil
+		}
+		return n.sendData(owner, fBatch, batchPayload(round, n.peerSeq[owner]+1, uint32(src), b))
 	}
 
 	for {
@@ -788,9 +994,9 @@ func (n *node) dispatchPhase(step int64, round uint64) error {
 			if !send {
 				continue
 			}
-			generated++
-			owner := n.ownerOf(dst)
-			if owner == n.id {
+			*generated++
+			d := n.ivOf(int64(dst))
+			if d == src {
 				wkr := int(dst) % len(n.toComp)
 				local[wkr] = append(local[wkr], core.Message{Dst: dst, Val: msgVal})
 				if len(local[wkr]) >= n.cfg.BatchSize {
@@ -799,9 +1005,9 @@ func (n *node) dispatchPhase(step int64, round uint64) error {
 					}
 				}
 			} else {
-				remote[owner] = append(remote[owner], core.Message{Dst: dst, Val: msgVal})
-				if len(remote[owner]) >= n.cfg.BatchSize {
-					if err := flushRemote(owner); err != nil {
+				cross[d] = append(cross[d], core.Message{Dst: dst, Val: msgVal})
+				if len(cross[d]) >= n.cfg.BatchSize {
+					if err := flushCross(d); err != nil {
 						return err
 					}
 				}
@@ -819,24 +1025,14 @@ func (n *node) dispatchPhase(step int64, round uint64) error {
 			}
 		}
 	}
-	for p := range remote {
-		if len(remote[p]) > 0 {
-			if err := flushRemote(p); err != nil {
+	for d := range cross {
+		if len(cross[d]) > 0 {
+			if err := flushCross(d); err != nil {
 				return err
 			}
 		}
 	}
-	// End-of-stream on every peer connection, then DISPATCH_OVER.
-	for i := range n.peers {
-		if i == n.id {
-			continue
-		}
-		if err := n.sendData(i, fEOS, u64Payload(round, n.peerSeq[i]+1)); err != nil {
-			return stepFailf("cluster: node %d EOS to %d: %w", n.id, i, err)
-		}
-	}
-	n.statsMsgs += generated
-	return n.coord.writeFrame(fDispatchOver, u64Payload(uint64(step), uint64(generated), uint64(delivered)))
+	return nil
 }
 
 // barrierPhase waits for every peer's end-of-stream, folds the staged
@@ -855,10 +1051,10 @@ func (n *node) barrierPhase(step int64) error {
 		timeoutC = tm.C
 	}
 	seen := make([]bool, n.total)
-	for need := n.total - 1; need > 0; {
+	for need := n.nMembers - 1; need > 0; {
 		select {
 		case mk := <-n.eosCh:
-			if mk.round == round && !seen[mk.sender] {
+			if mk.round == round && n.member[mk.sender] && !seen[mk.sender] {
 				seen[mk.sender] = true
 				need--
 			}
@@ -894,8 +1090,11 @@ func (n *node) barrierPhase(step int64) error {
 	return n.coord.writeFrame(fComputeOver, u64Payload(uint64(step), uint64(updates)))
 }
 
-func (n *node) sendValues() error {
-	first, end := n.interval.FirstVertex, n.interval.EndVertex
+func (n *node) sendValues(iv int) error {
+	if iv < 0 || iv >= len(n.ivs) || n.owners[iv] != n.id {
+		return fmt.Errorf("cluster: node %d asked for values of interval %d it does not host", n.id, iv)
+	}
+	first, end := n.ivs[iv].FirstVertex, n.ivs[iv].EndVertex
 	payloads := make([]uint64, 0, end-first)
 	for v := first; v < end; v++ {
 		payloads = append(payloads, n.vf.Value(v))
@@ -907,16 +1106,20 @@ func (n *node) sendValues() error {
 // remote batches arriving through the same mailbox). Unlike the
 // single-machine engine it does not fold messages the moment they
 // arrive: arrival order across peers is a race, and a bit-identical
-// retry needs a deterministic fold. Batches are staged per sender —
-// each sender's stream is already in deterministic (sequence) order —
-// and folded at the barrier in sender-id order. For combinable programs
-// staged runs are compacted eagerly with the stable combiner, so the
-// dispatch/compute overlap still does the combining work in-flight.
+// retry needs a deterministic fold. Batches are staged per SOURCE
+// INTERVAL — each source's stream is already in deterministic (dispatch)
+// order — and folded at the barrier in ascending interval order. Keying
+// by interval rather than node id is what makes the fold invariant under
+// elastic membership: migrating an interval changes which node's stream
+// carries its batches, never the staging slot or fold position. For
+// combinable programs staged runs are compacted eagerly with the stable
+// combiner, so the dispatch/compute overlap still does the combining
+// work in-flight.
 type nodeComputer struct {
 	node    *node
 	id      int
 	updates int64
-	staged  [][]core.Message // indexed by sender node id
+	staged  [][]core.Message // indexed by source interval
 }
 
 // Execute runs the computing actor loop. Panics in the vertex program are
@@ -929,7 +1132,7 @@ func (c *nodeComputer) Execute() (err error) {
 		}
 	}()
 	n := c.node
-	c.staged = make([][]core.Message, n.total)
+	c.staged = make([][]core.Message, len(n.ivs))
 	for {
 		m, ok := n.toComp[c.id].Get()
 		if !ok || m.done {
@@ -955,15 +1158,16 @@ func (c *nodeComputer) Execute() (err error) {
 		if m.round < n.round.Load() {
 			continue // straggler from an aborted attempt
 		}
-		c.staged[m.sender] = append(c.staged[m.sender], m.batch...)
-		if n.combiner != nil && len(c.staged[m.sender]) >= 2*n.cfg.BatchSize {
-			c.staged[m.sender] = core.CombineBatch(c.staged[m.sender], n.combiner)
+		c.staged[m.src] = append(c.staged[m.src], m.batch...)
+		if n.combiner != nil && len(c.staged[m.src]) >= 2*n.cfg.BatchSize {
+			c.staged[m.src] = core.CombineBatch(c.staged[m.src], n.combiner)
 		}
 	}
 }
 
-// apply folds the staged batches into the update column, sender by sender
-// in node-id order — the deterministic fold the staging exists for.
+// apply folds the staged batches into the update column, source interval
+// by source interval in ascending order — the deterministic,
+// membership-invariant fold the staging exists for.
 func (c *nodeComputer) apply() {
 	n := c.node
 	step := n.vf.Epoch()

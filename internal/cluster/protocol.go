@@ -42,11 +42,26 @@ const (
 	fRollback       = 15 // coordinator -> node: step u64, round u64 (discard in-flight state; next attempt is round)
 	fRollbackOver   = 16 // node -> coordinator: step u64 (rollback done, quiesced)
 	fStepFailed     = 17 // node -> coordinator: step u64, reason string (retryable step-level failure)
+
+	// Elastic membership frames (v3). Migration is barrier-only: the
+	// coordinator issues these between supersteps, never inside one.
+	fJoin        = 18 // node -> coordinator: nodeID u32, epoch u64, dataAddr string (a brand-new node dialing into a running job)
+	fMigrateOut  = 19 // coordinator -> donor: interval u32, epoch u64 (extract and return the interval)
+	fMigrateData = 20 // donor -> coordinator: interval u32, checksummed vertexfile blob
+	fMigrateIn   = 21 // coordinator -> recipient: interval u32, blob (adopt it)
+	fMigrateDone = 22 // recipient -> coordinator: interval u32 (adopted, durable)
+	fRouting     = 23 // coordinator -> node: n u32, then n owner u32s (interval -> node table, atomically swapped)
+	fRoutingOver = 24 // node -> coordinator: routing table installed
+	fDrain       = 25 // coordinator -> node: all intervals shed; exit cleanly
+	fDrainOver   = 26 // node -> coordinator: draining acknowledged
 )
 
 // protoVersion is the frame format version. A peer speaking any other
 // version is rejected at the first frame instead of being misparsed.
-const protoVersion = 2
+// v3: batch frames carry the source interval id (elastic membership
+// decoupled message grouping from node identity) and the membership
+// frames above exist.
+const protoVersion = 3
 
 const maxFrame = 64 << 20
 
@@ -112,15 +127,31 @@ func closeQuietly(c io.Closer) {
 	_ = c.Close() //lint:syncerr best-effort release on teardown; the primary error is already propagating
 }
 
+// membershipFrame reports whether kind belongs to the elastic-membership
+// protocol — the frames the chaos harness can disturb through the
+// cluster.migrate.* fault sites.
+func membershipFrame(kind byte) bool { return kind >= fJoin && kind <= fDrainOver }
+
 // writeFrame sends one frame and flushes it. On data-plane connections
 // the fault sites fire before anything is buffered, so an injected drop
 // never tears a frame: the sender can redial and resend it whole.
+// Membership frames consult their own sites (membershipFault), two of
+// which — corrupt and short-write — deliberately damage the frame on the
+// wire so the receiver's checksum, not the sender, has to catch it.
 func (c *conn) writeFrame(kind byte, payload []byte) error {
 	if c.data {
 		fault.Stall(fault.SiteConnStall)
 		if ferr := fault.Error(fault.SiteConnDrop); ferr != nil {
 			closeQuietly(c.c)
 			return fmt.Errorf("cluster: injected connection drop: %w", ferr)
+		}
+	}
+	var corrupt, short bool
+	if membershipFrame(kind) {
+		var ferr error
+		if corrupt, short, ferr = membershipFault(); ferr != nil {
+			closeQuietly(c.c)
+			return fmt.Errorf("cluster: injected migration reset: %w", ferr)
 		}
 	}
 	c.wmu.Lock()
@@ -132,6 +163,33 @@ func (c *conn) writeFrame(kind byte, payload []byte) error {
 	crc := crc32.Update(0, castagnoli, hdr[4:6])
 	crc = crc32.Update(crc, castagnoli, payload)
 	binary.LittleEndian.PutUint32(hdr[6:], crc)
+	if corrupt {
+		// The CRC above covers the original bytes; flipping one bit after
+		// sealing it guarantees the receiver rejects the frame at decode.
+		if len(payload) > 0 {
+			cp := make([]byte, len(payload))
+			copy(cp, payload)
+			cp[len(cp)/2] ^= 0x40
+			payload = cp
+		} else {
+			hdr[6] ^= 0x40
+		}
+	}
+	if short {
+		// A prefix reaches the wire, then the connection dies: the torn
+		// frame the length prefix + checksum must surface as an error.
+		if _, err := c.bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := c.bw.Write(payload[:len(payload)/2]); err != nil {
+			return err
+		}
+		if err := c.bw.Flush(); err != nil {
+			return err
+		}
+		closeQuietly(c.c)
+		return fmt.Errorf("cluster: injected migration short write: %w", fault.ErrInjected)
+	}
 	if _, err := c.bw.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -349,17 +407,22 @@ func parseAddrBook(p []byte) ([]string, error) {
 }
 
 // batchPayload frames a data batch tagged with the superstep attempt
-// (round) and the sender's per-round sequence number. The tags make the
+// (round), the sender's per-round sequence number, and the source
+// interval the batch was generated from. The round/seq tags make the
 // data plane exactly-once over an at-least-once transport: a resent
 // frame that was in fact delivered is deduplicated by seq, frames racing
 // across an old and a redialed connection are released in seq order, and
-// anything from an aborted round is dropped at the gate.
-func batchPayload(round, seq uint64, batch []core.Message) []byte {
-	b := make([]byte, 16+4+12*len(batch))
+// anything from an aborted round is dropped at the gate. The src tag
+// keys the receiver's compute staging by interval rather than by node,
+// so the barrier fold order — and with it bit-identical results — is
+// invariant under migration, join, and drain.
+func batchPayload(round, seq uint64, src uint32, batch []core.Message) []byte {
+	b := make([]byte, 24+12*len(batch))
 	binary.LittleEndian.PutUint64(b[0:], round)
 	binary.LittleEndian.PutUint64(b[8:], seq)
-	binary.LittleEndian.PutUint32(b[16:], uint32(len(batch)))
-	off := 20
+	binary.LittleEndian.PutUint32(b[16:], src)
+	binary.LittleEndian.PutUint32(b[20:], uint32(len(batch)))
+	off := 24
 	for _, m := range batch {
 		binary.LittleEndian.PutUint32(b[off:], m.Dst)
 		binary.LittleEndian.PutUint64(b[off+4:], m.Val)
@@ -368,20 +431,21 @@ func batchPayload(round, seq uint64, batch []core.Message) []byte {
 	return b
 }
 
-func parseBatch(p []byte) (round, seq uint64, batch []core.Message, err error) {
-	if len(p) < 20 {
-		return 0, 0, nil, fmt.Errorf("cluster: short batch")
+func parseBatch(p []byte) (round, seq uint64, src uint32, batch []core.Message, err error) {
+	if len(p) < 24 {
+		return 0, 0, 0, nil, fmt.Errorf("cluster: short batch")
 	}
 	round = binary.LittleEndian.Uint64(p[0:])
 	seq = binary.LittleEndian.Uint64(p[8:])
-	n := int(binary.LittleEndian.Uint32(p[16:]))
+	src = binary.LittleEndian.Uint32(p[16:])
+	n := int(binary.LittleEndian.Uint32(p[20:]))
 	// Guard the multiplication: an adversarial count must not wrap around
 	// and slip past the length check.
-	if n < 0 || n > (len(p)-20)/12 || len(p) != 20+12*n {
-		return 0, 0, nil, fmt.Errorf("cluster: batch of %d messages in %d bytes", n, len(p))
+	if n < 0 || n > (len(p)-24)/12 || len(p) != 24+12*n {
+		return 0, 0, 0, nil, fmt.Errorf("cluster: batch of %d messages in %d bytes", n, len(p))
 	}
 	out := make([]core.Message, n)
-	off := 20
+	off := 24
 	for i := range out {
 		out[i] = core.Message{
 			Dst: binary.LittleEndian.Uint32(p[off:]),
@@ -389,7 +453,88 @@ func parseBatch(p []byte) (round, seq uint64, batch []core.Message, err error) {
 		}
 		off += 12
 	}
-	return round, seq, out, nil
+	return round, seq, src, out, nil
+}
+
+// ivPayload / parseIv carry a single interval id (fValuesReq,
+// fMigrateDone).
+func ivPayload(iv uint32) []byte {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint32(b, iv)
+	return b
+}
+
+func parseIv(p []byte) (uint32, error) {
+	if len(p) < 4 {
+		return 0, fmt.Errorf("cluster: short interval frame")
+	}
+	return binary.LittleEndian.Uint32(p), nil
+}
+
+// migrateReqPayload asks a donor to extract an interval: the epoch pins
+// the barrier both sides must agree on, so a request that raced a
+// rollback is rejected instead of shipping stale state.
+func migrateReqPayload(iv uint32, epoch uint64) []byte {
+	b := make([]byte, 12)
+	binary.LittleEndian.PutUint32(b[0:], iv)
+	binary.LittleEndian.PutUint64(b[4:], epoch)
+	return b
+}
+
+func parseMigrateReq(p []byte) (iv uint32, epoch uint64, err error) {
+	if len(p) < 12 {
+		return 0, 0, fmt.Errorf("cluster: short migrate request")
+	}
+	return binary.LittleEndian.Uint32(p[0:]), binary.LittleEndian.Uint64(p[4:]), nil
+}
+
+// migrateBlobPayload carries an extracted interval blob (fMigrateData,
+// fMigrateIn). The blob is self-validating (vertexfile digest) on top of
+// the frame checksum, so a migration can never half-apply.
+func migrateBlobPayload(iv uint32, blob []byte) []byte {
+	b := make([]byte, 4+len(blob))
+	binary.LittleEndian.PutUint32(b[0:], iv)
+	copy(b[4:], blob)
+	return b
+}
+
+func parseMigrateBlob(p []byte) (iv uint32, blob []byte, err error) {
+	if len(p) < 4 {
+		return 0, nil, fmt.Errorf("cluster: short migrate blob frame")
+	}
+	// The blob slice aliases the frame buffer, which is fresh per frame —
+	// safe to hand to AdoptInterval without copying.
+	return binary.LittleEndian.Uint32(p[0:]), p[4:], nil
+}
+
+// maxIntervals bounds the routing table size a frame may claim.
+const maxIntervals = 1 << 20
+
+// routingPayload serializes the interval -> owning-node table. Every
+// node installs it atomically at a barrier (fRouting / fRoutingOver), so
+// the whole cluster always agrees on who owns what.
+func routingPayload(owners []int) []byte {
+	b := make([]byte, 4+4*len(owners))
+	binary.LittleEndian.PutUint32(b[0:], uint32(len(owners)))
+	for i, o := range owners {
+		binary.LittleEndian.PutUint32(b[4+4*i:], uint32(o))
+	}
+	return b
+}
+
+func parseRouting(p []byte) ([]int, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("cluster: short routing table")
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	if n <= 0 || n > maxIntervals || len(p) != 4+4*n {
+		return nil, fmt.Errorf("cluster: routing table of %d intervals in %d bytes", n, len(p))
+	}
+	owners := make([]int, n)
+	for i := range owners {
+		owners[i] = int(binary.LittleEndian.Uint32(p[4+4*i:]))
+	}
+	return owners, nil
 }
 
 func valuesPayload(first int64, payloads []uint64) []byte {

@@ -126,6 +126,30 @@ const (
 	// SiteNodeKillBarrier fires at the compute barrier, before the
 	// node commits — mid-barrier death, update column dirty.
 	SiteNodeKillBarrier = "cluster.node.kill.barrier"
+	// SiteNodeKillMigrate fires when a node handles a MIGRATE frame
+	// (extract on the donor, adopt on the recipient): the node dies
+	// mid-migration, and the coordinator must roll the membership change
+	// back through the ordinary rollback/rejoin path.
+	SiteNodeKillMigrate = "cluster.node.kill.migrate"
+
+	// The cluster.migrate.* sites fire once per elastic-membership frame
+	// (MIGRATE/JOIN/DRAIN/ROUTING) a sender puts on the wire, mirroring
+	// the per-write cluster.conn.* vocabulary at frame granularity so a
+	// plan can disturb exactly the Nth step of a migration.
+	//
+	// SiteMigrateStall: Stall sleeps for the injection's Delay before the
+	// frame is written.
+	SiteMigrateStall = "cluster.migrate.stall"
+	// SiteMigrateReset: the connection is closed before the frame is
+	// buffered; the sender sees a failed write, nothing reaches the wire.
+	SiteMigrateReset = "cluster.migrate.reset"
+	// SiteMigrateCorrupt: one bit of the frame is flipped after its
+	// checksum is sealed; the receiver must reject it at decode.
+	SiteMigrateCorrupt = "cluster.migrate.corrupt"
+	// SiteMigrateShortWrite: a prefix of the frame reaches the wire and
+	// the connection dies — the torn-frame case the length prefix and
+	// checksum must surface.
+	SiteMigrateShortWrite = "cluster.migrate.shortwrite"
 )
 
 // ErrInjected is matched (via errors.Is) by every error this package

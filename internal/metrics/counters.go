@@ -59,6 +59,18 @@ const (
 	// CtrClusterChecksumFailures counts frames rejected because their
 	// CRC32C checksum did not match — corruption detected, not applied.
 	CtrClusterChecksumFailures = "cluster.checksum_failures"
+	// CtrClusterMigrations counts vertex intervals moved live between
+	// nodes (join, drain, and rebalance all migrate through the same
+	// barrier-time MIGRATE protocol).
+	CtrClusterMigrations = "cluster.migrations"
+	// CtrClusterRedistributions counts intervals of a permanently dead
+	// node redistributed to survivors (graceful N -> N-1 degradation)
+	// instead of waiting for a same-node restart.
+	CtrClusterRedistributions = "cluster.redistributions"
+	// CtrClusterJoins counts brand-new nodes absorbed into a running job.
+	CtrClusterJoins = "cluster.joins"
+	// CtrClusterDrains counts nodes shed cleanly for maintenance.
+	CtrClusterDrains = "cluster.drains"
 )
 
 // counters is a process-wide registry of named monotonic counters. The
