@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/actor ./internal/core ./internal/cluster ./internal/xstream ./internal/vertexfile ./internal/crashtest ./internal/chaostest
+	$(GO) test -race ./internal/actor ./internal/core ./internal/cluster ./internal/xstream ./internal/vertexfile ./internal/crashtest ./internal/chaostest ./internal/metrics ./internal/serve
 
 # gpsa-lint: the repository's own static analyzers (internal/lint) —
 # actor discipline, mmap aliasing, determinism, context plumbing, and
@@ -31,7 +31,9 @@ lint:
 # binary, plus the chaos smoke slices: one node kill + one corrupted
 # frame, and the elastic-membership schedule (drain under load, mid-job
 # join, permanent-death redistribution, kill mid-migration) on live
-# 3-node clusters. The full randomized schedule is `make chaos`.
+# 3-node clusters, plus the serving-layer smoke slice (submit, complete,
+# cache hit, SIGTERM drain against the real gpsa-serve binary). The full
+# randomized schedules are `make torture` and `make chaos` (nightly CI).
 check:
 	$(GO) vet ./...
 	$(MAKE) lint
@@ -40,14 +42,21 @@ check:
 	$(GO) test -shuffle=on -count=1 ./internal/core ./internal/actor
 	$(GO) test -count=1 -run 'Torture|Interrupt|ExitCodes' ./internal/crashtest
 	$(GO) test -count=1 -run 'TestChaosSmoke|TestChaosMigrationSmoke|TestChaosElastic|TestChaosCorruptFrameDetected' ./internal/chaostest
+	$(GO) test -count=1 -run 'TestServeSmoke' ./internal/servetest
 	$(MAKE) bench-smoke
 
 # Kill-torture: run cmd/gpsa as a subprocess, SIGKILL it at >=20
-# randomized supersteps/commit phases, resume with -resume, and require
-# final values bit-identical to an uninterrupted run. Skipped by
-# `go test -short`.
+# randomized supersteps/commit phases (including kills landing inside
+# -resume runs), resume with -resume, and require final values
+# bit-identical to an uninterrupted run; then the serving-layer torture:
+# SIGKILL gpsa-serve with >=4 concurrent jobs in flight (twice — the
+# second kill lands mid-resume), restart with -resume-jobs, and require
+# every job bit-identical to an undisturbed schedule, plus the overload
+# (429 shedding), SIGTERM drain, and deadline-budget scenarios. Skipped
+# by `go test -short`.
 torture:
 	$(GO) test -count=1 -v -run 'Torture|Interrupt|ExitCodes' ./internal/crashtest
+	$(GO) test -count=1 -v -timeout 600s -run 'TestServe' ./internal/servetest
 
 # Network torture: the full seeded chaos schedule over a live 3-node
 # in-process cluster — randomized node kills mid-dispatch and

@@ -22,6 +22,7 @@ import (
 	"runtime"
 
 	"repro/internal/bench"
+	"repro/internal/buildinfo"
 	"repro/internal/gen"
 	"repro/internal/metrics"
 	"repro/internal/prof"
@@ -68,7 +69,12 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		tracefile  = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("gpsa-bench", buildinfo.Version())
+		return
+	}
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile, *tracefile)
 	if err != nil {
@@ -192,6 +198,11 @@ func main() {
 		fmt.Printf("ablations (GPSA design choices, PageRank on soc-pokec@1/%d)\n%s\n", sc, bench.FormatAblations(rs))
 	}
 	if want("hotpath") {
+		if *rev == "" {
+			// Default the report label to the VCS revision stamped into
+			// the binary, so BENCH_<rev>.json names the code it measured.
+			*rev = buildinfo.Revision()
+		}
 		rep, err := bench.RunHotPath(bench.HotPathOptions{
 			Vertices:   *hpVertices,
 			Seed:       *seed,

@@ -39,6 +39,7 @@ import (
 
 	"repro"
 	"repro/internal/algorithms"
+	"repro/internal/buildinfo"
 	"repro/internal/fault"
 )
 
@@ -80,7 +81,12 @@ exit codes:
   2  usage error
   3  interrupted (SIGINT/SIGTERM); each node's last committed superstep stays durable`)
 	}
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("gpsa-cluster", buildinfo.Version())
+		return 0
+	}
 	if *graphPath == "" {
 		fmt.Fprintln(os.Stderr, "gpsa-cluster: -graph is required")
 		flag.Usage()

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/buildinfo"
 	"repro/internal/graph"
 	"repro/internal/mmap"
 )
@@ -26,7 +27,12 @@ func main() {
 		runs       = flag.Int("runs", 3, "averaging runs (paper: 3)")
 		work       = flag.String("workdir", "", "scratch directory (default: temp)")
 	)
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("gpsa-compare", buildinfo.Version())
+		return
+	}
 	if *graphPath == "" {
 		fmt.Fprintln(os.Stderr, "gpsa-compare: -graph is required")
 		flag.Usage()

@@ -14,6 +14,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/gen"
 	"repro/internal/graph"
 )
@@ -32,7 +33,12 @@ func main() {
 		symmetrize = flag.Bool("symmetrize", false, "also write <out>-sym.gpsa (for CC)")
 		compact    = flag.Bool("compact", false, "write the varint-delta compact CSR format")
 	)
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("gpsa-gen", buildinfo.Version())
+		return
+	}
 	if *out == "" && *text == "" {
 		fmt.Fprintln(os.Stderr, "gpsa-gen: at least one of -out / -text is required")
 		flag.Usage()

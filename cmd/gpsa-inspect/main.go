@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/graph"
 	"repro/internal/mmap"
 	"repro/internal/vertexfile"
@@ -24,7 +25,12 @@ func main() {
 		valuesPath = flag.String("values", "", "vertex value file to inspect")
 		n          = flag.Int("n", 10, "values to preview")
 	)
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("gpsa-inspect", buildinfo.Version())
+		return
+	}
 	if *graphPath == "" && *valuesPath == "" {
 		fmt.Fprintln(os.Stderr, "gpsa-inspect: need -graph and/or -values")
 		flag.Usage()

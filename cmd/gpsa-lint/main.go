@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/lint"
 )
 
@@ -33,7 +34,12 @@ var (
 )
 
 func run() int {
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("gpsa-lint", buildinfo.Version())
+		return 0
+	}
 
 	analyzers := lint.All()
 	if *list {
@@ -223,6 +229,8 @@ type jsonFinding struct {
 
 type jsonReport struct {
 	Module     string         `json:"module"`
+	Version    string         `json:"version"`
+	Revision   string         `json:"revision"`
 	Analyzers  []string       `json:"analyzers"`
 	Findings   []jsonFinding  `json:"findings"`
 	Suppressed []jsonFinding  `json:"suppressed"`
@@ -230,8 +238,11 @@ type jsonReport struct {
 }
 
 func emitJSON(root string, analyzers []*lint.Analyzer, diags []lint.Diagnostic) int {
+	info := buildinfo.Get()
 	rep := jsonReport{
 		Module:     "repro",
+		Version:    info.Version,
+		Revision:   info.Revision,
 		Findings:   []jsonFinding{},
 		Suppressed: []jsonFinding{},
 		Counts:     make(map[string]int),

@@ -13,6 +13,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/graph"
 	"repro/internal/mmap"
 	"repro/internal/preprocess"
@@ -28,7 +29,12 @@ func main() {
 		chunk      = flag.Int("chunk", 0, "external-sort run size in edges (0 = default)")
 		compact    = flag.Bool("compact", false, "write the varint-delta compact CSR format")
 	)
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("gpsa-preprocess", buildinfo.Version())
+		return
+	}
 	if *in == "" || *out == "" {
 		fmt.Fprintln(os.Stderr, "gpsa-preprocess: -in and -out are required")
 		flag.Usage()

@@ -46,6 +46,7 @@ import (
 	"syscall"
 
 	"repro"
+	"repro/internal/buildinfo"
 	"repro/internal/fault"
 	"repro/internal/prof"
 )
@@ -92,7 +93,12 @@ exit codes:
   3  run stopped but -values holds resumable state (rerun with -resume)
   4  fatal: run failed with no resumable state`)
 	}
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("gpsa", buildinfo.Version())
+		return 0
+	}
 	if *graphPath == "" {
 		fmt.Fprintln(os.Stderr, "gpsa: -graph is required")
 		flag.Usage()

@@ -129,6 +129,11 @@ type RunOptions struct {
 	// bytes before an incremental mid-dispatch flush; 0 selects the
 	// engine default (256 KiB).
 	AccumBudget int
+	// MailboxCap bounds each computing worker's mailbox depth in batches
+	// (0 = engine default, 64). The serving layer uses it as a per-job
+	// memory budget: a misbehaving or oversized job back-pressures its
+	// own dispatchers instead of growing process memory.
+	MailboxCap int
 }
 
 // ParseAccumMode validates an Accum option string ("", "auto", "dense",
@@ -149,6 +154,7 @@ func (o RunOptions) engineConfig() core.Config {
 		Progress:         o.Progress,
 		AccumMode:        mode,
 		AccumBudget:      o.AccumBudget,
+		MailboxCap:       o.MailboxCap,
 	}
 }
 
@@ -180,6 +186,27 @@ func (v *Values) Float64(x int64) float64 { return vertexfile.UnpackFloat64(v.vf
 // component labels).
 func (v *Values) Uint(x int64) uint64 { return v.vf.Value(x) }
 
+// Digest folds every vertex payload into an FNV-1a digest — a cheap
+// whole-result equivalence check: bit-identical values imply equal
+// digests, which is how the serving layer compares a resumed job's
+// outcome against an undisturbed run's.
+func (v *Values) Digest() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	n := v.vf.NumVertices()
+	for i := int64(0); i < n; i++ {
+		w := v.vf.Value(i)
+		for b := 0; b < 8; b++ {
+			h ^= (w >> (8 * b)) & 0xFF
+			h *= prime64
+		}
+	}
+	return h
+}
+
 // Close releases the store.
 func (v *Values) Close() error {
 	err := v.vf.Close()
@@ -191,6 +218,36 @@ func (v *Values) Close() error {
 	return err
 }
 
+// Graph is an open, resident on-disk CSR graph: the mmap'd edge file
+// stays hot across any number of runs, which is what a long-lived
+// serving process wants (open once, run many jobs). The zero value is
+// not usable; obtain one with OpenGraph and Close it when done.
+type Graph struct {
+	gf   *graph.File
+	path string
+}
+
+// OpenGraph opens the on-disk CSR graph at path for repeated runs.
+func OpenGraph(path string) (*Graph, error) {
+	gf, err := graph.OpenFile(path, mmap.ModeAuto)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{gf: gf, path: path}, nil
+}
+
+// NumVertices returns the graph's vertex count.
+func (g *Graph) NumVertices() int64 { return g.gf.NumVertices }
+
+// NumEdges returns the graph's edge count.
+func (g *Graph) NumEdges() int64 { return g.gf.NumEdges }
+
+// Path returns the path the graph was opened from.
+func (g *Graph) Path() string { return g.path }
+
+// Close releases the graph's mapping. Runs using it must have finished.
+func (g *Graph) Close() error { return g.gf.Close() }
+
 // Run executes prog over the on-disk CSR graph at graphPath and returns
 // the run summary plus the resulting vertex values. The caller must Close
 // the returned Values.
@@ -201,12 +258,19 @@ func (v *Values) Close() error {
 // survived the crash) and execution proceeds from the recorded superstep.
 // On failure the Result — when non-nil — still carries what ran.
 func Run(graphPath string, prog Program, opts RunOptions) (*Values, *Result, error) {
-	gf, err := graph.OpenFile(graphPath, mmap.ModeAuto)
+	g, err := OpenGraph(graphPath)
 	if err != nil {
 		return nil, nil, err
 	}
-	defer gf.Close()
+	defer g.Close()
+	return RunOn(g, prog, opts)
+}
 
+// RunOn is Run over an already-open Graph, which stays open (and hot)
+// afterwards: the serving layer keeps graphs resident and multiplexes
+// many jobs — fresh runs and resumes alike — over one Graph handle.
+func RunOn(g *Graph, prog Program, opts RunOptions) (*Values, *Result, error) {
+	gf := g.gf
 	var vals *Values
 	resumedFrom := int64(-1)
 	recovery := ""
@@ -230,7 +294,7 @@ func Run(graphPath string, prog Program, opts RunOptions) (*Values, *Result, err
 		vpath := opts.ValuesPath
 		temp := vpath == ""
 		if temp {
-			f, err := os.CreateTemp(filepath.Dir(graphPath), ".gpsa-values-*")
+			f, err := os.CreateTemp(filepath.Dir(g.path), ".gpsa-values-*")
 			if err != nil {
 				return nil, nil, fmt.Errorf("gpsa: temp value file: %w", err)
 			}

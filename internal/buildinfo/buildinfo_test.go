@@ -1,0 +1,45 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func TestReadMissingBuildInfo(t *testing.T) {
+	info := read(nil, false)
+	if info.Version != "dev" || info.Revision != "unknown" {
+		t.Fatalf("fallback info = %+v", info)
+	}
+	if info.GoVersion == "" {
+		t.Fatal("fallback info has empty GoVersion")
+	}
+}
+
+func TestReadExtractsVCS(t *testing.T) {
+	bi := &debug.BuildInfo{
+		GoVersion: "go1.24.0",
+		Main:      debug.Module{Version: "(devel)"},
+		Settings: []debug.BuildSetting{
+			{Key: "vcs.revision", Value: "0123456789abcdef0123456789abcdef01234567"},
+			{Key: "vcs.modified", Value: "true"},
+		},
+	}
+	info := read(bi, true)
+	if info.Revision != "0123456789ab+dirty" {
+		t.Fatalf("revision = %q", info.Revision)
+	}
+	if info.Version != "(devel)" || info.GoVersion != "go1.24.0" {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestVersionOneLine(t *testing.T) {
+	v := Version()
+	if v == "" || strings.Contains(v, "\n") {
+		t.Fatalf("Version() = %q, want one non-empty line", v)
+	}
+	if !strings.Contains(v, Get().Revision) {
+		t.Fatalf("Version() %q does not carry the revision %q", v, Get().Revision)
+	}
+}

@@ -299,3 +299,112 @@ func TestExitCodes(t *testing.T) {
 		t.Errorf("-resume from garbage: exit %d, want 4", got)
 	}
 }
+
+// TestTortureKillDuringResume closes the recovery loop on itself: for
+// each shipped algorithm the binary is killed once to leave a resumable
+// survivor, then killed AGAIN while a -resume run is replaying it —
+// recovery must itself be recoverable, any number of generations deep —
+// and the final clean resume must still match the uninterrupted
+// baseline bit for bit.
+func TestTortureKillDuringResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess torture harness")
+	}
+	cases := []struct {
+		name  string
+		graph func() string
+		args  []string
+		seed  int64
+	}{
+		{"pagerank", func() string { return directedGraph }, []string{"-algo", "pagerank", "-supersteps", "12"}, 111},
+		{"pagerank-sparse", func() string { return directedGraph }, []string{"-algo", "pagerank", "-supersteps", "12", "-accum", "sparse"}, 444},
+		{"bfs", func() string { return directedGraph }, []string{"-algo", "bfs", "-root", "0"}, 222},
+		{"cc", func() string { return symmetricGraph }, []string{"-algo", "cc"}, 333},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			killDuringResumeCase(t, tc.graph(), tc.args, 4, tc.seed)
+		})
+	}
+}
+
+// killDuringResumeCase drives wantResumeKills SIGKILLs that each land
+// inside a -resume run (kills that land in fresh runs only serve to
+// manufacture the resumable survivor).
+func killDuringResumeCase(t *testing.T, graphPath string, algoArgs []string, wantResumeKills int, seed int64) {
+	dir := t.TempDir()
+	baseline := runBaseline(t, graphPath, algoArgs, dir)
+
+	values := filepath.Join(dir, "resume-torture.gpvf")
+	commonArgs := append([]string{"-graph", graphPath, "-dispatchers", "1", "-values", values}, algoArgs...)
+	rng := rand.New(rand.NewSource(seed))
+	resumeKills := 0
+	for attempt := 0; resumeKills < wantResumeKills; attempt++ {
+		if attempt > 80 {
+			t.Fatalf("only %d of %d resume-kills after %d attempts", resumeKills, wantResumeKills, attempt)
+		}
+		args := commonArgs
+		isResume := resumable(values)
+		if isResume {
+			args = append(append([]string{}, commonArgs...), "-resume")
+		} else {
+			os.Remove(values) // survivor lost: manufacture a new one first
+		}
+		var spec string
+		var killAfter time.Duration
+		if rng.Intn(4) == 0 {
+			killAfter = time.Duration(5+rng.Intn(80)) * time.Millisecond
+		} else {
+			spec = fmt.Sprintf("site=%s,after=%d", killSites[rng.Intn(len(killSites))], 1+rng.Intn(3))
+		}
+		res, err := runBinary(gpsaBin, args, spec, killAfter, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case res.killed:
+			if isResume {
+				resumeKills++
+			}
+		case res.exitCode == 0:
+			// Finished before the kill fired: verify and restart fresh.
+			state, rerr := readState(values)
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			if !state.equal(baseline) {
+				t.Fatalf("completed run diverged from baseline (epoch %d vs %d)", state.epoch, baseline.epoch)
+			}
+			os.Remove(values)
+		default:
+			t.Fatalf("unexpected outcome (exit %d, plan %q, timer %v)\nstdout:\n%s\nstderr:\n%s",
+				res.exitCode, spec, killAfter, res.stdout, res.stderr)
+		}
+	}
+
+	// The multiply-killed survivor must still resume to the baseline.
+	if !resumable(values) {
+		t.Fatalf("survivor not resumable after %d resume-kills", resumeKills)
+	}
+	res, err := runBinary(gpsaBin, append(append([]string{}, commonArgs...), "-resume"), "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.exitCode != 0 {
+		t.Fatalf("final resume exited %d\nstdout:\n%s\nstderr:\n%s", res.exitCode, res.stdout, res.stderr)
+	}
+	if !strings.Contains(res.stdout, "resumed at superstep") {
+		t.Fatalf("final resume did not report its resume point:\n%s", res.stdout)
+	}
+	state, err := readState(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !state.equal(baseline) {
+		t.Fatalf("after %d kills-during-resume: final state diverged from baseline (epoch %d vs %d, converged %v vs %v)",
+			resumeKills, state.epoch, baseline.epoch, state.converged, baseline.converged)
+	}
+	t.Logf("%d SIGKILLs landed inside -resume runs; final state bit-identical to baseline (epoch %d)", resumeKills, state.epoch)
+}

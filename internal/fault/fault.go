@@ -114,6 +114,25 @@ const (
 	// synced (the superstep is durable; death here must lose nothing).
 	SiteKillCommitDone = "kill.commit.done"
 
+	// The serve.* sites fire inside the long-lived serving layer
+	// (internal/serve), where the unit of failure is a whole job rather
+	// than a superstep.
+	//
+	// SiteServeJobFail fires once per job execution attempt, before the
+	// engine runs; Error simulates a transient job-tier failure (graph
+	// momentarily unreadable, resource exhaustion) so tests can pin the
+	// job manager's retry-with-backoff and the circuit breaker that
+	// quarantines a repeatedly failing (graph, program) pair.
+	SiteServeJobFail = "serve.job.fail"
+	// SiteServeJournalSync fires in the job journal's append path; Error
+	// simulates the journal fsync failing (disk full, I/O error) — the
+	// submission must be refused rather than acknowledged undurably.
+	SiteServeJournalSync = "serve.journal.sync"
+	// SiteKillServeJournal is a kill.* site consulted with Crash after a
+	// journal record is written but before it is synced: process death
+	// with a possibly torn journal tail, which replay must tolerate.
+	SiteKillServeJournal = "kill.serve.journal"
+
 	// The cluster.node.kill.* sites simulate a cluster node dying abruptly
 	// (in-process SIGKILL): consulted with Error, a firing makes the node
 	// abandon the superstep without commit, close nothing gracefully, and

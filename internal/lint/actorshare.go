@@ -6,7 +6,7 @@ import (
 
 // ActorShare enforces the share-nothing actor discipline of the engine
 // (paper §III: actors communicate only through mailbox messages). Inside
-// the engine and cluster packages every unit of concurrency must be
+// the engine, cluster, and serving packages every unit of concurrency must be
 // spawned through internal/actor's supervised System — a raw `go`
 // statement escapes supervision (no panic conversion, no restart policy,
 // no name-ordered failure collection, invisible to Wait) — and every
@@ -18,7 +18,7 @@ var ActorShare = &Analyzer{
 	Name: "actorshare",
 	Doc: "raw goroutine spawns and bare channel sends bypass the " +
 		"supervised actor/mailbox API in engine and cluster code",
-	Packages: []string{"internal/core", "internal/cluster"},
+	Packages: []string{"internal/core", "internal/cluster", "internal/serve"},
 	Run:      runActorShare,
 }
 

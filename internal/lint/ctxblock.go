@@ -5,10 +5,10 @@ import (
 	"go/token"
 )
 
-// CtxBlock enforces context plumbing in the engine, cluster, and actor
-// packages, where every blocking call must stay cancellable: the graceful
-// shutdown and watchdog stories (SIGINT rollback, superstep timeouts)
-// only work if cancellation reaches every wait.
+// CtxBlock enforces context plumbing in the engine, cluster, actor, and
+// serving packages, where every blocking call must stay cancellable: the
+// graceful shutdown and watchdog stories (SIGINT rollback, superstep
+// timeouts, SIGTERM drain) only work if cancellation reaches every wait.
 //
 // Two rules:
 //
@@ -25,7 +25,7 @@ var CtxBlock = &Analyzer{
 	Name: "ctxblock",
 	Doc: "exported blocking calls must accept a context.Context, and " +
 		"library code must not call context.Background()",
-	Packages: []string{"internal/core", "internal/cluster", "internal/actor"},
+	Packages: []string{"internal/core", "internal/cluster", "internal/actor", "internal/serve"},
 	Run:      runCtxBlock,
 }
 

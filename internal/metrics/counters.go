@@ -71,6 +71,42 @@ const (
 	CtrClusterJoins = "cluster.joins"
 	// CtrClusterDrains counts nodes shed cleanly for maintenance.
 	CtrClusterDrains = "cluster.drains"
+
+	// The serve.* counters record the job tier of the long-lived serving
+	// layer (internal/serve); the servetest harness asserts on them to
+	// prove overload shedding, journal recovery, and budget enforcement
+	// actually happened.
+	//
+	// CtrServeAdmitted counts jobs accepted into the bounded queue.
+	CtrServeAdmitted = "serve.admitted"
+	// CtrServeShed counts submissions refused with 429 because the queue
+	// was full — clean backpressure instead of unbounded memory.
+	CtrServeShed = "serve.shed"
+	// CtrServeResumed counts jobs recovered from the job journal at
+	// startup (-resume-jobs): interrupted or still-queued jobs of a
+	// previous process generation, re-run to completion.
+	CtrServeResumed = "serve.resumed"
+	// CtrServeDeadlineExceeded counts jobs stopped at their wall-clock
+	// deadline: the run's context is cancelled, the in-flight superstep
+	// rolled back, and the value file sealed resumable.
+	CtrServeDeadlineExceeded = "serve.deadline_exceeded"
+	// CtrServeCompleted and CtrServeFailed count terminal job outcomes.
+	CtrServeCompleted = "serve.completed"
+	CtrServeFailed    = "serve.failed"
+	// CtrServeInterrupted counts in-flight jobs checkpointed (rolled
+	// back + sealed) because the server drained.
+	CtrServeInterrupted = "serve.interrupted"
+	// CtrServeRetries counts job-tier retry attempts after transient
+	// failures (the job analogue of core.MaxStepRetries).
+	CtrServeRetries = "serve.retries"
+	// CtrServeCacheHits counts submissions answered from the result
+	// cache keyed by (graph digest, program, params).
+	CtrServeCacheHits = "serve.cache.hits"
+	// CtrServeBreakerOpen counts circuit-breaker trips quarantining a
+	// (graph, program) pair; CtrServeBreakerRejected counts submissions
+	// refused while quarantined.
+	CtrServeBreakerOpen     = "serve.breaker.open"
+	CtrServeBreakerRejected = "serve.breaker.rejected"
 )
 
 // counters is a process-wide registry of named monotonic counters. The

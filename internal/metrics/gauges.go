@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Gauge names recorded by the serving layer. Unlike the monotonic
+// counters, gauges move both ways — the servetest harness and /metrics
+// endpoint read them as point-in-time levels.
+const (
+	// GaugeServeQueueDepth is the number of jobs waiting in the
+	// admission queue (bounded; see internal/serve).
+	GaugeServeQueueDepth = "serve.queue.depth"
+	// GaugeServeInflight is the number of jobs currently executing.
+	GaugeServeInflight = "serve.jobs.inflight"
+	// GaugeServeResidentGraphs is the number of graph files held open
+	// (mmap'd hot) by the serving process.
+	GaugeServeResidentGraphs = "serve.graphs.resident"
+	// GaugeServeDraining is 1 while the server is draining (admissions
+	// stopped, in-flight jobs checkpointing), 0 otherwise.
+	GaugeServeDraining = "serve.draining"
+)
+
+// gauges is a process-wide registry of named gauges, mirroring the
+// counter registry: append-only map under the sync.Map, atomic values,
+// so SetGauge/AddGauge after first use are lock-free.
+var gauges sync.Map // string -> *atomic.Int64
+
+func gauge(name string) *atomic.Int64 {
+	if g, ok := gauges.Load(name); ok {
+		return g.(*atomic.Int64)
+	}
+	g, _ := gauges.LoadOrStore(name, new(atomic.Int64))
+	return g.(*atomic.Int64)
+}
+
+// SetGauge sets the named gauge to v.
+func SetGauge(name string, v int64) { gauge(name).Store(v) }
+
+// AddGauge adds delta (which may be negative) to the named gauge and
+// returns the new value.
+func AddGauge(name string, delta int64) int64 { return gauge(name).Add(delta) }
+
+// GaugeValue returns the named gauge's current value (0 if never set).
+func GaugeValue(name string) int64 {
+	if g, ok := gauges.Load(name); ok {
+		return g.(*atomic.Int64).Load()
+	}
+	return 0
+}
+
+// NamedValue is one metric in a snapshot.
+type NamedValue struct {
+	Name  string
+	Value int64
+	Kind  string // "counter" or "gauge"
+}
+
+// Gauges snapshots every gauge, sorted by name.
+func Gauges() []NamedValue {
+	var out []NamedValue
+	gauges.Range(func(k, v any) bool {
+		out = append(out, NamedValue{Name: k.(string), Value: v.(*atomic.Int64).Load(), Kind: "gauge"})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ResetGauges zeroes every gauge (test isolation).
+func ResetGauges() {
+	gauges.Range(func(_, v any) bool {
+		v.(*atomic.Int64).Store(0)
+		return true
+	})
+}
+
+// Dump snapshots every counter and gauge in one name-sorted slice — the
+// payload behind gpsa-serve's /metrics endpoint. Counters and gauges
+// live in separate namespaces by convention (gauge names describe
+// levels, counter names events), so a merged sort is unambiguous.
+func Dump() []NamedValue {
+	var out []NamedValue
+	for _, c := range Counters() {
+		out = append(out, NamedValue{Name: c.Name, Value: c.Value, Kind: "counter"})
+	}
+	out = append(out, Gauges()...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGaugeSetAddValue(t *testing.T) {
+	ResetGauges()
+	if got := GaugeValue("test.gauge.a"); got != 0 {
+		t.Fatalf("untouched gauge reads %d, want 0", got)
+	}
+	SetGauge("test.gauge.a", 7)
+	if got := GaugeValue("test.gauge.a"); got != 7 {
+		t.Fatalf("after Set(7): %d", got)
+	}
+	if got := AddGauge("test.gauge.a", -3); got != 4 {
+		t.Fatalf("Add(-3) returned %d, want 4", got)
+	}
+	if got := GaugeValue("test.gauge.a"); got != 4 {
+		t.Fatalf("after Add(-3): %d", got)
+	}
+	ResetGauges()
+	if got := GaugeValue("test.gauge.a"); got != 0 {
+		t.Fatalf("after Reset: %d", got)
+	}
+}
+
+// TestGaugeConcurrent exercises the registry under -race: concurrent
+// first-use registration, adds, sets, and snapshots must be safe.
+func TestGaugeConcurrent(t *testing.T) {
+	ResetGauges()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for n := 0; n < 1000; n++ {
+				AddGauge("test.gauge.conc", 1)
+				AddGauge("test.gauge.conc", -1)
+				if n%100 == 0 {
+					Gauges()
+					Dump()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := GaugeValue("test.gauge.conc"); got != 0 {
+		t.Fatalf("balanced adds left gauge at %d, want 0", got)
+	}
+}
+
+func TestDumpMergesCountersAndGauges(t *testing.T) {
+	ResetGauges()
+	ResetCounters()
+	Inc("test.dump.counter")
+	SetGauge("test.dump.gauge", 5)
+	var sawCtr, sawGauge bool
+	prev := ""
+	for _, nv := range Dump() {
+		if nv.Name < prev {
+			t.Fatalf("Dump not sorted: %q after %q", nv.Name, prev)
+		}
+		prev = nv.Name
+		switch nv.Name {
+		case "test.dump.counter":
+			sawCtr = nv.Kind == "counter" && nv.Value == 1
+		case "test.dump.gauge":
+			sawGauge = nv.Kind == "gauge" && nv.Value == 5
+		}
+	}
+	if !sawCtr || !sawGauge {
+		t.Fatalf("Dump missing entries: counter=%v gauge=%v", sawCtr, sawGauge)
+	}
+}

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// breaker is a per-(graph, program) circuit breaker: after threshold
+// consecutive job failures on the same pair, further submissions for it
+// are refused for a cooldown, so a poisoned workload cannot monopolize
+// workers with doomed retries. A success closes the circuit and clears
+// the failure count.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu    sync.Mutex
+	state map[string]*breakerEntry
+}
+
+type breakerEntry struct {
+	failures  int
+	openUntil time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, state: make(map[string]*breakerEntry)}
+}
+
+// allow reports whether key may submit; when refused it also returns
+// how long until the quarantine lapses (the Retry-After hint).
+func (b *breaker) allow(key string) (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.state[key]
+	if !ok {
+		return true, 0
+	}
+	if left := time.Until(e.openUntil); left > 0 {
+		metrics.Inc(metrics.CtrServeBreakerRejected)
+		return false, left
+	}
+	return true, 0
+}
+
+// failure records a terminal job failure for key, returning true when
+// this failure tripped the breaker open. A breaker that has lapsed into
+// half-open keeps its failure count, so a single further failure
+// re-opens it immediately.
+func (b *breaker) failure(key string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e, ok := b.state[key]
+	if !ok {
+		e = &breakerEntry{}
+		b.state[key] = e
+	}
+	e.failures++
+	if e.failures >= b.threshold {
+		e.openUntil = time.Now().Add(b.cooldown)
+		e.failures = b.threshold - 1 // half-open: one more failure re-trips
+		metrics.Inc(metrics.CtrServeBreakerOpen)
+		return true
+	}
+	return false
+}
+
+// success closes the circuit for key.
+func (b *breaker) success(key string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.state, key)
+}

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/fault"
+)
+
+// journalRecord is one JSONL line of the job journal. A job's durable
+// state is the last record bearing its id: "submitted" (with the full
+// spec) opens it, a terminal event closes it, and anything else leaves
+// it recoverable.
+type journalRecord struct {
+	ID    string   `json:"id"`
+	Event string   `json:"event"` // submitted | completed | failed | deadline_exceeded | interrupted
+	Spec  *JobSpec `json:"spec,omitempty"`
+	// Digest records the sealed values digest on completed events, so a
+	// replayed journal can validate a cached result file.
+	Digest string `json:"digest,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// journal is the append-only, fsync-per-record job journal. An
+// acknowledged submission (202) is durable before the response leaves
+// the server: a SIGKILL at any instant loses no admitted job.
+type journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+func openJournal(path string) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening job journal: %w", err)
+	}
+	return &journal{f: f, path: path}, nil
+}
+
+// append writes one record and syncs it to disk. The fault site fires
+// before the write (simulated journal I/O failure: the submission must
+// be refused, not acknowledged undurably); the kill site fires between
+// write and sync, so torture runs can die with a torn journal tail —
+// which replay tolerates.
+func (j *journal) append(rec journalRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("serve: encoding journal record: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := fault.Error(fault.SiteServeJournalSync); err != nil {
+		return fmt.Errorf("serve: journal append: %w", err)
+	}
+	if _, err := j.f.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("serve: journal append: %w", err)
+	}
+	fault.Crash(fault.SiteKillServeJournal)
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("serve: journal sync: %w", err)
+	}
+	return nil
+}
+
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// journalState is a job's durable state reduced from the journal.
+type journalState struct {
+	Spec   JobSpec
+	Event  string // last event seen
+	Digest string
+	Error  string
+	seq    int // submission order
+}
+
+// terminal reports whether the job needs no recovery. Interrupted jobs
+// are deliberately non-terminal: a -resume-jobs restart continues them.
+func (s journalState) terminal() bool {
+	switch s.Event {
+	case StatusCompleted, StatusFailed, StatusDeadline:
+		return true
+	}
+	return false
+}
+
+// replayJournal reduces the journal at path to per-job durable state,
+// in submission order. A torn final line (a crash mid-append) is
+// tolerated and ignored; corruption anywhere else is an error — a
+// journal that lies about earlier jobs must not replay silently.
+func replayJournal(path string) ([]string, map[string]journalState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, map[string]journalState{}, nil
+		}
+		return nil, nil, err
+	}
+	defer f.Close()
+
+	states := make(map[string]journalState)
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var pendingErr error
+	line := 0
+	for sc.Scan() {
+		line++
+		if pendingErr != nil {
+			// A malformed line followed by more lines is real corruption,
+			// not a torn tail.
+			return nil, nil, pendingErr
+		}
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			pendingErr = fmt.Errorf("serve: journal %s line %d: %w", path, line, err)
+			continue
+		}
+		if rec.ID == "" || rec.Event == "" {
+			pendingErr = fmt.Errorf("serve: journal %s line %d: missing id or event", path, line)
+			continue
+		}
+		st, seen := states[rec.ID]
+		if !seen {
+			if rec.Event != "submitted" || rec.Spec == nil {
+				// An event for a job whose submission record is missing:
+				// only possible as a torn tail of the previous generation's
+				// final append racing the submission sync. Tolerate at tail.
+				pendingErr = fmt.Errorf("serve: journal %s line %d: %s for unknown job %s", path, line, rec.Event, rec.ID)
+				continue
+			}
+			st = journalState{Spec: *rec.Spec, seq: len(order)}
+			order = append(order, rec.ID)
+		}
+		st.Event = rec.Event
+		if rec.Event == "submitted" && rec.Spec != nil {
+			st.Spec = *rec.Spec
+		}
+		if rec.Digest != "" {
+			st.Digest = rec.Digest
+		}
+		if rec.Error != "" {
+			st.Error = rec.Error
+		}
+		states[rec.ID] = st
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("serve: reading journal %s: %w", path, err)
+	}
+	// pendingErr still set here means the bad line was the file's last —
+	// a torn tail from a mid-append crash. The record it would have
+	// carried was never acknowledged; drop it.
+	return order, states, nil
+}

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// errQueueFull sheds a submission: the caller answers 429 + Retry-After.
+var errQueueFull = errors.New("serve: admission queue full")
+
+// errQueueClosed unwinds workers at drain time.
+var errQueueClosed = errors.New("serve: admission queue closed")
+
+// jobQueue is the bounded admission queue: jobs ordered by (priority
+// desc, admission seq asc), capacity fixed at construction. Push never
+// blocks — a full queue is an explicit shed, the backpressure the
+// serving contract requires. pop blocks under a context and an
+// eligibility predicate (per-graph concurrency caps), so a job whose
+// graph is saturated does not block higher-indexed work behind it.
+type jobQueue struct {
+	mu     sync.Mutex
+	items  []*Job // kept sorted: priority desc, seq asc
+	cap    int
+	closed bool
+	// wake is a capacity-1 doorbell: pushes and slot releases ring it
+	// with a non-blocking send, sleeping pops wait on it. A lost ring is
+	// impossible — the channel holds one pending signal, and pop
+	// re-scans before every wait.
+	wake chan struct{}
+}
+
+func newJobQueue(capacity int) *jobQueue {
+	return &jobQueue{cap: capacity, wake: make(chan struct{}, 1)}
+}
+
+// ring signals sleeping pops without ever blocking the caller.
+func (q *jobQueue) ring() {
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+// push admits j or reports the queue full/closed. O(n) insertion keeps
+// the slice sorted; admission queues are small by design (bounded).
+func (q *jobQueue) push(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errQueueClosed
+	}
+	if len(q.items) >= q.cap {
+		return errQueueFull
+	}
+	at := sort.Search(len(q.items), func(i int) bool {
+		if q.items[i].Spec.Priority != j.Spec.Priority {
+			return q.items[i].Spec.Priority < j.Spec.Priority
+		}
+		return q.items[i].seq > j.seq
+	})
+	q.items = append(q.items, nil)
+	copy(q.items[at+1:], q.items[at:])
+	q.items[at] = j
+	metrics.SetGauge(metrics.GaugeServeQueueDepth, int64(len(q.items)))
+	q.ring()
+	return nil
+}
+
+// pop removes and returns the highest-priority job for which eligible
+// returns true, blocking until one exists, ctx is cancelled, or the
+// queue closes empty of eligible work. The eligible callback runs under
+// the queue lock and may reserve resources (per-graph slots): if it
+// returns true the job is dequeued and handed to the caller.
+func (q *jobQueue) pop(ctx context.Context, eligible func(*Job) bool) (*Job, error) {
+	for {
+		q.mu.Lock()
+		for i, j := range q.items {
+			if eligible(j) {
+				copy(q.items[i:], q.items[i+1:])
+				q.items = q.items[:len(q.items)-1]
+				metrics.SetGauge(metrics.GaugeServeQueueDepth, int64(len(q.items)))
+				if len(q.items) > 0 {
+					// Cascade the wakeup: the capacity-1 doorbell may have
+					// coalesced several pushes into the signal that woke us,
+					// so pass it on while work remains for other sleepers.
+					q.ring()
+				}
+				q.mu.Unlock()
+				return j, nil
+			}
+		}
+		closed := q.closed
+		q.mu.Unlock()
+		if closed {
+			return nil, errQueueClosed
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-q.wake:
+		}
+	}
+}
+
+// drain closes the queue and returns every job still waiting, so the
+// manager can journal them as still-queued; sleeping pops unwind with
+// errQueueClosed.
+func (q *jobQueue) drain() []*Job {
+	q.mu.Lock()
+	q.closed = true
+	left := q.items
+	q.items = nil
+	metrics.SetGauge(metrics.GaugeServeQueueDepth, 0)
+	q.mu.Unlock()
+	q.ring()
+	return left
+}
+
+// depth returns the current queue length.
+func (q *jobQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro"
+	"repro/internal/metrics"
+)
+
+// residentGraph is one graph kept open (mmap'd, hot) for the server's
+// lifetime, shared by every job that names it.
+type residentGraph struct {
+	g      *gpsa.Graph
+	digest string // content digest, the cache-key prefix
+}
+
+// graphRegistry opens each servable graph once and keeps it resident.
+// Opening is serialized per registry (cold opens are rare and cheap
+// relative to a job); lookups after the first are a map read.
+type graphRegistry struct {
+	root string
+
+	mu     sync.Mutex
+	graphs map[string]*residentGraph
+}
+
+func newGraphRegistry(root string) *graphRegistry {
+	return &graphRegistry{root: root, graphs: make(map[string]*residentGraph)}
+}
+
+// get returns the resident handle for the graph named by rel (a
+// validated spec's relative path), opening and digesting it on first
+// use.
+func (r *graphRegistry) get(rel string) (*residentGraph, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rg, ok := r.graphs[rel]; ok {
+		return rg, nil
+	}
+	full := filepath.Join(r.root, filepath.FromSlash(rel))
+	g, err := gpsa.OpenGraph(full)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening graph %s: %w", rel, err)
+	}
+	dig, err := graphDigest(full, g)
+	if err != nil {
+		g.Close()
+		return nil, fmt.Errorf("serve: digesting graph %s: %w", rel, err)
+	}
+	rg := &residentGraph{g: g, digest: dig}
+	r.graphs[rel] = rg
+	metrics.SetGauge(metrics.GaugeServeResidentGraphs, int64(len(r.graphs)))
+	return rg, nil
+}
+
+// closeAll releases every resident graph (shutdown, after all jobs have
+// stopped).
+func (r *graphRegistry) closeAll() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, rg := range r.graphs {
+		rg.g.Close()
+		delete(r.graphs, name)
+	}
+	metrics.SetGauge(metrics.GaugeServeResidentGraphs, 0)
+}
+
+// graphDigest derives a content digest for the result cache: vertex and
+// edge counts, file size, and the first 64 KiB of the CSR file. Not
+// cryptographic — it distinguishes "same path, different graph" (a
+// rebuilt dataset) cheaply without streaming multi-GB files at open.
+func graphDigest(path string, g *gpsa.Graph) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return "", err
+	}
+	h := fnv.New64a()
+	var hdr [24]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(g.NumVertices()))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(g.NumEdges()))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(st.Size()))
+	h.Write(hdr[:])
+	if _, err := io.CopyN(h, f, 64<<10); err != nil && err != io.EOF {
+		return "", err
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
