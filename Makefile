@@ -3,7 +3,7 @@
 GO ?= go
 REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all build test race lint vet fmt bench bench-micro bench-smoke repro examples check torture chaos clean
+.PHONY: all build test race lint vet fmt bench bench-diff bench-micro bench-smoke bench-scale repro examples check torture chaos clean
 
 all: build test
 
@@ -77,6 +77,20 @@ vet:
 # compared (msgs/sec, supersteps/sec, alloc/msg, wall time per cell).
 bench:
 	$(GO) run ./cmd/gpsa-bench -exp hotpath -rev $(REV) -json BENCH_$(REV).json
+
+# Diff two hot-path artifacts; exits nonzero when NEW regresses any
+# cell by >10% throughput or >0.2 B/msg allocation against OLD.
+# Usage: make bench-diff OLD=BENCH_a.json NEW=BENCH_b.json
+OLD ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+NEW ?= BENCH_$(REV).json
+bench-diff:
+	$(GO) run ./cmd/gpsa-compare -bench $(OLD) $(NEW)
+
+# Out-of-core COST sweep (R-MAT ladder up to paper-scale shapes, core
+# sweep vs single-threaded GraphChi/X-Stream references); writes
+# COST_<rev>.json. Hours-scale at default shapes — see -shapes to trim.
+bench-scale:
+	$(GO) run ./cmd/gpsa-bench -exp scale -rev $(REV) -cost-json COST_$(REV).json
 
 # Fast correctness gate over the full hotpath matrix at toy scale.
 bench-smoke:

@@ -20,6 +20,8 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/buildinfo"
@@ -44,6 +46,55 @@ func writeFigureCSV(dir, id string, res *bench.FigureResult) error {
 	return f.Close()
 }
 
+// parseShapes turns the -shapes flag into a dataset list: each entry is
+// a dataset name ("base" for the 131k hot-path R-MAT, otherwise a Table
+// I name) with an optional "/denominator" scale suffix.
+func parseShapes(s string) ([]gen.Dataset, error) {
+	if s == "" {
+		return nil, nil // bench defaults
+	}
+	var out []gen.Dataset
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		name, denom := tok, int64(1)
+		if i := strings.IndexByte(tok, '/'); i >= 0 {
+			name = tok[:i]
+			d, err := strconv.ParseInt(tok[i+1:], 10, 64)
+			if err != nil || d < 1 {
+				return nil, fmt.Errorf("bad shape %q: denominator must be a positive integer", tok)
+			}
+			denom = d
+		}
+		var ds gen.Dataset
+		if name == "base" {
+			ds = bench.BaselineShape
+		} else {
+			var ok bool
+			if ds, ok = gen.FindDataset(name); !ok {
+				return nil, fmt.Errorf("unknown dataset %q (want base, google, soc-pokec, soc-liveJournal or twitter-2010)", name)
+			}
+		}
+		out = append(out, ds.Scaled(denom))
+	}
+	return out, nil
+}
+
+// parseCores turns the -cores flag into the GPSA core sweep.
+func parseCores(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil // bench default: powers of two up to NumCPU
+	}
+	var out []int
+	for _, tok := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad core count %q", tok)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 // defaultScales keeps default runs laptop-sized; -scale overrides.
 var defaultScales = map[string]int64{
 	"google":          1,
@@ -54,7 +105,7 @@ var defaultScales = map[string]int64{
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1, fig7, fig8, fig9, fig10, fig11, ablation, scalability, hotpath, all")
+		exp    = flag.String("exp", "all", "experiment: table1, fig7, fig8, fig9, fig10, fig11, ablation, scalability, hotpath, all; scale (COST sweep, not part of 'all')")
 		scale  = flag.Int64("scale", 0, "override the per-dataset default scale (1 = full size)")
 		seed   = flag.Int64("seed", 1, "dataset generator seed")
 		runs   = flag.Int("runs", 3, "averaging runs per cell (paper: 3)")
@@ -63,8 +114,14 @@ func main() {
 		csvDir = flag.String("csv", "", "also write each figure's cells as CSV into this directory")
 
 		jsonPath   = flag.String("json", "", "hotpath: write the machine-readable report to this file (BENCH_<rev>.json)")
-		rev        = flag.String("rev", "", "hotpath: revision label recorded in the report")
+		rev        = flag.String("rev", "", "hotpath/scale: revision label recorded in the report")
 		hpVertices = flag.Int64("hotpath-vertices", 0, "hotpath: R-MAT vertex count (0 = 131072)")
+
+		costJSON   = flag.String("cost-json", "", "scale: write the COST report to this file (COST_<rev>.json)")
+		shapes     = flag.String("shapes", "", "scale: comma-separated dataset shapes, each 'name' or 'name/denominator' (base, google, soc-pokec, soc-liveJournal, twitter-2010); default base,soc-liveJournal,twitter-2010/16")
+		memLimit   = flag.Int64("mem-limit", 0, "scale: Go soft heap cap in bytes for GPSA runs (0 = 1 GiB)")
+		cores      = flag.String("cores", "", "scale: comma-separated GPSA core sweep (default: powers of two up to NumCPU)")
+		noPrefetch = flag.Bool("no-prefetch", false, "scale: disable the async CSR prefetch actors")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		tracefile  = flag.String("trace", "", "write a runtime execution trace to this file")
@@ -196,6 +253,47 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("ablations (GPSA design choices, PageRank on soc-pokec@1/%d)\n%s\n", sc, bench.FormatAblations(rs))
+	}
+	if *exp == "scale" {
+		if *rev == "" {
+			*rev = buildinfo.Revision()
+		}
+		shapeList, err := parseShapes(*shapes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpsa-bench: scale: %v\n", err)
+			os.Exit(1)
+		}
+		coreList, err := parseCores(*cores)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpsa-bench: scale: %v\n", err)
+			os.Exit(1)
+		}
+		rep, err := bench.RunScale(bench.ScaleOptions{
+			Shapes:     shapeList,
+			Seed:       *seed,
+			Supersteps: *steps,
+			Runs:       1,
+			WorkDir:    *work,
+			Cores:      coreList,
+			MemLimit:   *memLimit,
+			NoPrefetch: *noPrefetch,
+			Rev:        *rev,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpsa-bench: scale: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("scale — out-of-core COST sweep (heap cap %d MiB, prefetch %v)\n%s",
+			rep.MemLimit>>20, rep.Prefetch, bench.FormatScale(rep))
+		fmt.Printf("prefetch: %d WILLNEED windows, %.1f MiB covered\n", rep.PrefetchWindows, float64(rep.PrefetchBytes)/(1<<20))
+		if *costJSON != "" {
+			if err := rep.WriteJSON(*costJSON); err != nil {
+				fmt.Fprintf(os.Stderr, "gpsa-bench: scale: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *costJSON)
+		}
+		return
 	}
 	if want("hotpath") {
 		if *rev == "" {

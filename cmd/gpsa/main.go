@@ -78,6 +78,8 @@ func run() int {
 		verbose     = flag.Bool("v", false, "print per-superstep progress")
 		accum       = flag.String("accum", "auto", "source-side accumulation for combiner programs: auto, dense, sparse, off")
 		accumBudget = flag.Int("accum-budget", 0, "accumulator bytes per (dispatcher, computer) before an incremental flush (0 = 256 KiB)")
+		prefetch    = flag.Bool("prefetch", false, "async CSR prefetch: madvise(WILLNEED) window ahead of each dispatcher, DONTNEED trail behind")
+		prefetchWin = flag.Int("prefetch-window", 0, "prefetch window bytes per dispatcher (0 = 8 MiB)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		tracefile   = flag.String("trace", "", "write a runtime execution trace to this file")
@@ -135,16 +137,18 @@ exit codes:
 	defer stop()
 
 	opts := gpsa.RunOptions{
-		Supersteps:  *supersteps,
-		Context:     ctx,
-		Resume:      *resume,
-		Dispatchers: *dispatchers,
-		Computers:   *computers,
-		ValuesPath:  *values,
-		StepRetries: *retries,
-		Watchdog:    *watchdog,
-		Accum:       *accum,
-		AccumBudget: *accumBudget,
+		Supersteps:     *supersteps,
+		Context:        ctx,
+		Resume:         *resume,
+		Dispatchers:    *dispatchers,
+		Computers:      *computers,
+		ValuesPath:     *values,
+		StepRetries:    *retries,
+		Watchdog:       *watchdog,
+		Accum:          *accum,
+		AccumBudget:    *accumBudget,
+		Prefetch:       *prefetch,
+		PrefetchWindow: *prefetchWin,
 	}
 	if *verbose {
 		opts.Progress = func(s gpsa.StepStats) {

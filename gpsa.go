@@ -134,6 +134,14 @@ type RunOptions struct {
 	// memory budget: a misbehaving or oversized job back-pressures its
 	// own dispatchers instead of growing process memory.
 	MailboxCap int
+	// Prefetch spawns an async CSR prefetch actor per dispatcher: a
+	// windowed madvise(WILLNEED) walker ahead of each edge cursor with
+	// a DONTNEED trail behind it, overlapping page-in I/O with dispatch
+	// on out-of-core graphs. Best-effort; inactive for in-memory graphs.
+	Prefetch bool
+	// PrefetchWindow is the WILLNEED window size in bytes (0 = engine
+	// default, 8 MiB). Only meaningful with Prefetch.
+	PrefetchWindow int
 }
 
 // ParseAccumMode validates an Accum option string ("", "auto", "dense",
@@ -155,6 +163,8 @@ func (o RunOptions) engineConfig() core.Config {
 		AccumMode:        mode,
 		AccumBudget:      o.AccumBudget,
 		MailboxCap:       o.MailboxCap,
+		Prefetch:         o.Prefetch,
+		PrefetchWindow:   o.PrefetchWindow,
 	}
 }
 

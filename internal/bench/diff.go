@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Regression gates for DiffHotPath: a cell regresses when its
+// throughput drops by more than 10% or its allocation rate rises by
+// more than 0.2 bytes per message against the baseline. The alloc gate
+// is absolute, not relative — the arena-pooled hot path sits at ~0 B,
+// where any relative threshold would be all noise.
+const (
+	ThroughputTolerance = 0.10
+	AllocTolerance      = 0.2
+)
+
+// BenchDiff compares one (algorithm, mode) cell across two reports.
+type BenchDiff struct {
+	Algo, Mode     string
+	OldMsgsPerSec  float64
+	NewMsgsPerSec  float64
+	OldAllocPerMsg float64
+	NewAllocPerMsg float64
+	Regression     bool
+	Reason         string // non-empty when Regression
+}
+
+// LoadHotPathReport reads a BENCH_<rev>.json artifact.
+func LoadHotPathReport(path string) (*HotPathReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep HotPathReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if len(rep.Cells) == 0 {
+		return nil, fmt.Errorf("bench: %s: no cells", path)
+	}
+	return &rep, nil
+}
+
+// DiffHotPath compares every cell present in both reports (cells only
+// one side measured are skipped — a new algorithm is not a regression).
+func DiffHotPath(oldRep, newRep *HotPathReport) []BenchDiff {
+	oldCells := map[string]HotPathCell{}
+	for _, c := range oldRep.Cells {
+		oldCells[c.Algo+"/"+c.Mode] = c
+	}
+	var diffs []BenchDiff
+	for _, nc := range newRep.Cells {
+		oc, ok := oldCells[nc.Algo+"/"+nc.Mode]
+		if !ok {
+			continue
+		}
+		d := BenchDiff{
+			Algo: nc.Algo, Mode: nc.Mode,
+			OldMsgsPerSec: oc.MsgsPerSec, NewMsgsPerSec: nc.MsgsPerSec,
+			OldAllocPerMsg: oc.AllocPerMsg, NewAllocPerMsg: nc.AllocPerMsg,
+		}
+		var reasons []string
+		if oc.MsgsPerSec > 0 && nc.MsgsPerSec < oc.MsgsPerSec*(1-ThroughputTolerance) {
+			reasons = append(reasons, fmt.Sprintf("throughput -%.1f%%",
+				100*(1-nc.MsgsPerSec/oc.MsgsPerSec)))
+		}
+		if nc.AllocPerMsg > oc.AllocPerMsg+AllocTolerance {
+			reasons = append(reasons, fmt.Sprintf("alloc/msg +%.2fB",
+				nc.AllocPerMsg-oc.AllocPerMsg))
+		}
+		if len(reasons) > 0 {
+			d.Regression = true
+			d.Reason = strings.Join(reasons, ", ")
+		}
+		diffs = append(diffs, d)
+	}
+	return diffs
+}
+
+// FormatBenchDiff renders the comparison; regressed rows are flagged.
+func FormatBenchDiff(oldRep, newRep *HotPathReport, diffs []BenchDiff) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "baseline %s vs %s\n", oldRep.Rev, newRep.Rev)
+	fmt.Fprintf(&b, "%-14s %-8s %14s %14s %8s %11s %11s  %s\n",
+		"Algo", "Mode", "old msgs/s", "new msgs/s", "delta", "old B/msg", "new B/msg", "verdict")
+	for _, d := range diffs {
+		delta := 0.0
+		if d.OldMsgsPerSec > 0 {
+			delta = 100 * (d.NewMsgsPerSec/d.OldMsgsPerSec - 1)
+		}
+		verdict := "ok"
+		if d.Regression {
+			verdict = "REGRESSION: " + d.Reason
+		}
+		fmt.Fprintf(&b, "%-14s %-8s %14.0f %14.0f %+7.1f%% %11.3f %11.3f  %s\n",
+			d.Algo, d.Mode, d.OldMsgsPerSec, d.NewMsgsPerSec, delta,
+			d.OldAllocPerMsg, d.NewAllocPerMsg, verdict)
+	}
+	return b.String()
+}

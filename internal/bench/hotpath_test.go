@@ -54,6 +54,22 @@ func TestHotPathSmoke(t *testing.T) {
 			t.Fatalf("pagerank/dense delivered %d of %d messages; no source combining happened", c.Delivered, c.Messages)
 		}
 	}
+	// Allocation ceiling: the arena-pooled accumulator path measures
+	// under 1.3 B/msg even at this toy scale (where per-run fixed costs —
+	// actor spawn, mailboxes — dominate the short bfs message counts; at
+	// paper scale it is <0.01 B). An unpooled path re-allocates slabs and
+	// sparse tables every flush and lands in the tens of B/msg here, so a
+	// 4 B gate catches a pooling regression without tripping on GC noise.
+	const allocCeiling = 4.0 // bytes per message
+	for _, c := range rep.Cells {
+		if c.Mode == core.AccumOff.String() {
+			continue // legacy sort path is not arena-pooled
+		}
+		if c.AllocPerMsg > allocCeiling {
+			t.Fatalf("%s/%s: %.2f B/msg exceeds the %.1f B pooled-path ceiling",
+				c.Algo, c.Mode, c.AllocPerMsg, allocCeiling)
+		}
+	}
 	path := filepath.Join(t.TempDir(), "bench.json")
 	if err := rep.WriteJSON(path); err != nil {
 		t.Fatal(err)

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/graph"
 )
@@ -150,8 +149,10 @@ func (s *sparseAcc) grow() {
 // drain appends every entry to out as Messages sorted by destination —
 // a canonical order independent of the hash layout, so sparse segments
 // are deterministic and align with dense segments — and empties the
-// table for reuse.
-func (s *sparseAcc) drain(out []Message) []Message {
+// table for reuse. scratch is merge-sort workspace; it must have
+// capacity for the drained entries or drain allocates one (dispatchers
+// pass their pooled scratch, so the hot path never does).
+func (s *sparseAcc) drain(out, scratch []Message) []Message {
 	start := len(out)
 	for i, key := range s.keys {
 		if key == 0 {
@@ -162,6 +163,19 @@ func (s *sparseAcc) drain(out []Message) []Message {
 	}
 	s.n = 0
 	entries := out[start:]
-	sort.Slice(entries, func(a, b int) bool { return entries[a].Dst < entries[b].Dst })
+	if cap(scratch) < len(entries) {
+		scratch = make([]Message, len(entries))
+	}
+	sortMessagesByDst(entries, scratch)
 	return out
+}
+
+// reset empties the table in place without draining, discarding every
+// entry — the abort path, where partial accumulator state from a failed
+// superstep must not survive into the retry.
+func (s *sparseAcc) reset() {
+	for i := range s.keys {
+		s.keys[i] = 0
+	}
+	s.n = 0
 }

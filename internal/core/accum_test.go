@@ -339,7 +339,7 @@ func TestSparseAccTable(t *testing.T) {
 	if len(s.keys) < 311*4/3 {
 		t.Fatalf("table did not grow (cap %d for %d entries)", len(s.keys), s.n)
 	}
-	out := s.drain(nil)
+	out := s.drain(nil, nil)
 	if len(out) != 311 {
 		t.Fatalf("drained %d entries, want 311", len(out))
 	}
@@ -360,8 +360,58 @@ func TestSparseAccTable(t *testing.T) {
 	s.insert(5, 9, c)
 	s.insert(5, 3, c)
 	s.insert(5, 7, c)
-	out = s.drain(nil)
+	out = s.drain(nil, nil)
 	if len(out) != 1 || out[0].Val != 3 {
 		t.Fatalf("min fold produced %+v, want single entry val 3", out)
+	}
+}
+
+// Pool recycling must be invisible to results: running a computation as
+// two Run calls on ONE engine — where the second half draws only slabs,
+// tables and batches that were already used, released and (with poison
+// forced on) overwritten with the poison pattern — must produce a
+// vertex file bit-identical to a fresh engine running straight through.
+// Any read of recycled state that escapes the presence metadata would
+// fold poison into a value and diverge loudly.
+func TestAccumPoolRecycleEquivalence(t *testing.T) {
+	restore := poisonReleases
+	poisonReleases = true
+	defer func() { poisonReleases = restore }()
+
+	g := randomGraph(t, 78, 260, 2000)
+	for _, mode := range []AccumMode{AccumOff, AccumDense, AccumSparse, AccumAuto} {
+		t.Run(mode.String(), func(t *testing.T) {
+			// One dispatcher keeps per-computer arrival order deterministic,
+			// so even PageRank's float sums must match bit for bit. The tiny
+			// budget and batch force heavy mid-dispatch recycle traffic.
+			base := Config{
+				Dispatchers: 1, Computers: 2,
+				BatchSize:   64,
+				AccumBudget: 512,
+				AccumMode:   mode,
+				DisableSync: true,
+			}
+			const steps = 8
+			ref := base
+			ref.MaxSupersteps = steps
+			refEng, refVf := setup(t, g, prComb{}, ref)
+			if _, err := refEng.Run(); err != nil {
+				t.Fatal(err)
+			}
+			half := base
+			half.MaxSupersteps = steps / 2
+			eng, vf := setup(t, g, prComb{}, half)
+			for part := 0; part < 2; part++ {
+				if _, err := eng.Run(); err != nil {
+					t.Fatalf("run %d: %v", part, err)
+				}
+			}
+			want, got := refVf.Values(), vf.Values()
+			for v := range got {
+				if got[v] != want[v] {
+					t.Fatalf("vertex %d: recycled engine %#x, fresh engine %#x", v, got[v], want[v])
+				}
+			}
+		})
 	}
 }

@@ -1,7 +1,5 @@
 package core
 
-import "sort"
-
 // Combiner is an optional Program extension (Pregel's message combiner):
 // when a program's Compute is insensitive to replacing two messages for
 // the same destination with CombineMsg of them, dispatchers merge
@@ -25,7 +23,17 @@ func CombineBatch(batch []Message, c Combiner) []Message {
 	if len(batch) < 2 {
 		return batch
 	}
-	sort.SliceStable(batch, func(i, j int) bool { return batch[i].Dst < batch[j].Dst })
+	return combineScratch(batch, make([]Message, len(batch)), c)
+}
+
+// combineScratch is CombineBatch against caller-owned sort workspace
+// (cap >= len(batch)): the dispatcher's legacy path runs it with pooled
+// scratch so in-engine combining allocates nothing.
+func combineScratch(batch, scratch []Message, c Combiner) []Message {
+	if len(batch) < 2 {
+		return batch
+	}
+	sortMessagesByDst(batch, scratch)
 	out := batch[:1]
 	for _, m := range batch[1:] {
 		last := &out[len(out)-1]

@@ -100,6 +100,19 @@ type Config struct {
 	// budgets combine more messages at the source.
 	AccumBudget int
 
+	// Prefetch spawns one async prefetch actor per dispatcher. Each
+	// walks ahead of its dispatcher's edge cursor issuing windowed
+	// madvise(WILLNEED) on the CSR mapping and releases consumed pages
+	// behind it with DONTNEED, so out-of-core runs overlap page-in I/O
+	// with dispatch instead of stalling on major faults. Best-effort:
+	// silently inactive for memory images and heap-backed mappings.
+	Prefetch bool
+
+	// PrefetchWindow is the size in bytes of the WILLNEED window each
+	// prefetch actor keeps ahead of its dispatcher's cursor (default
+	// 8 MiB). The DONTNEED trail follows one window behind the cursor.
+	PrefetchWindow int
+
 	// Owner assigns each destination vertex to a computing worker. The
 	// default is the paper's "average assignment by mod according to the
 	// vertex id" (§V-A); any pure function of (vertex, workers) works —
@@ -176,6 +189,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StepRetryBackoff <= 0 {
 		c.StepRetryBackoff = 25 * time.Millisecond
+	}
+	if c.PrefetchWindow <= 0 {
+		c.PrefetchWindow = 8 << 20
 	}
 	return c
 }

@@ -27,9 +27,13 @@ type dispatcher struct {
 	eng      *Engine
 	interval graph.Interval
 
-	// per-computer outgoing batches (legacy + sparse flush), reused
-	// across supersteps
+	// per-computer outgoing batches (legacy path), arena-pooled
 	bufs []([]Message)
+
+	// scratch is the dispatcher-owned merge-sort workspace for sparse
+	// drains and legacy combining, sized max(BatchSize, sizeEntries)
+	// and recycled to the arena when the actor exits.
+	scratch []Message
 
 	// owner fast path, hoisted out of the per-edge loop: with the
 	// default mod assignment the Owner call is replaced by a mod (or a
@@ -44,6 +48,7 @@ type dispatcher struct {
 	dense         []*denseSeg  // per computer, handed off at flush
 	sparse        []*sparseAcc // per computer, drained at flush, reused
 	budgetEntries int          // entries per accumulator before an incremental flush
+	sizeEntries   int          // budgetEntries clamped by maxOwned: buffer sizing bound
 
 	delivered  int64 // messages delivered this superstep (post-combining)
 	folded     int64 // messages combined into an existing accumulator entry
@@ -78,6 +83,15 @@ func (d *dispatcher) Execute() (err error) {
 	if d.budgetEntries < 1 {
 		d.budgetEntries = 1
 	}
+	d.sizeEntries = d.eng.accumEntries()
+	scratchCap := d.eng.cfg.BatchSize
+	if d.eng.combiner != nil && d.eng.cfg.AccumMode != AccumOff && d.sizeEntries > scratchCap {
+		scratchCap = d.sizeEntries
+	}
+	d.scratch = d.eng.pool.getBuf(scratchCap)
+	// Return every locally owned buffer to the arena on the way out
+	// (normal exit or panic — a restarted incarnation draws fresh ones).
+	defer d.releasePooled()
 	for {
 		cmd, ok := d.eng.toDisp[d.id].Get()
 		if !ok || cmd.kind == kindSystemOver {
@@ -87,6 +101,12 @@ func (d *dispatcher) Execute() (err error) {
 			return fmt.Errorf("core: dispatcher %d: unexpected command %v", d.id, cmd.kind)
 		}
 		d.delivered, d.folded, d.denseSegs, d.sparseSegs = 0, 0, 0, 0
+		if d.eng.prefetchOn {
+			// Announce the new superstep to the prefetch actor: its
+			// WILLNEED window rewinds to the interval top with us.
+			d.eng.dispPos[d.id].Store(d.interval.StartWord)
+			d.eng.dispStep[d.id].Store(cmd.step)
+		}
 		sent, err := d.runSuperstep(cmd.step, cmd.accum)
 		if err != nil {
 			if d.aborting(err) {
@@ -114,17 +134,50 @@ func (d *dispatcher) aborting(err error) bool {
 
 // dropAccumulators discards partially filled accumulator state after an
 // aborted superstep, so no entry from the failed attempt can leak into a
-// retried one. Slabs are not pooled (their bitmaps are dirty); sparse
-// tables are drained in place.
+// retried one. Slabs return to the arena (putSlab clears their bitmap);
+// sparse tables are reset in place and kept for the next superstep.
 func (d *dispatcher) dropAccumulators() {
 	for w := range d.dense {
-		d.dense[w] = nil
+		if s := d.dense[w]; s != nil {
+			d.eng.pool.putSlab(s)
+			d.dense[w] = nil
+		}
 		if s := d.sparse[w]; s != nil && s.n > 0 {
-			s.drain(nil)
+			s.reset()
 		}
 		if len(d.bufs[w]) > 0 {
 			d.bufs[w] = d.bufs[w][:0]
 		}
+	}
+}
+
+// releasePooled returns every buffer the dispatcher still owns — partial
+// slabs, sparse tables, legacy batches, sort scratch — to the arena.
+// Runs once when the actor exits; buffers already handed to computers
+// are theirs to release.
+func (d *dispatcher) releasePooled() {
+	pool := d.eng.pool
+	for w := range d.dense {
+		if s := d.dense[w]; s != nil {
+			pool.putSlab(s)
+			d.dense[w] = nil
+		}
+	}
+	for w := range d.sparse {
+		if s := d.sparse[w]; s != nil {
+			pool.putTable(s)
+			d.sparse[w] = nil
+		}
+	}
+	for w := range d.bufs {
+		if b := d.bufs[w]; b != nil {
+			pool.putBuf(b)
+			d.bufs[w] = nil
+		}
+	}
+	if d.scratch != nil {
+		pool.putBuf(d.scratch)
+		d.scratch = nil
 	}
 }
 
@@ -154,10 +207,16 @@ func (d *dispatcher) runSuperstep(step int64, mode AccumMode) (sent int64, err e
 	col := vertexfile.DispatchCol(step)
 	weighted := eng.gf.Weighted()
 	cur := eng.gf.Cursor(d.interval)
+	prefetch := eng.prefetchOn
 	for {
 		v, deg, edges, ok := cur.Next()
 		if !ok {
 			break
+		}
+		if prefetch {
+			// Publish progress for the prefetch actor (one plain store
+			// per vertex; the actor paces itself off this watermark).
+			eng.dispPos[d.id].Store(cur.Pos())
 		}
 		if eng.aborted.Load() {
 			return sent, errAborted
@@ -236,7 +295,10 @@ func (d *dispatcher) accumDense(wk int, dst graph.VertexID, val uint64) error {
 func (d *dispatcher) accumSparse(wk int, dst graph.VertexID, val uint64) error {
 	s := d.sparse[wk]
 	if s == nil {
-		s = newSparseAcc()
+		// Pre-sized so the table never grows before the flush budget
+		// drains it: acquisition is the only allocation point, and the
+		// arena makes even that a free-list pop after warm-up.
+		s = d.eng.pool.getTable(d.sizeEntries)
 		d.sparse[wk] = s
 	}
 	if s.insert(dst, val, d.eng.combiner) {
@@ -265,7 +327,7 @@ func (d *dispatcher) flushSparse(wk int) error {
 	if s == nil || s.n == 0 {
 		return nil
 	}
-	batch := s.drain(d.eng.getBatch())
+	batch := s.drain(d.eng.pool.getBuf(d.sizeEntries), d.scratch)
 	d.delivered += int64(len(batch))
 	d.sparseSegs++
 	return d.eng.toComp[wk].Put(workerMsg{kind: kindData, batch: batch})
@@ -288,7 +350,7 @@ func (d *dispatcher) dispatchBatch(w int) error {
 	b := d.bufs[w]
 	d.bufs[w] = nil
 	if c := d.eng.combiner; c != nil {
-		b = CombineBatch(b, c)
+		b = combineScratch(b, d.scratch, c)
 	}
 	d.delivered += int64(len(b))
 	return d.eng.toComp[w].Put(workerMsg{kind: kindData, batch: b})

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -56,7 +55,17 @@ type Engine struct {
 	toManager  *actor.Mailbox[workerMsg]
 	toDisp     []*actor.Mailbox[workerMsg]
 	toComp     []*actor.Mailbox[workerMsg]
+	toPrefetch []*actor.Mailbox[workerMsg]
 	intervals  []graph.Interval
+
+	// prefetchOn gates the async CSR prefetch actors (Config.Prefetch
+	// and a mapping that supports advice). When set, each dispatcher
+	// publishes its cursor position and superstep generation through
+	// dispPos/dispStep — the only coupling between the dispatch loop
+	// and its prefetcher (see prefetch.go).
+	prefetchOn bool
+	dispPos    []atomic.Int64
+	dispStep   []atomic.Int64
 
 	// ownerIsMod records that Config.Owner was left at the default mod
 	// assignment, enabling the dispatcher's mask/stride owner fast path
@@ -66,8 +75,14 @@ type Engine struct {
 	// owns under mod assignment — the dense slab size.
 	maxOwned int64
 
-	batchPool sync.Pool
-	slabPool  sync.Pool
+	// pool is the engine-owned arena behind slabs, sparse tables and
+	// message buffers — explicit free lists (prewarmed in New) so the
+	// steady-state hot path never allocates. See pool.go.
+	pool *arena
+
+	// per-superstep statistics scratch, reused across runStep calls.
+	dispMsgs []int64
+	compUpd  []int64
 
 	// runCtx is the context of the current RunContext call; cancellation
 	// stops the run cleanly between supersteps, or rolls the in-flight
@@ -128,19 +143,14 @@ func New(gf *graph.File, vf *vertexfile.File, prog Program, cfg Config) (*Engine
 		ownerIsMod: ownerIsMod,
 		maxOwned:   (gf.NumVertices + int64(cfg.Computers) - 1) / int64(cfg.Computers),
 	}
-	e.batchPool.New = func() any { return make([]Message, 0, cfg.BatchSize) }
-	e.slabPool.New = func() any {
-		return &denseSeg{
-			vals: make([]uint64, e.maxOwned),
-			bits: make([]uint64, (e.maxOwned+63)/64),
-		}
-	}
+	e.pool = newArena(e.maxOwned)
 	if c, ok := prog.(Combiner); ok && !cfg.DisableCombining {
 		e.combiner = c
 	}
 	if a, ok := prog.(Aggregator); ok {
 		e.aggregator = a
 	}
+	e.prewarmPool()
 	// Access-pattern hints (paper §IV-C: the edge file is streamed
 	// sequentially, vertex values are hit at random). Best-effort.
 	gf.AdviseSequential() //nolint:errcheck
@@ -153,30 +163,78 @@ func CreateValueFile(path string, gf *graph.File, prog Program) (*vertexfile.Fil
 	return vertexfile.Create(path, gf.NumVertices, prog.Init)
 }
 
-func (e *Engine) getBatch() []Message {
-	return e.batchPool.Get().([]Message)[:0]
-}
+func (e *Engine) getBatch() []Message  { return e.pool.getBuf(e.cfg.BatchSize) }
+func (e *Engine) putBatch(b []Message) { e.pool.putBuf(b) }
+func (e *Engine) getSlab() *denseSeg   { return e.pool.getSlab() }
+func (e *Engine) putSlab(s *denseSeg)  { e.pool.putSlab(s) }
 
-func (e *Engine) putBatch(b []Message) {
-	if cap(b) > 0 {
-		e.batchPool.Put(b[:0]) //nolint:staticcheck // slices are pointer-shaped enough here
+// accumEntries is the per-accumulator sizing bound: the flush budget in
+// entries, clamped by maxOwned — a per-(dispatcher, computer)
+// accumulator can never hold more distinct destinations than the
+// computer owns, so an oversized AccumBudget must not balloon the
+// pooled sparse tables and drain buffers.
+func (e *Engine) accumEntries() int {
+	be := e.cfg.AccumBudget / 16 // 16 bytes per (dst, val) entry
+	if be < 1 {
+		be = 1
 	}
-}
-
-func (e *Engine) getSlab() *denseSeg {
-	return e.slabPool.Get().(*denseSeg)
-}
-
-// putSlab recycles a dense slab. Only the presence bitmap needs clearing
-// (values are garbage wherever the bit is clear), so recycling stays
-// cheap even for large slabs — and a partially consumed slab (abort
-// mid-segment) is cleaned by the same stroke.
-func (e *Engine) putSlab(s *denseSeg) {
-	for i := range s.bits {
-		s.bits[i] = 0
+	if int64(be) > e.maxOwned {
+		be = int(e.maxOwned)
 	}
-	s.count = 0
-	e.slabPool.Put(s)
+	return be
+}
+
+// prewarmPool stocks the arena with the steady-state working set at
+// construction time, so even the first superstep runs without hot-path
+// allocation. Counts model each buffer kind's in-flight bound — how
+// many can simultaneously sit between a dispatcher's handoff and a
+// computer's release: the computer mailboxes bound the queue (flushed
+// segments block the dispatcher once a mailbox is full), plus one
+// being filled per pair and one being processed per computer. A
+// per-kind byte cap keeps pathological shapes (huge slabs × deep
+// mailboxes) from turning warm-up into a memory hog; past the cap the
+// ramp allocates lazily, which at that scale is noise per message.
+func (e *Engine) prewarmPool() {
+	cfg := e.cfg
+	pairs := cfg.Dispatchers * cfg.Computers
+	const warmBytesCap = 256 << 20
+	accum := e.combiner != nil && cfg.AccumMode != AccumOff
+
+	scratchCap := cfg.BatchSize
+	if accum {
+		entries := e.accumEntries()
+		if entries > scratchCap {
+			scratchCap = entries
+		}
+		inFlight := cfg.Computers*cfg.MailboxCap + pairs + cfg.Computers
+		denseOK := e.ownerIsMod && (cfg.AccumMode == AccumAuto || cfg.AccumMode == AccumDense)
+		sparseOK := !denseOK || cfg.AccumMode == AccumAuto
+		if denseOK {
+			slabBytes := int(e.maxOwned*8 + (e.maxOwned+63)/64*8)
+			e.pool.warmSlabs(warmCount(inFlight, slabBytes, warmBytesCap))
+		}
+		if sparseOK {
+			e.pool.warmTables(pairs, entries)
+			e.pool.warmBufs(warmCount(inFlight, entries*16, warmBytesCap), entries)
+		}
+	}
+	// Legacy batch path (non-combiner programs, off mode) plus one sort
+	// scratch per dispatcher.
+	nb := cfg.Computers*cfg.MailboxCap + pairs + cfg.Dispatchers
+	e.pool.warmBufs(warmCount(nb, cfg.BatchSize*16, warmBytesCap), cfg.BatchSize)
+	e.pool.warmBufs(cfg.Dispatchers, scratchCap)
+}
+
+// warmCount caps a prewarm count so n buffers of bytesEach stay within
+// the byte budget.
+func warmCount(n, bytesEach, budget int) int {
+	if bytesEach <= 0 {
+		return n
+	}
+	if max := budget / bytesEach; n > max {
+		return max
+	}
+	return n
 }
 
 // denseActiveDenom is the adaptive switch threshold: AccumAuto picks the
@@ -235,6 +293,27 @@ func (e *Engine) spawn() {
 		c := &computer{id: i, eng: e}
 		e.system.Spawn(fmt.Sprintf("computer-%d", i), c)
 	}
+	e.prefetchOn = cfg.Prefetch && e.gf.SupportsAdvise()
+	e.toPrefetch = nil
+	if e.prefetchOn {
+		e.dispPos = make([]atomic.Int64, len(e.intervals))
+		e.dispStep = make([]atomic.Int64, len(e.intervals))
+		e.toPrefetch = make([]*actor.Mailbox[workerMsg], len(e.intervals))
+		for i := range e.toPrefetch {
+			e.dispPos[i].Store(e.intervals[i].StartWord)
+			e.dispStep[i].Store(-1)
+			e.toPrefetch[i] = actor.NewMailbox[workerMsg](1)
+			p := &prefetcher{id: i, eng: e, interval: e.intervals[i]}
+			p.resetWindow()
+			p.lastStep = -1
+			// Issue the first WILLNEED window synchronously: page-in I/O
+			// for the interval head starts before the first dispatch
+			// touches the mapping, and a short run cannot finish before
+			// the actor goroutine is ever scheduled.
+			p.pass()
+			e.system.Spawn(fmt.Sprintf("prefetcher-%d", i), p)
+		}
+	}
 }
 
 // teardown stops and collects the current worker crew. After it returns
@@ -257,6 +336,10 @@ func (e *Engine) teardown() error {
 		mb.Close()
 	}
 	for _, mb := range e.toComp {
+		mb.TryPut(workerMsg{kind: kindSystemOver})
+		mb.Close()
+	}
+	for _, mb := range e.toPrefetch {
 		mb.TryPut(workerMsg{kind: kindSystemOver})
 		mb.Close()
 	}
@@ -302,6 +385,8 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 		DispatcherMessages: make([]int64, len(e.intervals)),
 		ComputerUpdates:    make([]int64, cfg.Computers),
 	}
+	e.dispMsgs = make([]int64, len(e.intervals))
+	e.compUpd = make([]int64, cfg.Computers)
 	if e.vf.Converged() {
 		// The file's last commit sealed convergence: the computation is
 		// finished, and re-running supersteps could perturb programs whose
@@ -448,7 +533,10 @@ func (e *Engine) runStep(step int64, res *Result) (converged bool, err error) {
 	// Collect DISPATCH_OVER from every dispatcher. Computing workers
 	// are processing concurrently the whole time (the overlap).
 	var messages, delivered int64
-	dispMsgs := make([]int64, len(e.toDisp))
+	dispMsgs := e.dispMsgs
+	for i := range dispMsgs {
+		dispMsgs[i] = 0
+	}
 	for i := 0; i < len(e.toDisp); i++ {
 		m, err := e.managerGet("dispatch")
 		if err != nil {
@@ -483,7 +571,10 @@ func (e *Engine) runStep(step int64, res *Result) (converged bool, err error) {
 		}
 	}
 	var updates int64
-	compUpd := make([]int64, len(e.toComp))
+	compUpd := e.compUpd
+	for i := range compUpd {
+		compUpd[i] = 0
+	}
 	for i := 0; i < len(e.toComp); i++ {
 		m, err := e.managerGet("compute barrier")
 		if err != nil {

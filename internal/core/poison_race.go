@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// poisonDefault turns poison-on-release on under the race detector:
+// race/debug builds pay the memset so recycled-buffer reads that slip
+// past the presence metadata surface as loud garbage. Release builds
+// skip it (poison_release.go).
+const poisonDefault = true

@@ -1,0 +1,9 @@
+//go:build !race
+
+package core
+
+// poisonDefault leaves poison-on-release off in regular builds; the
+// race-enabled suite (make race, make check) runs with it on, and tests
+// flip the poisonReleases var directly to pin the recycling protocol
+// without the race detector.
+const poisonDefault = false

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/mmap"
+)
+
+// prefetchTick is how often an idle prefetch actor re-samples its
+// dispatcher's cursor. Short enough that the WILLNEED window stays
+// ahead of a fast in-memory stream; long enough that twenty parked
+// actors cost nothing measurable.
+const prefetchTick = 2 * time.Millisecond
+
+// prefetcher is the async CSR prefetch actor: one per dispatcher,
+// walking ahead of the dispatcher's edge cursor (Config.Prefetch). It
+// samples the cursor position the dispatcher publishes after every
+// vertex and keeps a window of madvise(WILLNEED) issued ahead of it —
+// so page-in I/O for the next stretch of the interval overlaps with
+// dispatching the current one — while trailing madvise(DONTNEED) one
+// window behind, releasing consumed CSR pages so an out-of-core run
+// does not evict the vertex value working set.
+//
+// The actor is a pure observer of the dispatch loop: it shares no
+// state with the dispatcher beyond two atomics (cursor position and
+// superstep generation) and only ever issues advice, never reads the
+// mapping, so results are bit-identical with prefetch on or off. All
+// madvise calls are best-effort; failures increment
+// core.prefetch.errors and are otherwise ignored.
+type prefetcher struct {
+	id       int
+	eng      *Engine
+	interval graph.Interval
+
+	fetched  int64 // WILLNEED issued up to this record-region offset
+	evicted  int64 // DONTNEED issued up to this offset
+	lastStep int64 // superstep generation the window was built for
+}
+
+// Execute is the prefetch actor loop: advance the window, then park on
+// the command mailbox for a tick. The mailbox only ever carries
+// SYSTEM_OVER; a timeout is the normal "keep walking" case, and a
+// closed mailbox (teardown's TryPut can be dropped by a full box) also
+// means exit — GetTimeout cannot distinguish the two, so Closed()
+// disambiguates. Watermark state was initialized at spawn, which also
+// issued the interval's first WILLNEED window synchronously.
+func (p *prefetcher) Execute() error {
+	mb := p.eng.toPrefetch[p.id]
+	for {
+		p.pass()
+		if cmd, ok := mb.GetTimeout(prefetchTick); ok {
+			if cmd.kind == kindSystemOver {
+				return nil
+			}
+		} else if mb.Closed() {
+			return nil
+		}
+	}
+}
+
+// resetWindow rewinds both watermarks to the interval start, the state
+// of a superstep about to stream from the top.
+func (p *prefetcher) resetWindow() {
+	p.fetched = p.interval.StartWord
+	p.evicted = p.interval.StartWord
+}
+
+// pass advances the WILLNEED window ahead of the published cursor and
+// the DONTNEED trail behind it. Offsets are in the file's interval
+// units (graph.File.UnitBytes converts); graph.AdviseRange does the
+// unit-to-byte translation so this loop stays format-agnostic.
+func (p *prefetcher) pass() {
+	eng := p.eng
+	if step := eng.dispStep[p.id].Load(); step != p.lastStep {
+		// New superstep: the dispatcher restarts its cursor at the
+		// interval top, so the window must be rebuilt from there.
+		p.lastStep = step
+		p.resetWindow()
+	}
+	pos := eng.dispPos[p.id].Load()
+	unitBytes := eng.gf.UnitBytes()
+	window := int64(eng.cfg.PrefetchWindow) / unitBytes
+	if window < 1 {
+		window = 1
+	}
+
+	target := pos + window
+	if target > p.interval.EndWord {
+		target = p.interval.EndWord
+	}
+	start := p.fetched
+	if start < pos {
+		start = pos // cursor overtook the window: skip consumed pages
+	}
+	if target > start {
+		if err := eng.gf.AdviseRange(start, target, mmap.AccessWillNeed); err != nil {
+			metrics.Inc(metrics.CtrPrefetchErrors)
+		} else {
+			metrics.Inc(metrics.CtrPrefetchWindows)
+			metrics.Add(metrics.CtrPrefetchBytes, (target-start)*unitBytes)
+		}
+		p.fetched = target
+	}
+
+	if trail := pos - window; trail > p.evicted {
+		if err := eng.gf.AdviseRange(p.evicted, trail, mmap.AccessDontNeed); err != nil {
+			metrics.Inc(metrics.CtrPrefetchErrors)
+		} else {
+			metrics.Add(metrics.CtrPrefetchEvicted, (trail-p.evicted)*unitBytes)
+		}
+		p.evicted = trail
+	}
+}

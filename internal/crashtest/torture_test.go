@@ -98,11 +98,13 @@ func runBaseline(t *testing.T, graphPath string, algoArgs []string, dir string) 
 // shipped algorithm it SIGKILLs the gpsa binary at randomized supersteps
 // and commit-protocol phases (plus wall-clock jitter kills), resumes
 // with -resume, and requires the surviving value file to end bit-identical
-// to the uninterrupted baseline. 4 cases x 7 kills = 28 randomized
+// to the uninterrupted baseline. 5 cases x 7 kills = 35 randomized
 // kill points per run of the harness. The pagerank case runs the default
 // message path (adaptive source-side accumulation — dense, since
 // PageRank keeps every vertex active); pagerank-sparse pins the sparse
-// accumulator so both segment paths face the kill schedule.
+// accumulator so both segment paths face the kill schedule;
+// pagerank-prefetch forces the async CSR prefetcher on, so kills land
+// while madvise windows are in flight ahead of the edge cursor.
 func TestTortureKillResume(t *testing.T) {
 	if testing.Short() {
 		t.Skip("subprocess torture harness")
@@ -115,6 +117,7 @@ func TestTortureKillResume(t *testing.T) {
 	}{
 		{"pagerank", func() string { return directedGraph }, []string{"-algo", "pagerank", "-supersteps", "12"}, 101},
 		{"pagerank-sparse", func() string { return directedGraph }, []string{"-algo", "pagerank", "-supersteps", "12", "-accum", "sparse"}, 404},
+		{"pagerank-prefetch", func() string { return directedGraph }, []string{"-algo", "pagerank", "-supersteps", "12", "-prefetch"}, 505},
 		{"bfs", func() string { return directedGraph }, []string{"-algo", "bfs", "-root", "0"}, 202},
 		{"cc", func() string { return symmetricGraph }, []string{"-algo", "cc"}, 303},
 	}
