@@ -3,7 +3,7 @@
 GO ?= go
 REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all build test race lint vet fmt bench bench-diff bench-micro bench-smoke bench-scale repro examples check torture chaos clean
+.PHONY: all build test race lint lint-escape vet fmt bench bench-diff bench-micro bench-smoke bench-scale repro examples check torture chaos clean
 
 all: build test
 
@@ -17,12 +17,21 @@ race:
 	$(GO) test -race ./internal/actor ./internal/core ./internal/cluster ./internal/xstream ./internal/vertexfile ./internal/crashtest ./internal/chaostest ./internal/metrics ./internal/serve
 
 # gpsa-lint: the repository's own static analyzers (internal/lint) —
-# actor discipline, mmap aliasing, determinism, context plumbing, and
-# durability error handling. Zero unsuppressed findings required; see
-# DESIGN.md "Static invariants" for the rule catalogue and the
+# actor discipline, mmap aliasing, determinism, context plumbing,
+# durability error handling, //gpsa:noalloc hot-path allocation checks,
+# arena-pool acquire/release discipline, and frame-switch
+# exhaustiveness. Zero unsuppressed findings required; see DESIGN.md
+# "Static invariants" for the rule catalogue and the
 # //lint:<analyzer> <reason> suppression syntax.
 lint:
 	$(GO) run ./cmd/gpsa-lint ./...
+
+# The compiler-backed escape gate on top of `lint`: for every package
+# with //gpsa:noalloc pragmas, run `go build -gcflags='-m -m'` and fail
+# on any heap allocation the compiler proves inside a marked hot-path
+# function (cold failure paths and justified suppressions excepted).
+lint-escape:
+	$(GO) run ./cmd/gpsa-lint -escape ./...
 
 # The full pre-merge gate: vet and gpsa-lint, the entire test suite under
 # the race detector (includes the fault-injection recovery tests), a

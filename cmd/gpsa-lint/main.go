@@ -3,11 +3,18 @@
 //
 // Usage:
 //
-//	gpsa-lint [-json] [-run name,name] [-list] [packages]
+//	gpsa-lint [-json] [-run name,name] [-list] [-escape] [packages]
+//	gpsa-lint -diff old.json new.json
 //
 // Packages default to ./... — every module package matched by at least
-// one analyzer's package filter. Exit status: 0 clean, 1 unsuppressed
-// findings, 2 load or usage errors.
+// one analyzer's package filter. -escape additionally runs
+// `go build -gcflags='-m -m'` over every package with //gpsa:noalloc
+// pragmas and fails on compiler-proven heap allocations in marked
+// functions. -diff compares two -json reports and fails when any
+// per-analyzer finding count increased. Every run also flags stale
+// //lint: suppressions — annotations that no longer silence anything.
+// Exit status: 0 clean, 1 unsuppressed findings (or a -diff
+// regression), 2 load or usage errors.
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -31,6 +39,8 @@ var (
 	jsonOut  = flag.Bool("json", false, "emit machine-readable findings on stdout")
 	runNames = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 	list     = flag.Bool("list", false, "list analyzers and exit")
+	escape   = flag.Bool("escape", false, "cross-reference go build -gcflags='-m -m' escape diagnostics against the //gpsa:noalloc pragma set")
+	diffMode = flag.Bool("diff", false, "compare two -json reports (old new) and fail when a per-analyzer count increased")
 )
 
 func run() int {
@@ -39,6 +49,10 @@ func run() int {
 	if *showVersion {
 		fmt.Println("gpsa-lint", buildinfo.Version())
 		return 0
+	}
+
+	if *diffMode {
+		return diffReports(flag.Args())
 	}
 
 	analyzers := lint.All()
@@ -82,6 +96,13 @@ func run() int {
 		return 2
 	}
 
+	escapeSelected := false
+	for _, a := range analyzers {
+		if a == lint.Noalloc {
+			escapeSelected = *escape
+		}
+	}
+
 	var diags []lint.Diagnostic
 	for _, path := range paths {
 		applies := false
@@ -99,7 +120,29 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "gpsa-lint: %v\n", err)
 			return 2
 		}
-		diags = append(diags, lint.Run(analyzers, loader.ModPath, pkg, loader.Fset)...)
+		pkgDiags, used, ran := lint.RunPackage(analyzers, loader.ModPath, pkg, loader.Fset)
+		diags = append(diags, pkgDiags...)
+		if escapeSelected && lint.Noalloc.AppliesTo(loader.ModPath, path) && len(lint.NoallocMarked(pkg)) > 0 {
+			gateDiags, gateUsed, err := runEscapeGate(loader, path, pkg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gpsa-lint: %v\n", err)
+				return 2
+			}
+			diags = append(diags, gateDiags...)
+			used = append(used, gateUsed...)
+		}
+		// Staleness: a //lint: annotation that no pass consumed is dead
+		// weight. noalloc annotations may exist solely to silence the
+		// compiler-backed escape gate, so they are only checked when the
+		// gate actually ran.
+		if !escapeSelected {
+			delete(ran, "noalloc")
+		}
+		usedSet := make(map[lint.DirectiveKey]bool, len(used))
+		for _, k := range used {
+			usedSet[k] = true
+		}
+		diags = append(diags, lint.StaleDirectives(loader.Fset, pkg, ran, usedSet)...)
 	}
 	lint.SortDiagnostics(diags)
 
@@ -118,6 +161,82 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "gpsa-lint: %d finding(s)\n", reported)
 		return 1
 	}
+	return 0
+}
+
+// runEscapeGate compiles path with -gcflags='-m -m' and cross-references
+// the compiler's escape diagnostics against pkg's //gpsa:noalloc pragma
+// set. The Go build cache replays compiler diagnostics, so repeated runs
+// are cheap.
+func runEscapeGate(loader *lint.Loader, path string, pkg *lint.Package) ([]lint.Diagnostic, []lint.DirectiveKey, error) {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, loader.ModPath), "/")
+	cmd := exec.Command("go", "build", "-gcflags=-m -m", "./"+filepath.ToSlash(rel))
+	cmd.Dir = loader.ModRoot
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, nil, fmt.Errorf("escape gate: go build %s: %v\n%s", rel, err, out)
+	}
+	parsed, err := lint.ParseEscapeReport(out)
+	if err != nil {
+		return nil, nil, fmt.Errorf("escape gate: %s: %w", rel, err)
+	}
+	diags, used := lint.EscapeGate(loader.Fset, pkg, parsed, loader.ModRoot)
+	return diags, used, nil
+}
+
+// diffReports compares two -json reports' per-analyzer counts: exit 1
+// when any analyzer's unsuppressed finding count increased.
+func diffReports(args []string) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "gpsa-lint: -diff needs exactly two report files: old.json new.json")
+		return 2
+	}
+	var reps [2]jsonReport
+	for i, name := range args {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpsa-lint: %v\n", err)
+			return 2
+		}
+		if err := json.Unmarshal(data, &reps[i]); err != nil {
+			fmt.Fprintf(os.Stderr, "gpsa-lint: %s: %v\n", name, err)
+			return 2
+		}
+	}
+	prev, cur := reps[0], reps[1]
+	keys := make(map[string]bool)
+	for k := range prev.Counts {
+		keys[k] = true
+	}
+	for k := range cur.Counts {
+		keys[k] = true
+	}
+	var names []string
+	for k := range keys {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	regressed := false
+	for _, k := range names {
+		o, n := prev.Counts[k], cur.Counts[k]
+		if o == n {
+			continue
+		}
+		marker := ""
+		// "suppressed" growth is tolerated by the diff (every suppression
+		// already carries a reviewed justification); any unsuppressed
+		// analyzer count going up is a regression.
+		if n > o && k != "suppressed" {
+			marker = "  <- regression"
+			regressed = true
+		}
+		fmt.Printf("%-14s %4d -> %4d%s\n", k, o, n, marker)
+	}
+	if regressed {
+		fmt.Fprintf(os.Stderr, "gpsa-lint: finding counts regressed (%s -> %s)\n", prev.Revision, cur.Revision)
+		return 1
+	}
+	fmt.Printf("no regressions (%s -> %s)\n", prev.Revision, cur.Revision)
 	return 0
 }
 
@@ -251,6 +370,7 @@ func emitJSON(root string, analyzers []*lint.Analyzer, diags []lint.Diagnostic) 
 		rep.Analyzers = append(rep.Analyzers, a.Name)
 		rep.Counts[a.Name] = 0
 	}
+	rep.Counts["stale"] = 0 // the staleness pseudo-analyzer runs on every pass
 	for _, d := range diags {
 		f := jsonFinding{
 			File:     relFile(root, d.Pos.Filename),

@@ -92,7 +92,9 @@ func newSparseAcc() *sparseAcc {
 }
 
 func (s *sparseAcc) init(capacity int) {
+	//lint:noalloc table construction is the arena's sanctioned cold path (free-list miss)
 	s.keys = make([]uint64, capacity)
+	//lint:noalloc table construction is the arena's sanctioned cold path (free-list miss)
 	s.vals = make([]uint64, capacity)
 	s.shift = 64
 	for c := capacity; c > 1; c >>= 1 {
@@ -106,6 +108,8 @@ func sparseHash(key uint64) uint64 { return key * 0x9E3779B97F4A7C15 }
 // insert folds (dst, val) into the table, combining with c when the
 // destination is already present. It reports whether the message was
 // folded into an existing entry (combined at the source).
+//
+//gpsa:noalloc
 func (s *sparseAcc) insert(dst graph.VertexID, val uint64, c Combiner) (folded bool) {
 	if 4*(s.n+1) > 3*len(s.keys) {
 		s.grow()
@@ -152,18 +156,22 @@ func (s *sparseAcc) grow() {
 // table for reuse. scratch is merge-sort workspace; it must have
 // capacity for the drained entries or drain allocates one (dispatchers
 // pass their pooled scratch, so the hot path never does).
+//
+//gpsa:noalloc
 func (s *sparseAcc) drain(out, scratch []Message) []Message {
 	start := len(out)
 	for i, key := range s.keys {
 		if key == 0 {
 			continue
 		}
+		//lint:noalloc cap(out) holds every live entry by the getBuf(sizeEntries) contract; append never grows
 		out = append(out, Message{Dst: graph.VertexID(key - 1), Val: s.vals[i]})
 		s.keys[i] = 0
 	}
 	s.n = 0
 	entries := out[start:]
 	if cap(scratch) < len(entries) {
+		//lint:noalloc fallback for undersized scratch; dispatchers pass pooled scratch so the hot path never takes it
 		scratch = make([]Message, len(entries))
 	}
 	sortMessagesByDst(entries, scratch)

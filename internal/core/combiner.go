@@ -41,6 +41,7 @@ func combineScratch(batch, scratch []Message, c Combiner) []Message {
 			last.Val = c.CombineMsg(last.Val, m.Val)
 			continue
 		}
+		//lint:noalloc out is combined in place over batch's backing array; len(out) <= len(batch) so append never grows
 		out = append(out, m)
 	}
 	return out

@@ -82,17 +82,21 @@ func (c *computer) process(m workerMsg) {
 // present vertex, visited in vertex order. The fault hooks and the
 // teardown poll mirror processBatch so injection coverage and graceful
 // SIGINT latency are identical on both paths.
+//
+//gpsa:noalloc
 func (c *computer) processSegment(seg *denseSeg) {
 	eng := c.eng
 	step := eng.vf.Epoch()
 	stride := int64(len(eng.toComp))
 	n := 0
 	c.updates += eng.vf.BulkApply(step, int64(c.id), stride, seg.bits, seg.vals,
+		//lint:noalloc one closure per segment, not per message, and the compiler stack-allocates it (gpsa-lint -escape proves no heap escape here)
 		func(v int64, cur, msg uint64, first bool) (uint64, bool, bool) {
 			if n&0xFF == 0 && eng.aborted.Load() {
 				return 0, false, true
 			}
 			n++
+			//lint:noalloc the injection site's PanicValue materializes only when a chaos-run fault fires; production paths allocate nothing
 			fault.Panic(fault.SiteComputerMsg)
 			fault.Stall(fault.SiteComputerStall)
 			newVal, changed := eng.prog.Compute(v, cur, msg, first)
@@ -102,6 +106,8 @@ func (c *computer) processSegment(seg *denseSeg) {
 }
 
 // processBatch applies Compute for each message (paper Algorithm 3).
+//
+//gpsa:noalloc
 func (c *computer) processBatch(batch []Message) {
 	eng := c.eng
 	// Data batches always belong to the superstep currently running: the
@@ -118,6 +124,7 @@ func (c *computer) processBatch(batch []Message) {
 		if i&0xFF == 0 && eng.aborted.Load() {
 			break
 		}
+		//lint:noalloc the injection site's PanicValue materializes only when a chaos-run fault fires; production paths allocate nothing
 		fault.Panic(fault.SiteComputerMsg)
 		fault.Stall(fault.SiteComputerStall)
 		v := int64(m.Dst)

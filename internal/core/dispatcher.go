@@ -202,6 +202,7 @@ func (d *dispatcher) denseIndex(dst graph.VertexID) int64 {
 	return int64(dst) / int64(d.workers)
 }
 
+//gpsa:noalloc
 func (d *dispatcher) runSuperstep(step int64, mode AccumMode) (sent int64, err error) {
 	eng := d.eng
 	col := vertexfile.DispatchCol(step)
@@ -232,6 +233,7 @@ func (d *dispatcher) runSuperstep(step int64, mode AccumMode) (sent int64, err e
 			if !send {
 				continue
 			}
+			//lint:noalloc the injection site's PanicValue materializes only when a chaos-run fault fires; production paths allocate nothing
 			fault.Panic(fault.SiteDispatcherMsg)
 			wk := d.owner(dst)
 			switch mode {
@@ -268,6 +270,8 @@ func (d *dispatcher) runSuperstep(step int64, mode AccumMode) (sent int64, err e
 
 // accumDense folds a message into the dense slab of computer wk, handing
 // the slab off as a segment once it reaches the byte budget.
+//
+//gpsa:noalloc
 func (d *dispatcher) accumDense(wk int, dst graph.VertexID, val uint64) error {
 	s := d.dense[wk]
 	if s == nil {
@@ -292,6 +296,8 @@ func (d *dispatcher) accumDense(wk int, dst graph.VertexID, val uint64) error {
 
 // accumSparse folds a message into the sparse table of computer wk,
 // draining it as a sorted batch once it reaches the byte budget.
+//
+//gpsa:noalloc
 func (d *dispatcher) accumSparse(wk int, dst graph.VertexID, val uint64) error {
 	s := d.sparse[wk]
 	if s == nil {
@@ -311,6 +317,7 @@ func (d *dispatcher) accumSparse(wk int, dst graph.VertexID, val uint64) error {
 	return nil
 }
 
+//gpsa:noalloc
 func (d *dispatcher) flushDense(wk int) error {
 	s := d.dense[wk]
 	if s == nil || s.count == 0 {
@@ -322,6 +329,7 @@ func (d *dispatcher) flushDense(wk int) error {
 	return d.eng.toComp[wk].Put(workerMsg{kind: kindSegment, seg: s})
 }
 
+//gpsa:noalloc
 func (d *dispatcher) flushSparse(wk int) error {
 	s := d.sparse[wk]
 	if s == nil || s.n == 0 {
@@ -335,10 +343,13 @@ func (d *dispatcher) flushSparse(wk int) error {
 
 // send buffers a message for the computing worker owning dst on the
 // legacy path, flushing the batch when full.
+//
+//gpsa:noalloc
 func (d *dispatcher) send(wk int, dst graph.VertexID, val uint64) error {
 	if d.bufs[wk] == nil {
 		d.bufs[wk] = d.eng.getBatch()
 	}
+	//lint:noalloc cap is fixed at BatchSize by getBatch and the batch flushes before exceeding it; append never grows
 	d.bufs[wk] = append(d.bufs[wk], Message{Dst: dst, Val: val})
 	if len(d.bufs[wk]) >= d.eng.cfg.BatchSize {
 		return d.dispatchBatch(wk)
@@ -346,6 +357,7 @@ func (d *dispatcher) send(wk int, dst graph.VertexID, val uint64) error {
 	return nil
 }
 
+//gpsa:noalloc
 func (d *dispatcher) dispatchBatch(w int) error {
 	b := d.bufs[w]
 	d.bufs[w] = nil

@@ -79,6 +79,8 @@ func (f *File) rebuildIndexCompact() error {
 func (f *File) bytesRegion() []byte { return f.raw[headerBytes:] }
 
 // nextCompact advances a cursor over the compact byte stream.
+//
+//gpsa:noalloc
 func (c *Cursor) nextCompact() (v int64, deg uint32, edges []uint32, ok bool) {
 	if c.err != nil || c.v >= c.endV || c.pos >= c.end {
 		return 0, 0, nil, false
@@ -98,6 +100,7 @@ func (c *Cursor) nextCompact() (v int64, deg uint32, edges []uint32, ok bool) {
 	}
 	need := int(deg) * ew
 	if cap(c.scratch) < need {
+		//lint:noalloc amortized decode-scratch growth: capacity persists across records, so steady state never reallocates
 		c.scratch = make([]uint32, need)
 	}
 	c.scratch = c.scratch[:need]

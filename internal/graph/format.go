@@ -599,6 +599,8 @@ type Cursor struct {
 // weighted files; it aliases the mapping and must not be retained across
 // Close. ok is false at the end of the interval or on a corrupt record
 // (check Err).
+//
+//gpsa:noalloc
 func (c *Cursor) Next() (v int64, deg uint32, edges []uint32, ok bool) {
 	if c.version == fileVersionCompact {
 		return c.nextCompact()
@@ -637,6 +639,8 @@ func (c *Cursor) Err() error { return c.err }
 func (c *Cursor) Pos() int64 { return c.pos }
 
 // DecodeEdge extracts edge i from a raw edge slice returned by Next.
+//
+//gpsa:noalloc
 func DecodeEdge(edges []uint32, i int, weighted bool) (dst VertexID, w float32) {
 	if weighted {
 		return edges[2*i], math.Float32frombits(edges[2*i+1])

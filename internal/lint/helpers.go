@@ -13,6 +13,9 @@ func All() []*Analyzer {
 		Determinism,
 		CtxBlock,
 		SyncErr,
+		Noalloc,
+		PoolSafe,
+		FrameProto,
 	}
 }
 

@@ -87,6 +87,15 @@ type directive struct {
 	line   int
 	name   string
 	reason string
+	used   bool // matched at least one finding this pass
+}
+
+// DirectiveKey identifies one //lint: annotation site for cross-pass
+// bookkeeping (staleness detection).
+type DirectiveKey struct {
+	File string
+	Line int
+	Name string
 }
 
 // NewPass prepares a pass, scanning the files' comments for //lint:
@@ -119,7 +128,9 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
 	d := Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)}
 	names := append([]string{p.Analyzer.Name}, p.Analyzer.Aliases...)
-	for _, dir := range p.directives[position.Filename] {
+	dirs := p.directives[position.Filename]
+	for i := range dirs {
+		dir := &dirs[i]
 		if dir.line != position.Line && dir.line != position.Line-1 {
 			continue
 		}
@@ -133,6 +144,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		if !match {
 			continue
 		}
+		dir.used = true
 		if dir.reason == "" {
 			d.Message += fmt.Sprintf(" (suppression requires a justification: //lint:%s <reason>)", dir.name)
 			break
@@ -144,23 +156,96 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.diags = append(p.diags, d)
 }
 
+// UsedDirectives returns the annotation sites that matched a finding
+// during this pass (suppressing it or demanding a justification).
+func (p *Pass) UsedDirectives() []DirectiveKey {
+	var out []DirectiveKey
+	for file, dirs := range p.directives {
+		for _, dir := range dirs {
+			if dir.used {
+				out = append(out, DirectiveKey{File: file, Line: dir.line, Name: dir.name})
+			}
+		}
+	}
+	return out
+}
+
+// DirectiveSites scans pkg's comments and returns every //lint:
+// annotation site, whatever analyzer it names.
+func DirectiveSites(fset *token.FileSet, pkg *Package) []DirectiveKey {
+	var out []DirectiveKey
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:")
+				if !ok {
+					continue
+				}
+				name, _, _ := strings.Cut(text, " ")
+				pos := fset.Position(c.Pos())
+				out = append(out, DirectiveKey{File: pos.Filename, Line: pos.Line, Name: name})
+			}
+		}
+	}
+	return out
+}
+
+// StaleDirectives reports the //lint: annotations in pkg that name an
+// analyzer in ran but suppressed nothing: a directive that outlived the
+// finding it silenced is noise at best and, at worst, a hole waiting to
+// hide the next real finding. ran maps the directive names (analyzer
+// names and aliases) actually exercised over this package; used holds
+// the sites every executed pass consumed.
+func StaleDirectives(fset *token.FileSet, pkg *Package, ran map[string]bool, used map[DirectiveKey]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, site := range DirectiveSites(fset, pkg) {
+		if !ran[site.Name] || used[site] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      token.Position{Filename: site.File, Line: site.Line, Column: 1},
+			Analyzer: "stale",
+			Message: fmt.Sprintf("stale suppression: //lint:%s no longer suppresses any %s finding; delete it",
+				site.Name, site.Name),
+		})
+	}
+	SortDiagnostics(out)
+	return out
+}
+
 // Diagnostics returns the pass's findings, suppressed ones included.
 func (p *Pass) Diagnostics() []Diagnostic { return p.diags }
 
 // Run executes every applicable analyzer over pkg and returns the merged,
 // position-sorted findings.
 func Run(analyzers []*Analyzer, modPath string, pkg *Package, fset *token.FileSet) []Diagnostic {
+	diags, _, _ := RunPackage(analyzers, modPath, pkg, fset)
+	return diags
+}
+
+// RunPackage executes every applicable analyzer over pkg, additionally
+// returning the //lint: annotation sites the passes consumed and the
+// directive names (analyzer names plus aliases) that were exercised —
+// the inputs the staleness check needs.
+func RunPackage(analyzers []*Analyzer, modPath string, pkg *Package, fset *token.FileSet) ([]Diagnostic, []DirectiveKey, map[string]bool) {
 	var out []Diagnostic
+	var used []DirectiveKey
+	ran := make(map[string]bool)
 	for _, a := range analyzers {
 		if !a.AppliesTo(modPath, pkg.Path) {
 			continue
 		}
+		ran[a.Name] = true
+		for _, alias := range a.Aliases {
+			ran[alias] = true
+		}
 		pass := NewPass(a, fset, pkg)
 		a.Run(pass)
 		out = append(out, pass.Diagnostics()...)
+		used = append(used, pass.UsedDirectives()...)
 	}
 	SortDiagnostics(out)
-	return out
+	return out, used, ran
 }
 
 // SortDiagnostics orders findings by file, line, column, analyzer.

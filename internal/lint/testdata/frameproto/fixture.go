@@ -1,0 +1,121 @@
+// Package fixture exercises the frameproto analyzer: switches over the
+// frame-type byte must be exhaustive over the fXxx constant set or carry
+// a default that errors.
+package fixture
+
+import "errors"
+
+const (
+	fHello = 1
+	fBatch = 2
+	fEOS   = 3
+	fDrain = 4
+)
+
+// notAFrame must not count toward the frame set (no f+Upper pattern).
+const notAFrame = 99
+
+var errUnknown = errors.New("unknown frame")
+
+// exhaustive covers the whole set with no default: clean.
+func exhaustive(kind byte) int {
+	switch kind {
+	case fHello:
+		return 1
+	case fBatch:
+		return 2
+	case fEOS:
+		return 3
+	case fDrain:
+		return 4
+	}
+	return 0
+}
+
+// erroringDefault takes a deliberate subset and rejects the rest: clean.
+func erroringDefault(kind byte) error {
+	switch kind {
+	case fHello, fBatch:
+		return nil
+	default:
+		return errUnknown
+	}
+}
+
+// reportingDefault rejects through a failure reporter: clean.
+func reportingDefault(kind byte, report func(error)) {
+	switch kind {
+	case fEOS:
+		return
+	default:
+		report(errUnknown)
+	}
+}
+
+// missingCase silently drops fDrain.
+func missingCase(kind byte) int {
+	switch kind { // want "missing fDrain"
+	case fHello:
+		return 1
+	case fBatch:
+		return 2
+	case fEOS:
+		return 3
+	}
+	return 0
+}
+
+// silentDefault swallows unknown frames.
+func silentDefault(kind byte) int {
+	n := 0
+	switch kind {
+	case fHello:
+		n = 1
+	default: // want "default clause of a frame-kind switch must error"
+		n = -1
+	}
+	return n
+}
+
+// emptyDefault is just as silent.
+func emptyDefault(kind byte) {
+	switch kind {
+	case fBatch:
+	default: // want "default clause of a frame-kind switch must error"
+	}
+}
+
+// notFrames is an ordinary switch: ignored.
+func notFrames(x int) int {
+	switch x {
+	case notAFrame:
+		return 1
+	case 0:
+		return 2
+	}
+	return 3
+}
+
+// justifiedSubset carries the reviewed reason: suppressed, not reported.
+func justifiedSubset(kind byte) int {
+	//lint:frameproto the data plane only ever carries these three kinds; anything else is rejected upstream at readFrame
+	switch kind { // the directive on the line above covers this switch
+	case fHello:
+		return 1
+	case fBatch:
+		return 2
+	case fEOS:
+		return 3
+	}
+	return 0
+}
+
+// bareSuppression keeps the finding and demands the missing reason.
+func bareSuppression(kind byte) {
+	//lint:frameproto
+	switch kind { // want "suppression requires a justification"
+	case fHello:
+	case fBatch:
+	case fEOS:
+	}
+}

@@ -1,0 +1,90 @@
+// Package fixture exercises the noalloc analyzer: allocation sites in
+// //gpsa:noalloc-marked functions and their intra-package callees are
+// findings; cold failure paths (returns, error assignments, panics) and
+// unmarked functions are not.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+type msg struct {
+	dst uint32
+	val uint64
+}
+
+type state struct {
+	err  error
+	bufs []msg
+}
+
+// hotLoop is the marked hot path: every allocation form is a finding.
+//
+//gpsa:noalloc
+func hotLoop(s *state, n int) {
+	b := make([]msg, n) // want "make allocates"
+	_ = b
+	p := new(msg) // want "new allocates"
+	_ = p
+	s.bufs = append(s.bufs, msg{dst: 1}) // want "append may grow its backing array"
+	lit := []uint64{1, 2}                // want "slice literal allocates"
+	_ = lit
+	table := map[uint32]uint64{} // want "map literal allocates"
+	_ = table
+	q := &msg{dst: 2} // want "&composite literal is a heap allocation"
+	_ = q
+	fn := func() {} // want "function literal allocates a closure"
+	fn()
+	_ = fmt.Sprintf("%d", n) // want "fmt.Sprintf allocates"
+	_ = errors.New("hot")    // want "errors.New allocates"
+	helper(s)                // drags the unmarked callee into the checked set
+	sink(n)                  // want "interface conversion boxes a int value"
+	sink(&msg{})             // pointer arg: no boxing (but the literal is flagged) // want "&composite literal is a heap allocation"
+	a, z := "x", "y"
+	_ = a + z      // want "string concatenation allocates"
+	_ = []byte(a)  // want "string/\\[\\]byte conversion copies"
+	_ = string(bs) // want "string/\\[\\]byte conversion copies"
+}
+
+var bs []byte
+
+func sink(v interface{}) {}
+
+// helper carries no pragma but is reachable from hotLoop, so its
+// allocation sites are findings too.
+func helper(s *state) {
+	s.bufs = make([]msg, 4) // want "make allocates in noalloc context helper \\(callee of //gpsa:noalloc hotLoop\\)"
+}
+
+// coldPaths shows the exemptions: error construction on the way out of
+// a hot function is not a finding.
+//
+//gpsa:noalloc
+func coldPaths(s *state, fail bool) error {
+	if fail {
+		return fmt.Errorf("cold: %d", 1) // return statements are cold
+	}
+	s.err = fmt.Errorf("stored: %d", 2) // error-typed assignment is cold
+	if s.err != nil {
+		panic(fmt.Sprintf("cold %d", 3)) // panic arguments are cold
+	}
+	return nil
+}
+
+// justified demonstrates the suppression story: a justification silences
+// the finding, a bare annotation keeps it and demands the reason.
+//
+//gpsa:noalloc
+func justified(s *state, n int) {
+	//lint:noalloc capacity is pre-sized by the pool contract; append never grows
+	s.bufs = append(s.bufs, msg{dst: 3})
+	//lint:noalloc
+	b := make([]msg, n) // want "suppression requires a justification"
+	_ = b
+}
+
+// unmarked functions are not checked at all.
+func unmarked(n int) []msg {
+	return make([]msg, n)
+}

@@ -1,0 +1,175 @@
+// Package fixture exercises the poolsafe analyzer: every pool acquire
+// bound to a local must be released or handed off on all paths, and a
+// released buffer is dead memory.
+package fixture
+
+type slab struct {
+	vals []uint64
+}
+
+type arena struct {
+	free []*slab
+}
+
+func (a *arena) getSlab() *slab     { return &slab{} }
+func (a *arena) putSlab(s *slab)    {}
+func (a *arena) getBuf(n int) []int { return nil }
+func (a *arena) putBuf(b []int)     {}
+
+type Engine struct {
+	pool  *arena
+	held  *slab
+	out   chan *slab
+	ready bool
+}
+
+func (e *Engine) getBatch() []int  { return e.pool.getBuf(8) }
+func (e *Engine) putBatch(b []int) { e.pool.putBuf(b) }
+
+// leakAtEnd never releases: finding at the acquire.
+func leakAtEnd(a *arena) {
+	s := a.getSlab() // want "not released or handed off by function end"
+	s.vals = nil
+}
+
+// leakOnErrorReturn forgets the early return path.
+func leakOnErrorReturn(a *arena, fail bool) error {
+	s := a.getSlab()
+	if fail {
+		return errFail // want "not released or handed off on this return path"
+	}
+	a.putSlab(s)
+	return nil
+}
+
+var errFail error
+
+// deferredRelease covers every exit, panics included: clean.
+func deferredRelease(a *arena, fail bool) error {
+	s := a.getSlab()
+	defer a.putSlab(s)
+	if fail {
+		return errFail
+	}
+	s.vals[0] = 1
+	return nil
+}
+
+// deferredClosureRelease is the conditional-release idiom: clean.
+func deferredClosureRelease(a *arena) {
+	b := a.getBuf(16)
+	defer func() {
+		if b != nil {
+			a.putBuf(b)
+		}
+	}()
+	b = append(b, 1)
+}
+
+// useAfterRelease reads through recycled memory.
+func useAfterRelease(a *arena) uint64 {
+	s := a.getSlab()
+	a.putSlab(s)
+	return s.vals[0] // want "use of pooled buffer s after putSlab released it"
+}
+
+// storeAfterRelease parks a dangling reference in a struct field.
+func storeAfterRelease(a *arena, e *Engine) {
+	s := a.getSlab()
+	a.putSlab(s)
+	e.held = s // want "use of pooled buffer s after putSlab released it"
+}
+
+// sendAfterRelease ships recycled memory to another goroutine.
+func sendAfterRelease(a *arena, e *Engine) {
+	s := a.getSlab()
+	a.putSlab(s)
+	e.out <- s // want "use of pooled buffer s after putSlab released it"
+}
+
+// doubleRelease corrupts the free list.
+func doubleRelease(a *arena) {
+	s := a.getSlab()
+	a.putSlab(s)
+	a.putSlab(s) // want "pooled buffer released twice"
+}
+
+// discardedAcquire drops the only reference immediately.
+func discardedAcquire(a *arena) {
+	a.getSlab() // want "result of getSlab is discarded"
+}
+
+// leakInLoop must release within the iteration that acquired.
+func leakInLoop(a *arena, n int) {
+	for i := 0; i < n; i++ {
+		s := a.getSlab() // want "acquired in a loop is not released or handed off within the iteration"
+		s.vals[0] = uint64(i)
+	}
+}
+
+// releaseInLoop is the balanced loop: clean.
+func releaseInLoop(a *arena, n int) {
+	for i := 0; i < n; i++ {
+		s := a.getSlab()
+		s.vals[0] = uint64(i)
+		a.putSlab(s)
+	}
+}
+
+// handoffs transfer ownership and end the analysis: all clean.
+func handoffField(a *arena, e *Engine) {
+	s := a.getSlab()
+	e.held = s
+}
+
+func handoffChannel(a *arena, e *Engine) {
+	s := a.getSlab()
+	e.out <- s
+}
+
+func handoffReturn(a *arena) *slab {
+	s := a.getSlab()
+	return s
+}
+
+func handoffCall(a *arena) {
+	s := a.getSlab()
+	consume(s)
+}
+
+func handoffAtBirth(a *arena, e *Engine) {
+	e.held = a.getSlab()
+	consume(a.getSlab())
+}
+
+func consume(s *slab) {}
+
+// branchBalanced releases on both arms: clean.
+func branchBalanced(a *arena, cond bool) {
+	s := a.getSlab()
+	if cond {
+		a.putSlab(s)
+	} else {
+		consume(s)
+	}
+}
+
+// engineWrappers use the Engine-level acquire/release pair: clean.
+func engineWrappers(e *Engine) {
+	b := e.getBatch()
+	e.putBatch(b)
+}
+
+// justifiedLeak carries the reviewed reason: suppressed, not reported.
+func justifiedLeak(a *arena) {
+	s := a.getSlab() //lint:poolsafe deliberately long-lived: the engine owns this slab until shutdown
+	s.vals = nil
+}
+
+// bareSuppression keeps the finding and demands the missing reason.
+func bareSuppression(a *arena) uint64 {
+	s := a.getSlab()
+	a.putSlab(s)
+	//lint:poolsafe
+	return s.vals[0] // want "suppression requires a justification"
+}

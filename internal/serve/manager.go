@@ -534,7 +534,6 @@ func (m *Manager) Drain(ctx context.Context) error {
 	left := m.q.drain()
 	m.opts.Logf("serve: draining: %d queued jobs left journaled for resume", len(left))
 	m.cancel()
-	//lint:ctxblock release-bounded: cancellation above unwinds every worker through the engine's rollback+seal path
 	err := m.sys.Wait()
 	m.reg.closeAll()
 	if cerr := m.jour.close(); err == nil {

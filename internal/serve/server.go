@@ -74,7 +74,6 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if herr := s.hs.Shutdown(ctx); herr != nil && !errors.Is(herr, context.Canceled) && err == nil {
 		err = herr
 	}
-	//lint:ctxblock release-bounded: hs.Shutdown above stopped the listener, so the actor returns promptly
 	if werr := s.sys.Wait(); werr != nil && err == nil {
 		err = werr
 	}

@@ -424,11 +424,15 @@ func DispatchCol(step int64) int { return int(step & 1) }
 func UpdateCol(step int64) int { return int(step&1) ^ 1 }
 
 // Load atomically reads slot (v, col).
+//
+//gpsa:noalloc
 func (f *File) Load(col int, v int64) uint64 {
 	return atomic.LoadUint64(&f.slots[2*v+int64(col)])
 }
 
 // Store atomically writes slot (v, col).
+//
+//gpsa:noalloc
 func (f *File) Store(col int, v int64, slot uint64) {
 	atomic.StoreUint64(&f.slots[2*v+int64(col)], slot)
 }
@@ -453,6 +457,8 @@ type ApplyFunc func(v int64, cur, msg uint64, first bool) (newVal uint64, change
 // stored fresh, exactly like the per-message path. It returns the number
 // of vertices whose value changed. Present entries are visited in
 // ascending vertex order, which keeps the fold deterministic.
+//
+//gpsa:noalloc
 func (f *File) BulkApply(step, offset, stride int64, bits, vals []uint64, fn ApplyFunc) (updates int64) {
 	dcol, ucol := DispatchCol(step), UpdateCol(step)
 	for wi, word := range bits {
