@@ -3,7 +3,7 @@
 GO ?= go
 REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all build test race lint lint-escape vet fmt bench bench-diff bench-micro bench-smoke bench-scale repro examples check torture chaos clean
+.PHONY: all build test race lint lint-escape vet fmt bench bench-diff bench-micro bench-smoke bench-scale repro examples check torture chaos disktorture clean
 
 all: build test
 
@@ -52,6 +52,7 @@ check:
 	$(GO) test -count=1 -run 'Torture|Interrupt|ExitCodes' ./internal/crashtest
 	$(GO) test -count=1 -run 'TestChaosSmoke|TestChaosMigrationSmoke|TestChaosElastic|TestChaosCorruptFrameDetected' ./internal/chaostest
 	$(GO) test -count=1 -run 'TestServeSmoke' ./internal/servetest
+	$(GO) test -count=1 -run 'TestDiskSmoke|TestDiskReadFaultsTyped' ./internal/disktest
 	$(MAKE) bench-smoke
 
 # Kill-torture: run cmd/gpsa as a subprocess, SIGKILL it at >=20
@@ -66,6 +67,17 @@ check:
 torture:
 	$(GO) test -count=1 -v -run 'Torture|Interrupt|ExitCodes' ./internal/crashtest
 	$(GO) test -count=1 -v -timeout 600s -run 'TestServe' ./internal/servetest
+
+# Hostile-disk torture: the full storage fault matrix from
+# internal/disktest — every write-path disk.* site armed as a
+# persistent storm against the real CSR writer and engine (the run must
+# complete bit-identical to an undisturbed baseline or fail typed and
+# recover to it once the disk heals), the read-side error taxonomy
+# (EIO vs at-rest bit-rot), the gpsa-serve degraded-mode enter/exit
+# cycle against the real binary, and the cluster-replica scrub/repair
+# scenario. Writes the per-site outcome matrix to disktorture.json.
+disktorture:
+	GPSA_DISKTEST_REPORT=disktorture.json $(GO) test -count=1 -v -timeout 600s -run 'TestDisk' ./internal/disktest
 
 # Network torture: the full seeded chaos schedule over a live 3-node
 # in-process cluster — randomized node kills mid-dispatch and

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/buildinfo"
+	"repro/internal/diskio"
 	"repro/internal/gen"
 	"repro/internal/metrics"
 	"repro/internal/prof"
@@ -35,12 +36,16 @@ func writeFigureCSV(dir, id string, res *bench.FigureResult) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(dir, id+".csv"))
+	f, err := diskio.Create(filepath.Join(dir, id+".csv"))
 	if err != nil {
 		return err
 	}
 	if err := res.WriteCSV(f); err != nil {
-		f.Close()
+		f.Close() //lint:syncerr error path: the write already failed and is being reported
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() //lint:syncerr error path: the sync already failed and is being reported
 		return err
 	}
 	return f.Close()

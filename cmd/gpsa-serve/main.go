@@ -16,6 +16,13 @@
 //
 //   - A full admission queue sheds with 429 + Retry-After; a quarantined
 //     (graph, program) pair sheds with 503 + Retry-After.
+//   - A failing jobs disk (ENOSPC, EIO on the journal, free space below
+//     -min-free) flips the server into read-only degraded mode: POSTs
+//     shed with 503 + Retry-After, /readyz reports disk-degraded, reads
+//     keep serving, and a background probe restores admissions once
+//     writes succeed again. -scrub-interval adds a background scrub
+//     actor that re-verifies resident graph and sealed value file
+//     checksums, quarantining anything corrupt.
 //   - SIGTERM drains: admissions stop, /readyz flips to 503, in-flight
 //     jobs are rolled back to their last committed superstep and their
 //     value files sealed, the job journal records every non-terminal
@@ -63,6 +70,11 @@ func run() int {
 		stepRetry  = flag.Int("step-retries", 2, "in-run superstep retries (rollback + re-execute)")
 		watchdog   = flag.Duration("watchdog", 60*time.Second, "per-superstep worker silence bound")
 		resumeJobs = flag.Bool("resume-jobs", false, "replay the job journal and resume interrupted jobs")
+		minFree    = flag.Int64("min-free", 0, "free bytes required in the jobs dir to admit work (0 disables; below it the server degrades read-only)")
+		diskRetry  = flag.Int("disk-retries", 3, "journal checkpoint write attempts before the server degrades")
+		probeIvl   = flag.Duration("probe-interval", 2*time.Second, "degraded-mode disk recovery probe cadence")
+		scrubIvl   = flag.Duration("scrub-interval", 0, "background scrub cadence for resident graphs and sealed value files (0 disables)")
+		scrubRate  = flag.Int64("scrub-throttle", 0, "scrub read rate cap in bytes/sec (0 = unthrottled)")
 		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "bound on graceful drain at shutdown")
 		verbose    = flag.Bool("v", false, "log job lifecycle events")
 		version    = flag.Bool("version", false, "print version and exit")
@@ -120,6 +132,11 @@ func run() int {
 		StepRetries:      *stepRetry,
 		Watchdog:         *watchdog,
 		ResumeJobs:       *resumeJobs,
+		MinFreeBytes:     *minFree,
+		DiskRetries:      *diskRetry,
+		ProbeInterval:    *probeIvl,
+		ScrubInterval:    *scrubIvl,
+		ScrubThrottle:    *scrubRate,
 		Logf:             logf,
 	})
 	if err != nil {

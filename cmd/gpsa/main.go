@@ -47,8 +47,10 @@ import (
 
 	"repro"
 	"repro/internal/buildinfo"
+	"repro/internal/diskio"
 	"repro/internal/fault"
 	"repro/internal/prof"
+	"repro/internal/scrub"
 )
 
 const (
@@ -80,6 +82,8 @@ func run() int {
 		accumBudget = flag.Int("accum-budget", 0, "accumulator bytes per (dispatcher, computer) before an incremental flush (0 = 256 KiB)")
 		prefetch    = flag.Bool("prefetch", false, "async CSR prefetch: madvise(WILLNEED) window ahead of each dispatcher, DONTNEED trail behind")
 		prefetchWin = flag.Int("prefetch-window", 0, "prefetch window bytes per dispatcher (0 = 8 MiB)")
+		scrubIvl    = flag.Duration("scrub-interval", 0, "background scrub cadence: re-verify the graph CSR checksum and the sealed -values digest while running (0 disables)")
+		scrubRate   = flag.Int64("scrub-throttle", 0, "scrub read rate cap in bytes/sec (0 = unthrottled)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		tracefile   = flag.String("trace", "", "write a runtime execution trace to this file")
@@ -155,6 +159,27 @@ exit codes:
 			fmt.Fprintf(os.Stderr, "superstep %d: %d messages, %d updates, %v\n",
 				s.Step, s.Messages, s.Updates, s.Duration)
 		}
+	}
+
+	// The per-engine scrub actor re-verifies the input CSR checksum (and
+	// the value file's sealed digest, once sealed — a mid-run file is
+	// skipped as crash recovery's province) alongside the run. A corrupt
+	// input is quarantined so no later run trusts it; this run already
+	// holds its own mapping and finishes, with the finding on stderr.
+	if *scrubIvl > 0 {
+		sc := scrub.New(scrub.Options{
+			Interval:            *scrubIvl,
+			ThrottleBytesPerSec: *scrubRate,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "gpsa: "+format+"\n", args...)
+			},
+		})
+		sc.Add(scrub.Target{Path: *graphPath, Kind: scrub.KindGraph})
+		if *values != "" {
+			sc.Add(scrub.Target{Path: *values, Kind: scrub.KindValues})
+		}
+		sc.Start()
+		defer sc.Stop()
 	}
 
 	var res *gpsa.Result
@@ -241,7 +266,7 @@ func fail(err error, graphPath, algo, values string) int {
 }
 
 func dumpScores(path string, scores []float64) error {
-	f, err := os.Create(path)
+	f, err := diskio.Create(path)
 	if err != nil {
 		return err
 	}
@@ -250,7 +275,11 @@ func dumpScores(path string, scores []float64) error {
 		fmt.Fprintf(bw, "%d\t%g\n", v, s)
 	}
 	if err := bw.Flush(); err != nil {
-		f.Close()
+		f.Close() //lint:syncerr error path: the flush already failed and is being reported
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() //lint:syncerr error path: the sync already failed and is being reported
 		return err
 	}
 	return f.Close()

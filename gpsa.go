@@ -25,6 +25,8 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/diskio"
+
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/metrics"
@@ -304,7 +306,7 @@ func RunOn(g *Graph, prog Program, opts RunOptions) (*Values, *Result, error) {
 		vpath := opts.ValuesPath
 		temp := vpath == ""
 		if temp {
-			f, err := os.CreateTemp(filepath.Dir(g.path), ".gpsa-values-*")
+			f, err := diskio.CreateTemp(filepath.Dir(g.path), ".gpsa-values-*")
 			if err != nil {
 				return nil, nil, fmt.Errorf("gpsa: temp value file: %w", err)
 			}

@@ -113,12 +113,12 @@ func measureGPSAVariant(csr string, opts AblationOptions, cfg core.Config, mode 
 		vpath := csr + fmt.Sprintf(".values-%d", r)
 		vf, err := vertexfile.Create(vpath, gf.NumVertices, algorithms.PageRank{}.Init)
 		if err != nil {
-			gf.Close()
+			gf.Close() //lint:syncerr benchmark harness teardown of scratch files; no durability contract
 			return 0, 0, err
 		}
 		eng, err := core.New(gf, vf, algorithms.PageRank{}, cfg)
 		if err != nil {
-			vf.Close()
+			vf.Close() //lint:syncerr benchmark harness teardown of scratch files; no durability contract
 			gf.Close()
 			return 0, 0, err
 		}
@@ -126,7 +126,7 @@ func measureGPSAVariant(csr string, opts AblationOptions, cfg core.Config, mode 
 		sample := metrics.MeasureCPU(func() {
 			res, err = eng.Run()
 		})
-		vf.Close()
+		vf.Close() //lint:syncerr benchmark harness teardown of scratch files; no durability contract
 		gf.Close()
 		os.Remove(vpath)
 		if err != nil {

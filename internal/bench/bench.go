@@ -265,14 +265,14 @@ func runGPSA(a *Artifacts, alg Algo, opts Options, r int, sample *metrics.CPUSam
 	if err != nil {
 		return 0, err
 	}
-	defer gf.Close()
+	defer gf.Close() //lint:syncerr benchmark harness teardown of scratch files; no durability contract
 	vpath := filepath.Join(a.Dir, fmt.Sprintf("values-%d.gpvf", r))
 	vf, err := vertexfile.Create(vpath, gf.NumVertices, prog.Init)
 	if err != nil {
 		return 0, err
 	}
 	defer os.Remove(vpath)
-	defer vf.Close()
+	defer vf.Close() //lint:syncerr benchmark harness teardown of scratch files; no durability contract
 	eng, err := core.New(gf, vf, prog, core.Config{
 		MaxSupersteps: opts.Supersteps,
 		Dispatchers:   opts.Dispatchers,
@@ -319,7 +319,7 @@ func runGraphChi(a *Artifacts, alg Algo, opts Options, r int, sample *metrics.CP
 	if err != nil {
 		return 0, err
 	}
-	defer eng.Close()
+	defer eng.Close() //lint:syncerr benchmark harness teardown of scratch files; no durability contract
 	var res *graphchi.Result
 	*sample = metrics.MeasureCPU(func() {
 		res, err = eng.Run()
@@ -346,7 +346,7 @@ func runXStream(a *Artifacts, alg Algo, opts Options, r int, sample *metrics.CPU
 	if err != nil {
 		return 0, err
 	}
-	defer eng.Close()
+	defer eng.Close() //lint:syncerr benchmark harness teardown of scratch files; no durability contract
 	var res *xstream.Result
 	*sample = metrics.MeasureCPU(func() {
 		res, err = eng.Run()

@@ -3,7 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
-	"os"
+	"repro/internal/diskio"
 	"runtime"
 	"time"
 
@@ -136,7 +136,7 @@ func runHotPathOnce(w hotPathWorkload, mode core.AccumMode, opts HotPathOptions)
 	if err != nil {
 		return nil, 0, err
 	}
-	defer vf.Close()
+	defer vf.Close() //lint:syncerr benchmark harness teardown of scratch files; no durability contract
 	eng, err := core.New(gf, vf, w.prog, core.Config{
 		MaxSupersteps: opts.Supersteps,
 		Dispatchers:   opts.Dispatchers,
@@ -227,5 +227,5 @@ func (r *HotPathReport) WriteJSON(path string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return diskio.WriteFileAtomic(path, append(data, '\n'), 0o644)
 }

@@ -104,14 +104,14 @@ func scalabilityRun(csr string, actors int, opts ScalabilityOptions, r int) (flo
 	if err != nil {
 		return 0, 0, err
 	}
-	defer gf.Close()
+	defer gf.Close() //lint:syncerr benchmark harness teardown of scratch files; no durability contract
 	vpath := csr + fmt.Sprintf(".values-%d-%d", actors, r)
 	vf, err := vertexfile.Create(vpath, gf.NumVertices, algorithms.PageRank{}.Init)
 	if err != nil {
 		return 0, 0, err
 	}
 	defer os.Remove(vpath)
-	defer vf.Close()
+	defer vf.Close() //lint:syncerr benchmark harness teardown of scratch files; no durability contract
 	eng, err := core.New(gf, vf, algorithms.PageRank{}, core.Config{
 		Dispatchers:   actors / 2,
 		Computers:     actors - actors/2,

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
 	"path/filepath"
+	"repro/internal/diskio"
 	"runtime"
 	"runtime/debug"
 	"strings"
@@ -153,7 +155,7 @@ func (r *CostReport) WriteJSON(path string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return diskio.WriteFileAtomic(path, append(data, '\n'), 0o644)
 }
 
 // memCapped runs fn under the configured soft heap cap, restoring the
@@ -177,14 +179,14 @@ func runGPSAScale(a *Artifacts, alg Algo, cores int, opts ScaleOptions) (*core.R
 	if err != nil {
 		return nil, 0, err
 	}
-	defer gf.Close()
+	defer gf.Close() //lint:syncerr benchmark harness teardown of scratch files; no durability contract
 	vpath := filepath.Join(a.Dir, "scale-values.gpvf")
 	vf, err := vertexfile.Create(vpath, gf.NumVertices, prog.Init)
 	if err != nil {
 		return nil, 0, err
 	}
 	defer os.Remove(vpath)
-	defer vf.Close()
+	defer vf.Close() //lint:syncerr benchmark harness teardown of scratch files; no durability contract
 
 	workers := cores / 2
 	if workers < 1 {

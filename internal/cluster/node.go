@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -13,6 +14,7 @@ import (
 
 	"repro/internal/actor"
 	"repro/internal/core"
+	"repro/internal/diskio"
 	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/metrics"
@@ -47,6 +49,11 @@ type NodeConfig struct {
 	// RedialBackoffMax caps the doubling redial sleep (default 2s), so a
 	// long redial storm polls steadily instead of sleeping for minutes.
 	RedialBackoffMax time.Duration
+	// MinFreeBytes gates migration adoption on free space in the value
+	// file's directory: a recipient that cannot durably hold the interval
+	// refuses MIGRATE with a typed ENOSPC error instead of adopting state
+	// it would lose. 0 disables the preflight.
+	MinFreeBytes int64
 }
 
 func (c NodeConfig) withDefaults() NodeConfig {
@@ -158,6 +165,7 @@ type node struct {
 
 	gf        *graph.File
 	vf        *vertexfile.File
+	valuesDir string           // directory of the value file, for free-space preflight
 	ivs       []graph.Interval // the fixed partition, immutable for the job
 	ivBounds  []int64          // ivBounds[i] = first vertex of interval i; len(ivs)+1
 	owners    []int            // owners[i] = node currently hosting interval i
@@ -259,6 +267,7 @@ func startNode(ctx context.Context, spec nodeSpec) (*node, error) {
 		ctx:       ctx,
 		gf:        gf,
 		vf:        vf,
+		valuesDir: filepath.Dir(spec.valuesPath),
 		ivs:       spec.ivs,
 		ivBounds:  make([]int64, len(spec.ivs)+1),
 		peers:     make([]*conn, total),
@@ -640,6 +649,15 @@ func (n *node) runNode() error {
 			}
 			if ferr := fault.Error(fault.SiteNodeKillMigrate); ferr != nil {
 				return fmt.Errorf("cluster: node %d mid-migration (recipient): %w", n.id, errNodeKilled)
+			}
+			// Adoption preflight: refuse state this node cannot durably
+			// hold. The typed ENOSPC refusal fails the migration loudly at
+			// the coordinator instead of losing the interval on the sync.
+			if n.cfg.MinFreeBytes > 0 {
+				if free, ferr := diskio.FreeSpace(n.valuesDir); ferr == nil && free < uint64(n.cfg.MinFreeBytes) {
+					return fmt.Errorf("cluster: node %d adopting interval %d: %d bytes free, need %d: %w",
+						n.id, iv, free, n.cfg.MinFreeBytes, diskio.ErrDiskFull)
+				}
 			}
 			if err := n.vf.AdoptInterval(blob, !n.cfg.DisableSync); err != nil {
 				return fmt.Errorf("cluster: node %d adopting interval %d: %w", n.id, iv, err)

@@ -1,0 +1,16 @@
+//go:build linux
+
+package diskio
+
+import "syscall"
+
+// freeSpace asks statfs(2) for the bytes available to unprivileged
+// writes (Bavail, not Bfree: the root reserve does not save a job that
+// runs as a normal user).
+func freeSpace(path string) (uint64, error) {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(path, &st); err != nil {
+		return 0, Classify("statfs", path, err)
+	}
+	return st.Bavail * uint64(st.Bsize), nil
+}

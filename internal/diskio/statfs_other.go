@@ -1,0 +1,11 @@
+//go:build !linux
+
+package diskio
+
+import "errors"
+
+// freeSpace is unsupported off Linux: callers treat ErrUnsupported as
+// "unknown" and skip the preflight gate rather than refusing work.
+func freeSpace(string) (uint64, error) {
+	return 0, errors.ErrUnsupported
+}

@@ -169,6 +169,56 @@ const (
 	// the connection dies — the torn-frame case the length prefix and
 	// checksum must surface.
 	SiteMigrateShortWrite = "cluster.migrate.shortwrite"
+
+	// The disk.* sites fire inside internal/diskio, the fault-injectable
+	// storage layer every durability path routes file I/O through. They
+	// model the hostile-disk vocabulary: writes hitting ENOSPC, reads and
+	// syncs returning EIO, partial writes, syncs that tear, and sealed
+	// bytes rotting at rest. Injected errors carry the matching typed
+	// error (diskio.ErrDiskFull / diskio.ErrIOFailure) so callers exercise
+	// the same classification paths a real kernel error would take.
+	//
+	// SiteDiskENOSPCCreate fires when a file is created or opened for
+	// writing; Error simulates open(2) failing with ENOSPC.
+	SiteDiskENOSPCCreate = "disk.enospc.create"
+	// SiteDiskENOSPCWrite fires once per write call; Error simulates the
+	// write failing with ENOSPC after zero bytes reached the file.
+	SiteDiskENOSPCWrite = "disk.enospc.write"
+	// SiteDiskENOSPCPreflight fires once per free-space probe
+	// (diskio.FreeSpace); a firing makes the probe report zero bytes
+	// free, so admission/adoption preflight gates can be exercised
+	// without actually filling a disk.
+	SiteDiskENOSPCPreflight = "disk.enospc.preflight"
+	// SiteDiskENOSPCSync fires once per fsync; Error simulates the
+	// write-back failing with ENOSPC (delayed allocation discovering the
+	// disk is full only at flush time — the classic ext4/XFS trap).
+	SiteDiskENOSPCSync = "disk.enospc.sync"
+	// SiteDiskEIOWrite fires once per write call; Error simulates a
+	// failing device (EIO) with nothing durable.
+	SiteDiskEIOWrite = "disk.eio.write"
+	// SiteDiskEIORead fires once per read call; Error simulates a read
+	// returning EIO — a sector the device can no longer serve.
+	SiteDiskEIORead = "disk.eio.read"
+	// SiteDiskEIOSync fires once per fsync/msync on a durability path
+	// (including the mmap layer's Sync/SyncRange under the vertex value
+	// file); Error simulates the write-back failing with EIO, after which
+	// the kernel may have dropped the dirty pages — the caller must treat
+	// the on-disk state as unknown.
+	SiteDiskEIOSync = "disk.eio.sync"
+	// SiteDiskShortWrite fires once per write call: a prefix of the bytes
+	// reaches the file and the call fails — the torn-record case journal
+	// replay and checksums must surface.
+	SiteDiskShortWrite = "disk.shortwrite.write"
+	// SiteDiskTornSync fires once per fsync: the file's freshly written
+	// tail is torn (truncated mid-record) before the sync reports failure,
+	// simulating a power cut mid-write-back.
+	SiteDiskTornSync = "disk.torn-sync.sync"
+	// SiteDiskBitrot fires once per whole-file read through the diskio
+	// layer: one bit of the returned bytes is flipped, simulating at-rest
+	// corruption of sealed data. Checksums (vertexfile column digests, CSR
+	// .sum sidecars, journal JSON framing) must detect it — the scrubber's
+	// whole reason to exist.
+	SiteDiskBitrot = "disk.bitrot.read"
 )
 
 // ErrInjected is matched (via errors.Is) by every error this package

@@ -1,0 +1,105 @@
+package fault
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestFaultSiteInventory pins the fault-site catalogue in DESIGN.md
+// ("Storage failure model") to the Site* constants in this package:
+// every constant must appear in the catalogue table and every
+// catalogued site must exist in code. A new injection site without an
+// entry in the failure-model documentation — or a documented site that
+// was renamed or removed — fails here, not in review.
+func TestFaultSiteInventory(t *testing.T) {
+	code := sourceSites(t)
+	if len(code) < 30 {
+		t.Fatalf("parsed only %d Site* constants from fault.go; parser is broken", len(code))
+	}
+	doc := catalogueSites(t)
+
+	for site := range code {
+		if !doc[site] {
+			t.Errorf("fault site %q is not in the DESIGN.md fault-site catalogue", site)
+		}
+	}
+	for site := range doc {
+		if !code[site] {
+			t.Errorf("DESIGN.md catalogues fault site %q, which no longer exists in internal/fault", site)
+		}
+	}
+}
+
+// sourceSites parses fault.go and returns the string values of all
+// exported Site* constants.
+func sourceSites(t *testing.T) map[string]bool {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fault.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := make(map[string]bool)
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if !strings.HasPrefix(name.Name, "Site") || i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				val, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					t.Fatalf("constant %s: %v", name.Name, err)
+				}
+				sites[val] = true
+			}
+		}
+	}
+	return sites
+}
+
+// catalogueSites extracts the first backticked token of each table row
+// between the fault-site-catalogue markers in DESIGN.md.
+func catalogueSites(t *testing.T) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "DESIGN.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	const begin, end = "<!-- fault-site-catalogue:begin -->", "<!-- fault-site-catalogue:end -->"
+	b := strings.Index(text, begin)
+	e := strings.Index(text, end)
+	if b < 0 || e < 0 || e < b {
+		t.Fatalf("DESIGN.md is missing the %s / %s markers", begin, end)
+	}
+	rowSite := regexp.MustCompile("^\\| `([^`]+)` \\|")
+	sites := make(map[string]bool)
+	for _, line := range strings.Split(text[b+len(begin):e], "\n") {
+		if m := rowSite.FindStringSubmatch(strings.TrimSpace(line)); m != nil {
+			sites[m[1]] = true
+		}
+	}
+	if len(sites) == 0 {
+		t.Fatal("fault-site catalogue has no table rows")
+	}
+	return sites
+}

@@ -5,8 +5,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"os"
 	"sort"
+
+	"repro/internal/diskio"
 )
 
 // CompactWriter streams a compact (version 2) CSR file vertex by vertex,
@@ -14,7 +15,8 @@ import (
 // Destinations are sorted per vertex as required by delta encoding.
 type CompactWriter struct {
 	w        *bufio.Writer
-	f        *os.File
+	sink     *csrSink
+	path     string
 	idxPath  string
 	weighted bool
 
@@ -44,13 +46,15 @@ func NewCompactWriter(path string, numVertices, numEdges int64, weighted bool) (
 	if numEdges < 0 {
 		return nil, fmt.Errorf("graph: compact writer: negative edge count")
 	}
-	f, err := os.Create(path)
+	f, err := diskio.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("graph: compact writer: %w", err)
 	}
+	sink := &csrSink{f: f, h: newCSRHash()}
 	w := &CompactWriter{
-		w:           bufio.NewWriterSize(f, 1<<20),
-		f:           f,
+		w:           bufio.NewWriterSize(sink, 1<<20),
+		sink:        sink,
+		path:        path,
 		idxPath:     path + ".idx",
 		weighted:    weighted,
 		numVertices: numVertices,
@@ -68,7 +72,7 @@ func NewCompactWriter(path string, numVertices, numEdges int64, weighted bool) (
 	binary.LittleEndian.PutUint64(hdr[16:], uint64(numVertices))
 	binary.LittleEndian.PutUint64(hdr[24:], uint64(numEdges))
 	if _, err := w.w.Write(hdr[:]); err != nil {
-		f.Close()
+		f.Close() //lint:syncerr best-effort cleanup; the primary error is already propagating
 		return nil, fmt.Errorf("graph: compact writer header: %w", err)
 	}
 	return w, nil
@@ -137,23 +141,31 @@ func (w *CompactWriter) AppendVertex(dsts []VertexID, weights []float32) error {
 	return nil
 }
 
-// Finish flushes the file and writes the sidecar index.
+// Finish flushes and fsyncs the file, writes the sidecar index, and
+// seals the ".sum" checksum sidecar.
 func (w *CompactWriter) Finish() error {
 	if w.nextVertex != w.numVertices {
-		w.f.Close()
+		w.sink.f.Close() //lint:syncerr error path: the append protocol already failed
 		return fmt.Errorf("graph: compact writer: %d vertices appended, declared %d", w.nextVertex, w.numVertices)
 	}
 	if w.cumEdges != w.numEdges {
-		w.f.Close()
+		w.sink.f.Close() //lint:syncerr error path: the append protocol already failed
 		return fmt.Errorf("graph: compact writer: %d edges appended, declared %d", w.cumEdges, w.numEdges)
 	}
 	w.index = append(w.index, IndexEntry{FirstVertex: w.numVertices, WordOff: w.byteOff, CumEdges: w.cumEdges})
 	if err := w.w.Flush(); err != nil {
-		w.f.Close()
+		w.sink.f.Close() //lint:syncerr error path: the flush already failed and is being reported
 		return fmt.Errorf("graph: compact writer flush: %w", err)
 	}
-	if err := w.f.Close(); err != nil {
+	if err := w.sink.f.Sync(); err != nil {
+		w.sink.f.Close() //lint:syncerr error path: the sync already failed and is being reported
+		return fmt.Errorf("graph: compact writer sync: %w", err)
+	}
+	if err := w.sink.f.Close(); err != nil {
 		return fmt.Errorf("graph: compact writer close: %w", err)
 	}
-	return writeIndex(w.idxPath, w.stride, w.index)
+	if err := writeIndex(w.idxPath, w.stride, w.index); err != nil {
+		return err
+	}
+	return sealCSR(w.path, w.sink.h.Sum64(), w.sink.n)
 }

@@ -4,12 +4,32 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash"
 	"io"
 	"math"
 	"os"
 
+	"repro/internal/diskio"
 	"repro/internal/mmap"
 )
+
+// csrSink couples the fault-injectable output file with the incremental
+// FNV-1a digest the ".sum" sidecar seals: every byte the bufio layer
+// flushes passes through exactly once, so sealing costs no second read
+// of the finished file. Only bytes that actually reached the file are
+// hashed — a short write leaves digest and file consistent.
+type csrSink struct {
+	f *diskio.File
+	h hash.Hash64
+	n int64
+}
+
+func (s *csrSink) Write(p []byte) (int, error) {
+	n, err := s.f.Write(p)
+	s.h.Write(p[:n])
+	s.n += int64(n)
+	return n, err
+}
 
 // On-disk CSR format (paper Fig. 4, "a CSR file with vertex degrees"):
 //
@@ -65,7 +85,8 @@ type Interval struct {
 // of them, with edge counts summing to NumEdges.
 type Writer struct {
 	w        *bufio.Writer
-	f        *os.File
+	sink     *csrSink
+	path     string
 	idxPath  string
 	weighted bool
 
@@ -90,13 +111,15 @@ func NewWriter(path string, numVertices, numEdges int64, weighted bool) (*Writer
 	if numEdges < 0 {
 		return nil, fmt.Errorf("graph: writer: negative edge count")
 	}
-	f, err := os.Create(path)
+	f, err := diskio.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("graph: writer: %w", err)
 	}
+	sink := &csrSink{f: f, h: newCSRHash()}
 	w := &Writer{
-		w:           bufio.NewWriterSize(f, 1<<20),
-		f:           f,
+		w:           bufio.NewWriterSize(sink, 1<<20),
+		sink:        sink,
+		path:        path,
 		idxPath:     path + ".idx",
 		weighted:    weighted,
 		numVertices: numVertices,
@@ -114,7 +137,7 @@ func NewWriter(path string, numVertices, numEdges int64, weighted bool) (*Writer
 	binary.LittleEndian.PutUint64(hdr[16:], uint64(numVertices))
 	binary.LittleEndian.PutUint64(hdr[24:], uint64(numEdges))
 	if _, err := w.w.Write(hdr[:]); err != nil {
-		f.Close()
+		f.Close() //lint:syncerr best-effort cleanup; the primary error is already propagating
 		return nil, fmt.Errorf("graph: writer header: %w", err)
 	}
 	return w, nil
@@ -174,30 +197,38 @@ func (w *Writer) AppendVertex(dsts []VertexID, weights []float32) error {
 	return nil
 }
 
-// Finish flushes the data file and writes the sidecar index. It must be
-// called exactly once, after all vertices have been appended.
+// Finish flushes and fsyncs the data file, writes the sidecar index,
+// and seals the ".sum" checksum sidecar. It must be called exactly
+// once, after all vertices have been appended.
 func (w *Writer) Finish() error {
 	if w.nextVertex != w.numVertices {
-		w.f.Close()
+		w.sink.f.Close() //lint:syncerr error path: the append protocol already failed
 		return fmt.Errorf("graph: writer: %d vertices appended, declared %d", w.nextVertex, w.numVertices)
 	}
 	if w.cumEdges != w.numEdges {
-		w.f.Close()
+		w.sink.f.Close() //lint:syncerr error path: the append protocol already failed
 		return fmt.Errorf("graph: writer: %d edges appended, declared %d", w.cumEdges, w.numEdges)
 	}
 	w.index = append(w.index, IndexEntry{FirstVertex: w.numVertices, WordOff: w.wordOff, CumEdges: w.cumEdges})
 	if err := w.w.Flush(); err != nil {
-		w.f.Close()
+		w.sink.f.Close() //lint:syncerr error path: the flush already failed and is being reported
 		return fmt.Errorf("graph: writer flush: %w", err)
 	}
-	if err := w.f.Close(); err != nil {
+	if err := w.sink.f.Sync(); err != nil {
+		w.sink.f.Close() //lint:syncerr error path: the sync already failed and is being reported
+		return fmt.Errorf("graph: writer sync: %w", err)
+	}
+	if err := w.sink.f.Close(); err != nil {
 		return fmt.Errorf("graph: writer close: %w", err)
 	}
-	return writeIndex(w.idxPath, w.stride, w.index)
+	if err := writeIndex(w.idxPath, w.stride, w.index); err != nil {
+		return err
+	}
+	return sealCSR(w.path, w.sink.h.Sum64(), w.sink.n)
 }
 
 func writeIndex(path string, stride int64, entries []IndexEntry) error {
-	f, err := os.Create(path)
+	f, err := diskio.Create(path)
 	if err != nil {
 		return fmt.Errorf("graph: index: %w", err)
 	}
@@ -208,7 +239,7 @@ func writeIndex(path string, stride int64, entries []IndexEntry) error {
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(stride))
 	binary.LittleEndian.PutUint64(hdr[16:], uint64(len(entries)))
 	if _, err := bw.Write(hdr[:]); err != nil {
-		f.Close()
+		f.Close() //lint:syncerr best-effort cleanup; the primary error is already propagating
 		return err
 	}
 	var rec [24]byte
@@ -217,12 +248,16 @@ func writeIndex(path string, stride int64, entries []IndexEntry) error {
 		binary.LittleEndian.PutUint64(rec[8:], uint64(e.WordOff))
 		binary.LittleEndian.PutUint64(rec[16:], uint64(e.CumEdges))
 		if _, err := bw.Write(rec[:]); err != nil {
-			f.Close()
+			f.Close() //lint:syncerr best-effort cleanup; the primary error is already propagating
 			return err
 		}
 	}
 	if err := bw.Flush(); err != nil {
-		f.Close()
+		f.Close() //lint:syncerr error path: the flush already failed and is being reported
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() //lint:syncerr error path: the sync already failed and is being reported
 		return err
 	}
 	return f.Close()
@@ -233,7 +268,7 @@ func readIndex(path string) (stride int64, entries []IndexEntry, err error) {
 	if err != nil {
 		return 0, nil, err
 	}
-	defer f.Close()
+	defer f.Close() //lint:syncerr read-only handle; no durability contract on close
 	br := bufio.NewReader(f)
 	var hdr [24]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
@@ -302,16 +337,16 @@ func OpenFile(path string, mode mmap.Mode) (*File, error) {
 	}
 	b := m.Bytes()
 	if len(b) < headerBytes {
-		m.Close()
+		m.Close() //lint:syncerr best-effort cleanup; the primary error is already propagating
 		return nil, fmt.Errorf("graph: %s: truncated header", path)
 	}
 	if binary.LittleEndian.Uint32(b[0:]) != fileMagic {
-		m.Close()
+		m.Close() //lint:syncerr best-effort cleanup; the primary error is already propagating
 		return nil, fmt.Errorf("graph: %s: bad magic", path)
 	}
 	version := binary.LittleEndian.Uint32(b[4:])
 	if version != fileVersion && version != fileVersionCompact {
-		m.Close()
+		m.Close() //lint:syncerr best-effort cleanup; the primary error is already propagating
 		return nil, fmt.Errorf("graph: %s: unsupported version %d", path, version)
 	}
 	flags := binary.LittleEndian.Uint64(b[8:])
@@ -330,18 +365,18 @@ func OpenFile(path string, mode mmap.Mode) (*File, error) {
 		//lint:colalias read-only CSR word view; File owns m and the view is never written through
 		f.words, err = m.Uint32s(headerBytes, nWords)
 		if err != nil {
-			m.Close()
+			m.Close() //lint:syncerr best-effort cleanup; the primary error is already propagating
 			return nil, err
 		}
 		wantWords := f.NumVertices*2 + f.NumEdges*f.edgeWords()
 		if nWords < wantWords {
-			m.Close()
+			m.Close() //lint:syncerr best-effort cleanup; the primary error is already propagating
 			return nil, fmt.Errorf("graph: %s: %d record words, want %d", path, nWords, wantWords)
 		}
 	}
 	if f.stride, f.index, err = readIndex(path + ".idx"); err != nil {
 		if !os.IsNotExist(err) {
-			m.Close()
+			m.Close() //lint:syncerr best-effort cleanup; the primary error is already propagating
 			return nil, err
 		}
 		var rerr error
@@ -351,12 +386,12 @@ func OpenFile(path string, mode mmap.Mode) (*File, error) {
 			rerr = f.rebuildIndex()
 		}
 		if rerr != nil {
-			m.Close()
+			m.Close() //lint:syncerr best-effort cleanup; the primary error is already propagating
 			return nil, rerr
 		}
 	}
 	if err := f.checkIndex(); err != nil {
-		m.Close()
+		m.Close() //lint:syncerr best-effort cleanup; the primary error is already propagating
 		return nil, err
 	}
 	return f, nil

@@ -58,7 +58,7 @@ func LoadEdgeListFile(path string) ([]Edge, error) {
 	if err != nil {
 		return nil, fmt.Errorf("graph: %w", err)
 	}
-	defer f.Close()
+	defer f.Close() //lint:syncerr read-only handle; no durability contract on close
 	return ParseEdgeList(f)
 }
 

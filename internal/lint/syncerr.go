@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"strings"
 )
 
 // SyncErr makes silently dropped errors on durability paths a lint
@@ -14,12 +15,24 @@ import (
 // defer) and explicit ones (assigning the error to _) are flagged;
 // deliberate best-effort teardown sites carry //lint:syncerr
 // justifications.
+//
+// The analyzer also polices the storage-layer boundary (DESIGN.md
+// "Storage failure model"): packages listed here have adopted
+// internal/diskio as their write path, and a direct os.Create /
+// os.OpenFile / os.WriteFile / os.CreateTemp bypasses fault injection,
+// typed ENOSPC/EIO classification, and the disk.* metrics — the torture
+// harness can no longer see that write fail. internal/diskio itself is
+// the one place raw os writers are legitimate.
 var SyncErr = &Analyzer{
 	Name: "syncerr",
-	Doc: "ignored errors from Sync/SyncRange/Flush/Close/Commit on " +
-		"durability paths",
-	Packages: []string{"internal/core", "internal/cluster", "internal/vertexfile", "internal/mmap"},
-	Run:      runSyncErr,
+	Doc: "ignored errors from Sync/SyncRange/Flush/Close/Commit, and raw " +
+		"os.* writes bypassing internal/diskio, on durability paths",
+	Packages: []string{
+		"internal/core", "internal/cluster", "internal/vertexfile", "internal/mmap",
+		"internal/serve", "internal/graph", "internal/scrub", "internal/preprocess",
+		"internal/bench", "cmd/gpsa", "cmd/gpsa-bench", "cmd/gpsa-serve",
+	},
+	Run: runSyncErr,
 }
 
 // durabilityMethods are the method/function names whose error results
@@ -27,6 +40,15 @@ var SyncErr = &Analyzer{
 var durabilityMethods = map[string]bool{
 	"Sync": true, "SyncRange": true, "Flush": true, "Close": true,
 	"Commit": true, "CommitStep": true,
+}
+
+// rawOSWriters are the os-package entry points that create or mutate
+// files. In packages routed through internal/diskio these must go via
+// diskio.Create/diskio.OpenFile/diskio.WriteFile/diskio.CreateTemp so
+// the write stays inside the fault-injection and error-classification
+// envelope.
+var rawOSWriters = map[string]bool{
+	"Create": true, "OpenFile": true, "WriteFile": true, "CreateTemp": true,
 }
 
 func runSyncErr(pass *Pass) {
@@ -44,9 +66,20 @@ func runSyncErr(pass *Pass) {
 		}
 		return call, lastResultIsError(info, call)
 	}
+	// The storage-layer check does not apply inside internal/diskio
+	// itself — that package is the one legitimate os.* call site.
+	inDiskio := strings.HasSuffix(pass.Pkg.Path, "internal/diskio")
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
+			case *ast.CallExpr:
+				if inDiskio {
+					return true
+				}
+				name := calleeIdent(n)
+				if rawOSWriters[name] && pkgFunc(info, n, "os", name) {
+					pass.Reportf(n.Pos(), "os.%s bypasses the internal/diskio storage layer; use diskio.%s (fault-injectable, typed errors) or justify with //lint:syncerr", name, name)
+				}
 			case *ast.ExprStmt:
 				if call, ok := durabilityCall(n.X); ok {
 					pass.Reportf(n.Pos(), "error from %s discarded on a durability path; handle it, join it into the returning error, or justify with //lint:syncerr", calleeIdent(call))

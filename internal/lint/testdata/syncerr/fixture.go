@@ -1,7 +1,10 @@
 // Package fixture exercises the syncerr analyzer: implicitly or
-// explicitly discarded errors from durability methods are findings;
-// checked and error-joined calls are not.
+// explicitly discarded errors from durability methods are findings, as
+// are raw os.* file writes that bypass the internal/diskio storage
+// layer; checked and error-joined calls — and pure readers — are not.
 package fixture
+
+import "os"
 
 type file struct{}
 
@@ -58,4 +61,40 @@ func closeJustified(f *file) {
 func syncUnjustified(f *file) {
 	//lint:syncerr
 	f.Sync() // want "suppression requires a justification"
+}
+
+// Raw os writers bypass the fault-injectable storage layer: flagged.
+func rawCreate(path string) error {
+	f, err := os.Create(path) // want "os.Create bypasses the internal/diskio storage layer"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func rawWriteFile(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644) // want "os.WriteFile bypasses the internal/diskio storage layer"
+}
+
+func rawOpenFile(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644) // want "os.OpenFile bypasses the internal/diskio storage layer"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// A justified raw writer (scratch data outside the durability
+// envelope) is suppressed, not reported.
+func scratchTemp(dir string) error {
+	f, err := os.CreateTemp(dir, "scratch-*") //lint:syncerr scratch file outside the durability envelope; failure is not a storage fault
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Pure readers do not mutate the disk: not flagged.
+func reader(path string) ([]byte, error) {
+	return os.ReadFile(path)
 }

@@ -118,6 +118,29 @@ const (
 	// refused while quarantined.
 	CtrServeBreakerOpen     = "serve.breaker.open"
 	CtrServeBreakerRejected = "serve.breaker.rejected"
+
+	// The disk.* counters record the storage layer (internal/diskio) and
+	// the scrub/repair actor (internal/scrub); the disktest harness
+	// asserts on them to prove hostile-disk scenarios exercised the
+	// degradation and repair machinery rather than missing it.
+	//
+	// CtrDiskWriteErrors counts failed writes/syncs on durability paths
+	// (real or injected), after classification.
+	CtrDiskWriteErrors = "disk.write_errors"
+	// CtrDiskENOSPC counts failures classified as disk-full
+	// (diskio.ErrDiskFull), a subset of disk.write_errors plus failed
+	// preflight free-space gates.
+	CtrDiskENOSPC = "disk.enospc"
+	// CtrDiskScrubs counts completed scrub passes over a sealed artifact
+	// (vertex value file or CSR graph file).
+	CtrDiskScrubs = "disk.scrubs"
+	// CtrDiskRepairs counts corrupt artifacts successfully repaired
+	// (interval re-fetch from a live owner, or rebuild from healthy
+	// source data).
+	CtrDiskRepairs = "disk.repairs"
+	// CtrDiskQuarantines counts corrupt artifacts renamed aside
+	// (*.quarantine) so they can never be opened as healthy state.
+	CtrDiskQuarantines = "disk.quarantines"
 )
 
 // counters is a process-wide registry of named monotonic counters. The

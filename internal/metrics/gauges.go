@@ -21,6 +21,11 @@ const (
 	// GaugeServeDraining is 1 while the server is draining (admissions
 	// stopped, in-flight jobs checkpointing), 0 otherwise.
 	GaugeServeDraining = "serve.draining"
+	// GaugeServeDiskDegraded is 1 while the server is in read-only
+	// degraded mode after persistent disk write failures (admissions
+	// refused with 503, probe actor watching for the disk to heal), 0
+	// when the disk is healthy.
+	GaugeServeDiskDegraded = "serve.disk.degraded"
 )
 
 // gauges is a process-wide registry of named gauges, mirroring the

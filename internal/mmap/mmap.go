@@ -17,6 +17,7 @@ import (
 	"os"
 	"sync"
 
+	"repro/internal/diskio"
 	"repro/internal/fault"
 )
 
@@ -70,7 +71,7 @@ func Create(path string, size int64, opts Options) (*Map, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("mmap: create %s: non-positive size %d", path, size)
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := diskio.OpenRaw(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("mmap: create: %w", err)
 	}
@@ -91,7 +92,7 @@ func Open(path string, opts Options) (*Map, error) {
 	if opts.Writable {
 		flag = os.O_RDWR
 	}
-	f, err := os.OpenFile(path, flag, 0)
+	f, err := diskio.OpenRaw(path, flag, 0)
 	if err != nil {
 		return nil, fmt.Errorf("mmap: open: %w", err)
 	}
@@ -158,13 +159,16 @@ func (m *Map) Sync() error {
 	if ferr := fault.Error(fault.SiteMmapSync); ferr != nil {
 		return fmt.Errorf("mmap: sync %s: %w", m.f.Name(), ferr)
 	}
+	if ferr := diskio.SyncFault(m.f.Name()); ferr != nil {
+		return fmt.Errorf("mmap: sync %s: %w", m.f.Name(), ferr)
+	}
 	if m.heap {
 		if _, err := m.f.WriteAt(m.data, 0); err != nil {
-			return fmt.Errorf("mmap: write-back: %w", err)
+			return fmt.Errorf("mmap: write-back: %w", diskio.Classify("write", m.f.Name(), err))
 		}
-		return m.f.Sync()
+		return diskio.Classify("sync", m.f.Name(), m.f.Sync())
 	}
-	return m.msync()
+	return diskio.Classify("sync", m.f.Name(), m.msync())
 }
 
 // SyncRange flushes only the byte range [off, off+n) of the mapping back
@@ -191,13 +195,16 @@ func (m *Map) SyncRange(off, n int64) error {
 	if ferr := fault.Error(fault.SiteMmapSync); ferr != nil {
 		return fmt.Errorf("mmap: sync %s: %w", m.f.Name(), ferr)
 	}
+	if ferr := diskio.SyncFault(m.f.Name()); ferr != nil {
+		return fmt.Errorf("mmap: sync %s: %w", m.f.Name(), ferr)
+	}
 	if m.heap {
 		if _, err := m.f.WriteAt(m.data[off:off+n], off); err != nil {
-			return fmt.Errorf("mmap: write-back: %w", err)
+			return fmt.Errorf("mmap: write-back: %w", diskio.Classify("write", m.f.Name(), err))
 		}
-		return m.f.Sync()
+		return diskio.Classify("sync", m.f.Name(), m.f.Sync())
 	}
-	return m.msyncRange(off, n)
+	return diskio.Classify("sync", m.f.Name(), m.msyncRange(off, n))
 }
 
 // Close unmaps the file and closes the underlying descriptor. Writable

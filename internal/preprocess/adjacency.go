@@ -18,7 +18,7 @@ func AdjacencyToCSR(inputPath, outputPath string, opt Options) (*Stats, error) {
 	if err != nil {
 		return nil, fmt.Errorf("preprocess: %w", err)
 	}
-	defer in.Close()
+	defer in.Close() //lint:syncerr read-only handle; no durability contract on close
 	return ConvertEdgeStream(newAdjacencyReader(in), outputPath, opt)
 }
 

@@ -22,7 +22,7 @@ func BinaryEdgeListToCSR(inputPath, outputPath string, opt Options) (*Stats, err
 	if err != nil {
 		return nil, fmt.Errorf("preprocess: %w", err)
 	}
-	defer in.Close()
+	defer in.Close() //lint:syncerr read-only handle; no durability contract on close
 	st, err := in.Stat()
 	if err != nil {
 		return nil, fmt.Errorf("preprocess: %w", err)

@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"repro/internal/diskio"
 	"repro/internal/graph"
 )
 
@@ -53,7 +54,7 @@ func EdgeListToCSR(inputPath, outputPath string, opt Options) (*Stats, error) {
 	if err != nil {
 		return nil, fmt.Errorf("preprocess: %w", err)
 	}
-	defer in.Close()
+	defer in.Close() //lint:syncerr read-only handle; no durability contract on close
 	return ConvertEdgeStream(newTextEdgeReader(in), outputPath, opt)
 }
 
@@ -224,7 +225,7 @@ func buildRuns(r EdgeReader, opt Options) (runs []runFile, degrees []uint32, num
 			return nil
 		}
 		sort.Slice(buf, func(i, j int) bool { return buf[i].Src < buf[j].Src })
-		f, err := os.CreateTemp(opt.TempDir, "gpsa-run-*.bin")
+		f, err := diskio.CreateTemp(opt.TempDir, "gpsa-run-*.bin")
 		if err != nil {
 			return err
 		}
@@ -235,12 +236,12 @@ func buildRuns(r EdgeReader, opt Options) (runs []runFile, degrees []uint32, num
 			binary.LittleEndian.PutUint32(rec[4:], e.Dst)
 			binary.LittleEndian.PutUint32(rec[8:], math.Float32bits(e.Weight))
 			if _, err := bw.Write(rec[:]); err != nil {
-				f.Close()
+				f.Close() //lint:syncerr best-effort cleanup; the primary error is already propagating
 				return err
 			}
 		}
 		if err := bw.Flush(); err != nil {
-			f.Close()
+			f.Close() //lint:syncerr best-effort cleanup; the primary error is already propagating
 			return err
 		}
 		if err := f.Close(); err != nil {
@@ -333,18 +334,18 @@ func mergeRuns(runs []runFile, w recordWriter, numVertices int64, degrees []uint
 		}
 		c := &runCursor{f: f, br: bufio.NewReaderSize(f, 1<<20)}
 		if err := c.advance(); err != nil {
-			f.Close()
+			f.Close() //lint:syncerr best-effort cleanup; the primary error is already propagating
 			return err
 		}
 		if c.done {
-			f.Close()
+			f.Close() //lint:syncerr read-only handle; no durability contract on close
 			continue
 		}
 		*h = append(*h, c)
 	}
 	defer func() {
 		for _, c := range *h {
-			c.f.Close()
+			c.f.Close() //lint:syncerr read-only handle; no durability contract on close
 		}
 	}()
 	heap.Init(h)
@@ -407,7 +408,7 @@ func mergeRuns(runs []runFile, w recordWriter, numVertices int64, degrees []uint
 			return err
 		}
 		if c.done {
-			c.f.Close()
+			c.f.Close() //lint:syncerr read-only handle; no durability contract on close
 			heap.Pop(h)
 		} else {
 			heap.Fix(h, 0)

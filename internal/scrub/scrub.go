@@ -1,0 +1,324 @@
+// Package scrub is the background scrub/repair actor: it re-verifies
+// sealed storage artifacts — vertex value files (column digests) and
+// CSR graph files (".sum" sidecars) — at a throttled rate, quarantines
+// anything whose bytes no longer match their seal, and repairs what a
+// live replica can rebuild.
+//
+// The threat it exists for is at-rest corruption: bit-rot that flips a
+// sealed byte long after every fsync succeeded. The crash protocol
+// cannot see it (nothing crashed) and the read path only catches it on
+// the next Open — which may be weeks later, after the last healthy
+// replica is gone. Scrubbing trades a bounded trickle of read
+// bandwidth for a bounded detection latency.
+//
+// Outcomes per artifact, in order of preference:
+//
+//  1. Healthy: the seal matches (disk.scrubs counts it).
+//  2. Corrupt with a repair source: the artifact is renamed to
+//     *.quarantine (disk.quarantines), rebuilt — value files by
+//     interval re-fetch from live cluster owners, see
+//     cluster.RepairValuesFile — and re-verified (disk.repairs).
+//  3. Corrupt with no replica: quarantined and flagged
+//     recompute-from-seed; the finding carries cluster.ErrNoReplica's
+//     text so operators know re-running the job is the only remedy.
+//  4. Unreadable (EIO): reported as an I/O finding; the file is NOT
+//     quarantined — a failing disk is not evidence against the data.
+//
+// Value files that record an in-progress or torn superstep are
+// skipped: they are crash recovery's province, and their bytes carry
+// no completed seal to falsify.
+package scrub
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/diskio"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/vertexfile"
+)
+
+// Kind of artifact a Target points at.
+const (
+	KindValues = "values"
+	KindGraph  = "graph"
+)
+
+// Target is one sealed artifact under scrub.
+type Target struct {
+	Path string
+	Kind string // KindValues or KindGraph
+	// Repair, when non-nil, rebuilds Path after the corrupt original
+	// has been quarantined (e.g. cluster.RepairValuesFile bound to the
+	// live owners). nil means no replica exists: the finding is flagged
+	// recompute-from-seed.
+	Repair func() error
+}
+
+// Finding records one unhealthy artifact from a pass.
+type Finding struct {
+	Path        string `json:"path"`
+	Kind        string `json:"kind"`
+	Error       string `json:"error"`
+	Quarantined string `json:"quarantined,omitempty"` // where the corrupt bytes went
+	Repaired    bool   `json:"repaired"`
+	// Action is the operator guidance: "repaired", "recompute-from-seed",
+	// or "io-error".
+	Action string `json:"action"`
+}
+
+// Report summarizes one scrub pass; the harnesses upload it as a CI
+// artifact.
+type Report struct {
+	Start    time.Time `json:"start"`
+	Duration string    `json:"duration"`
+	Scrubbed int       `json:"scrubbed"` // artifacts verified healthy or repaired
+	Skipped  int       `json:"skipped"`  // value files mid-superstep or torn
+	Findings []Finding `json:"findings,omitempty"`
+}
+
+// Clean reports whether the pass found every artifact healthy.
+func (r *Report) Clean() bool { return len(r.Findings) == 0 }
+
+// Options configures a Scrubber.
+type Options struct {
+	// Interval between background passes; <= 0 disables the background
+	// actor (RunOnce still works).
+	Interval time.Duration
+	// ThrottleBytesPerSec caps the scrub read rate so a pass never
+	// competes with the engine for disk bandwidth; <= 0 is unthrottled.
+	ThrottleBytesPerSec int64
+	// ReportDir, when set, receives one scrub-<unixnano>.json report per
+	// pass that had findings (atomic writes).
+	ReportDir string
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+	// OnPass, when non-nil, observes every completed pass (testing and
+	// metrics endpoints).
+	OnPass func(Report)
+}
+
+// Scrubber owns a target set and scrubs it, either on demand (RunOnce)
+// or as a background actor (Start/Stop). Targets may be added and
+// removed while the actor runs; a pass snapshots the set.
+type Scrubber struct {
+	opts Options
+
+	mu      sync.Mutex
+	targets map[string]Target
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New builds a Scrubber with no targets.
+func New(opts Options) *Scrubber {
+	return &Scrubber{opts: opts, targets: make(map[string]Target)}
+}
+
+// Add registers (or replaces) a target by path.
+func (s *Scrubber) Add(t Target) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.targets[t.Path] = t
+}
+
+// Remove drops a target by path.
+func (s *Scrubber) Remove(path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.targets, path)
+}
+
+func (s *Scrubber) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// pace returns the throttle callback for chunked reads, or nil.
+func (s *Scrubber) pace() func(int) {
+	rate := s.opts.ThrottleBytesPerSec
+	if rate <= 0 {
+		return nil
+	}
+	return func(chunk int) {
+		time.Sleep(time.Duration(int64(chunk) * int64(time.Second) / rate))
+	}
+}
+
+// RunOnce scrubs every registered target and returns the pass report.
+func (s *Scrubber) RunOnce() Report {
+	s.mu.Lock()
+	targets := make([]Target, 0, len(s.targets))
+	for _, t := range s.targets {
+		targets = append(targets, t)
+	}
+	s.mu.Unlock()
+
+	rep := Report{Start: time.Now()}
+	for _, t := range targets {
+		s.scrubOne(t, &rep)
+	}
+	rep.Duration = time.Since(rep.Start).String()
+	if s.opts.ReportDir != "" && !rep.Clean() {
+		if err := WriteReport(s.opts.ReportDir, &rep); err != nil {
+			s.logf("scrub: writing report: %v", err)
+		}
+	}
+	if s.opts.OnPass != nil {
+		s.opts.OnPass(rep)
+	}
+	return rep
+}
+
+func (s *Scrubber) scrubOne(t Target, rep *Report) {
+	err := s.verify(t)
+	if err == nil {
+		rep.Scrubbed++
+		metrics.Inc(metrics.CtrDiskScrubs)
+		return
+	}
+	if errors.Is(err, errSkip) {
+		rep.Skipped++
+		return
+	}
+	if !errors.Is(err, diskio.ErrCorrupt) {
+		// The read failed, not the data: an EIO here means the disk is
+		// the problem, and quarantining the artifact would throw away
+		// bytes that may be perfectly fine once the device recovers.
+		s.logf("scrub: %s: read failed: %v", t.Path, err)
+		rep.Findings = append(rep.Findings, Finding{Path: t.Path, Kind: t.Kind, Error: err.Error(), Action: "io-error"})
+		return
+	}
+
+	f := Finding{Path: t.Path, Kind: t.Kind, Error: err.Error(), Action: "recompute-from-seed"}
+	q, qerr := Quarantine(t.Path)
+	if qerr != nil {
+		s.logf("scrub: %s: quarantine failed: %v", t.Path, qerr)
+		f.Error = fmt.Sprintf("%v (quarantine failed: %v)", err, qerr)
+		rep.Findings = append(rep.Findings, f)
+		return
+	}
+	f.Quarantined = q
+	s.logf("scrub: %s: corrupt, quarantined to %s", t.Path, q)
+
+	if t.Repair != nil {
+		if rerr := t.Repair(); rerr != nil {
+			f.Error = fmt.Sprintf("%v (repair failed: %v)", err, rerr)
+			s.logf("scrub: %s: repair failed: %v", t.Path, rerr)
+		} else if verr := s.verify(t); verr != nil {
+			f.Error = fmt.Sprintf("%v (repaired copy failed re-verification: %v)", err, verr)
+			s.logf("scrub: %s: repaired copy failed re-verification: %v", t.Path, verr)
+		} else {
+			f.Repaired = true
+			f.Action = "repaired"
+			rep.Scrubbed++
+			metrics.Inc(metrics.CtrDiskScrubs)
+			metrics.Inc(metrics.CtrDiskRepairs)
+			s.logf("scrub: %s: repaired from live replica", t.Path)
+		}
+	}
+	rep.Findings = append(rep.Findings, f)
+}
+
+// errSkip marks value files awaiting crash recovery, not scrub.
+var errSkip = errors.New("scrub: artifact mid-superstep; crash recovery's province")
+
+func (s *Scrubber) verify(t Target) error {
+	switch t.Kind {
+	case KindValues:
+		state, err := vertexfile.VerifyState(t.Path)
+		if err != nil {
+			return err
+		}
+		if state != "sealed" {
+			return errSkip
+		}
+		if pace := s.pace(); pace != nil {
+			if st, err := os.Stat(t.Path); err == nil {
+				pace(int(st.Size()))
+			}
+		}
+		return nil
+	case KindGraph:
+		return graph.VerifyFile(t.Path, s.pace())
+	default:
+		return fmt.Errorf("scrub: %s: unknown target kind %q", t.Path, t.Kind)
+	}
+}
+
+// Start launches the background actor: one pass every Interval until
+// Stop. A zero or negative interval makes Start a no-op.
+func (s *Scrubber) Start() {
+	if s.opts.Interval <= 0 || s.stop != nil {
+		return
+	}
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go func() {
+		defer close(s.done)
+		tick := time.NewTicker(s.opts.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-tick.C:
+				s.RunOnce()
+			}
+		}
+	}()
+}
+
+// Stop halts the background actor and waits for an in-flight pass.
+func (s *Scrubber) Stop() {
+	if s.stop == nil {
+		return
+	}
+	close(s.stop)
+	<-s.done
+	s.stop, s.done = nil, nil
+}
+
+// Quarantine renames path aside to a non-colliding "<path>.quarantine"
+// (or ".quarantine.N") and syncs the directory, so the corrupt bytes
+// can never again be opened as healthy state but remain available for
+// forensics. Returns the quarantine path.
+func Quarantine(path string) (string, error) {
+	dst := path + ".quarantine"
+	for n := 1; ; n++ {
+		if _, err := os.Stat(dst); errors.Is(err, os.ErrNotExist) {
+			break
+		}
+		dst = fmt.Sprintf("%s.quarantine.%d", path, n)
+	}
+	if err := os.Rename(path, dst); err != nil {
+		return "", err
+	}
+	if err := diskio.SyncDir(filepath.Dir(path)); err != nil {
+		return dst, err
+	}
+	metrics.Inc(metrics.CtrDiskQuarantines)
+	return dst, nil
+}
+
+// WriteReport writes rep as an indented JSON artifact into dir
+// (created if absent), named scrub-<start-unixnano>.json.
+func WriteReport(dir string, rep *Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	name := fmt.Sprintf("scrub-%d.json", rep.Start.UnixNano())
+	return diskio.WriteFileAtomic(filepath.Join(dir, name), append(data, '\n'), 0o644)
+}

@@ -1,0 +1,151 @@
+package scrub
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/diskio"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/vertexfile"
+)
+
+func mkValues(t *testing.T, dir, name string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	vf, err := vertexfile.Create(path, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func mkGraph(t *testing.T, dir, name string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	w, err := graph.NewWriter(path, 4, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := [][]graph.VertexID{{1, 2}, {3}, {}, {}}
+	for _, dsts := range edges {
+		if err := w.AppendVertex(dsts, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestScrubHealthyPass(t *testing.T) {
+	metrics.ResetCounters()
+	dir := t.TempDir()
+	s := New(Options{})
+	s.Add(Target{Path: mkValues(t, dir, "v.gpvf"), Kind: KindValues})
+	s.Add(Target{Path: mkGraph(t, dir, "g.csr"), Kind: KindGraph})
+	rep := s.RunOnce()
+	if !rep.Clean() || rep.Scrubbed != 2 {
+		t.Fatalf("healthy pass: %+v", rep)
+	}
+	if metrics.Counter(metrics.CtrDiskScrubs) != 2 {
+		t.Fatalf("disk.scrubs = %d, want 2", metrics.Counter(metrics.CtrDiskScrubs))
+	}
+}
+
+func TestScrubDetectsGraphRotAndQuarantines(t *testing.T) {
+	metrics.ResetCounters()
+	dir := t.TempDir()
+	gp := mkGraph(t, dir, "g.csr")
+	st, _ := os.Stat(gp)
+	if err := diskio.Rot(gp, st.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{ReportDir: filepath.Join(dir, "reports")})
+	s.Add(Target{Path: gp, Kind: KindGraph})
+	rep := s.RunOnce()
+	if rep.Clean() || len(rep.Findings) != 1 {
+		t.Fatalf("rot not found: %+v", rep)
+	}
+	f := rep.Findings[0]
+	if f.Action != "recompute-from-seed" || f.Quarantined == "" || f.Repaired {
+		t.Fatalf("finding: %+v", f)
+	}
+	if _, err := os.Stat(gp); !os.IsNotExist(err) {
+		t.Fatalf("corrupt file still present at %s", gp)
+	}
+	if _, err := os.Stat(f.Quarantined); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	if metrics.Counter(metrics.CtrDiskQuarantines) != 1 {
+		t.Fatalf("disk.quarantines = %d", metrics.Counter(metrics.CtrDiskQuarantines))
+	}
+	ents, err := os.ReadDir(filepath.Join(dir, "reports"))
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("report artifact not written: %v %v", ents, err)
+	}
+}
+
+func TestScrubRepairsValuesRot(t *testing.T) {
+	metrics.ResetCounters()
+	dir := t.TempDir()
+	vp := mkValues(t, dir, "v.gpvf")
+	// Plant rot in a dispatch-column payload (slot layout: 128-byte
+	// header, 8-byte bitmap for 64 vertices, then interleaved slots;
+	// vertex 10 column 0 sits at 136+8*20) so the sealed column digest
+	// — not the header checksum — catches it.
+	if err := diskio.Rot(vp, 136+8*20); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{})
+	s.Add(Target{
+		Path: vp,
+		Kind: KindValues,
+		Repair: func() error {
+			vf, err := vertexfile.Create(vp, 64, nil)
+			if err != nil {
+				return err
+			}
+			return vf.Close()
+		},
+	})
+	rep := s.RunOnce()
+	if len(rep.Findings) != 1 {
+		t.Fatalf("findings: %+v", rep)
+	}
+	f := rep.Findings[0]
+	if !f.Repaired || f.Action != "repaired" {
+		t.Fatalf("finding: %+v", f)
+	}
+	if err := vertexfile.Verify(vp); err != nil {
+		t.Fatalf("repaired file not healthy: %v", err)
+	}
+	if metrics.Counter(metrics.CtrDiskRepairs) != 1 || metrics.Counter(metrics.CtrDiskQuarantines) != 1 {
+		t.Fatalf("repair metrics: repairs=%d quarantines=%d",
+			metrics.Counter(metrics.CtrDiskRepairs), metrics.Counter(metrics.CtrDiskQuarantines))
+	}
+}
+
+func TestScrubSkipsRunningValues(t *testing.T) {
+	dir := t.TempDir()
+	vp := filepath.Join(dir, "v.gpvf")
+	vf, err := vertexfile.Create(vp, 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vf.Begin(0, true); err != nil {
+		t.Fatal(err)
+	}
+	defer vf.Close()
+	s := New(Options{})
+	s.Add(Target{Path: vp, Kind: KindValues})
+	rep := s.RunOnce()
+	if rep.Skipped != 1 || !rep.Clean() {
+		t.Fatalf("running file not skipped: %+v", rep)
+	}
+}

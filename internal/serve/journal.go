@@ -3,10 +3,13 @@ package serve
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
+	"repro/internal/diskio"
 	"repro/internal/fault"
 )
 
@@ -29,12 +32,12 @@ type journalRecord struct {
 // the server: a SIGKILL at any instant loses no admitted job.
 type journal struct {
 	mu   sync.Mutex
-	f    *os.File
+	f    *diskio.File
 	path string
 }
 
 func openJournal(path string) (*journal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	f, err := diskio.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("serve: opening job journal: %w", err)
 	}
@@ -64,6 +67,29 @@ func (j *journal) append(rec journalRecord) error {
 		return fmt.Errorf("serve: journal sync: %w", err)
 	}
 	return nil
+}
+
+// appendRetry appends a record with bounded retry-with-backoff, for the
+// terminal checkpoint events a job's outcome depends on: a transient
+// disk hiccup must not lose a completion record when waiting a beat
+// would have saved it. The submission path deliberately stays
+// single-shot (refuse fast, let the client retry); only checkpoints
+// earn patience. The returned error, when all attempts fail, carries
+// the typed diskio class of the last failure.
+func (j *journal) appendRetry(rec journalRecord, attempts int, backoff time.Duration) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 && backoff > 0 {
+			time.Sleep(backoff << (i - 1))
+		}
+		if err = j.append(rec); err == nil {
+			return nil
+		}
+	}
+	return err
 }
 
 func (j *journal) close() error {
@@ -96,14 +122,14 @@ func (s journalState) terminal() bool {
 // tolerated and ignored; corruption anywhere else is an error — a
 // journal that lies about earlier jobs must not replay silently.
 func replayJournal(path string) ([]string, map[string]journalState, error) {
-	f, err := os.Open(path)
+	f, err := diskio.Open(path)
 	if err != nil {
-		if os.IsNotExist(err) {
+		if errors.Is(err, os.ErrNotExist) {
 			return nil, map[string]journalState{}, nil
 		}
 		return nil, nil, err
 	}
-	defer f.Close()
+	defer f.Close() //lint:syncerr read-only replay: no writes to lose
 
 	states := make(map[string]journalState)
 	var order []string

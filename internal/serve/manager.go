@@ -11,8 +11,10 @@ import (
 
 	"repro"
 	"repro/internal/actor"
+	"repro/internal/diskio"
 	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/scrub"
 )
 
 // Submission outcome errors the HTTP layer maps onto status codes.
@@ -21,6 +23,11 @@ var (
 	errDraining = errors.New("serve: draining, not accepting jobs")
 	// errBadRequest wraps spec validation failures (400).
 	errBadRequest = errors.New("serve: invalid job spec")
+	// errDiskDegraded refuses submissions while the jobs disk cannot
+	// durably accept writes (503 + Retry-After): the server is read-only
+	// until the recovery probe succeeds. Reads — job status, results,
+	// metrics — keep serving throughout.
+	errDiskDegraded = errors.New("serve: disk degraded, read-only: admissions suspended until the write probe succeeds")
 )
 
 // shedError is a refusal that carries a Retry-After hint: queue-full
@@ -55,11 +62,14 @@ type Manager struct {
 	jobCtx context.Context
 	cancel context.CancelFunc
 
+	scrubber *scrub.Scrubber // nil unless ScrubInterval > 0
+
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	order    []string // job IDs in admission order
 	nextSeq  int64
 	draining bool
+	degraded bool // disk write path failing; admissions suspended
 
 	slotsMu sync.Mutex
 	slots   map[string]int // graph -> running job count
@@ -117,6 +127,15 @@ func NewManager(ctx context.Context, opts Options) (*Manager, error) {
 	for i := 0; i < opts.Workers; i++ {
 		name := fmt.Sprintf("serve-worker-%d", i)
 		m.sys.SpawnFunc(name, func() error { return m.workerLoop(name) })
+	}
+	m.sys.SpawnFunc("serve-disk-probe", m.probeLoop)
+	if opts.ScrubInterval > 0 {
+		m.scrubber = scrub.New(scrub.Options{
+			ThrottleBytesPerSec: opts.ScrubThrottle,
+			ReportDir:           filepath.Join(opts.JobsDir, "scrub-reports"),
+			Logf:                opts.Logf,
+		})
+		m.sys.SpawnFunc("serve-disk-scrub", m.scrubLoop)
 	}
 	return m, nil
 }
@@ -206,10 +225,25 @@ func (m *Manager) Submit(spec JobSpec) (Job, error) {
 	}
 
 	m.mu.Lock()
-	draining := m.draining
+	draining, degraded := m.draining, m.degraded
 	m.mu.Unlock()
 	if draining {
 		return Job{}, errDraining
+	}
+	if degraded {
+		return Job{}, &shedError{retryAfter: m.opts.ProbeInterval, cause: errDiskDegraded}
+	}
+
+	// Preflight: a job the server cannot checkpoint must not be admitted.
+	// Running out of space mid-run turns a 503 the client can retry
+	// elsewhere into a failed job, so the gate is here, before the 202.
+	if m.opts.MinFreeBytes > 0 {
+		if free, ferr := diskio.FreeSpace(m.opts.JobsDir); ferr == nil && free < uint64(m.opts.MinFreeBytes) {
+			metrics.Inc(metrics.CtrDiskENOSPC)
+			m.enterDegraded(fmt.Errorf("%d bytes free in jobs dir, need %d: %w",
+				free, m.opts.MinFreeBytes, diskio.ErrDiskFull))
+			return Job{}, &shedError{retryAfter: m.opts.ProbeInterval, cause: errDiskDegraded}
+		}
 	}
 
 	// Resolve the graph first: a bad graph is a 400, and the digest keys
@@ -262,6 +296,12 @@ func (m *Manager) Submit(spec JobSpec) (Job, error) {
 		// Not durable, not admitted: the 202 contract is journal-first.
 		delete(m.jobs, j.ID)
 		m.order = m.order[:len(m.order)-1]
+		if isDiskErr(err) {
+			// The journal write itself failed at the disk: flip read-only
+			// now rather than refusing one submission at a time.
+			m.enterDegradedLocked(err)
+			return Job{}, &shedError{retryAfter: m.opts.ProbeInterval, cause: errDiskDegraded}
+		}
 		return Job{}, err
 	}
 	if err := m.q.push(j); err != nil {
@@ -393,11 +433,11 @@ func (m *Manager) runJob(j *Job) {
 			if ferr := fault.Error(fault.SiteServeJobFail); ferr != nil {
 				// Injected post-run failure: treat as transient so the
 				// retry/breaker machinery is exercised end to end.
-				vals.Close()
+				vals.Close() //lint:syncerr values already sealed by the engine's final durable commit; close is release-only
 				runErr = ferr
 			} else {
 				digest := vals.Digest()
-				vals.Close()
+				vals.Close() //lint:syncerr values already sealed by the engine's final durable commit; close is release-only
 				m.brk.success(spec.Graph + "|" + spec.Algo)
 				m.finishJob(j, StatusCompleted, fmtResult(res, digest), digest, nil)
 				return
@@ -510,9 +550,145 @@ func (m *Manager) finishJob(j *Job, status string, result *JobResult, digest uin
 		metrics.Inc(metrics.CtrServeInterrupted)
 	}
 
-	if err := m.jour.append(rec); err != nil {
+	// Terminal records are checkpoints the job's durable outcome depends
+	// on: retry with backoff before declaring the disk sick. Exhausting
+	// the retries on a classified disk error means the write path is
+	// persistently failing — degrade to read-only and let the probe
+	// decide when to recover.
+	if err := m.jour.appendRetry(rec, m.opts.DiskRetries, m.opts.RetryBackoff); err != nil {
 		m.opts.Logf("serve: journaling %s for job %s: %v", status, j.ID, err)
+		if isDiskErr(err) {
+			m.enterDegraded(err)
+		}
 	}
+}
+
+// isDiskErr reports whether err carries a diskio class that indicates
+// the disk, not the request, is the problem.
+func isDiskErr(err error) bool {
+	return errors.Is(err, diskio.ErrDiskFull) || errors.Is(err, diskio.ErrIOFailure)
+}
+
+// Degraded reports whether the manager is in disk-degraded (read-only)
+// mode.
+func (m *Manager) Degraded() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.degraded
+}
+
+// enterDegraded flips the manager into disk-degraded mode: admissions
+// refuse with 503, /readyz reports not-ready, and the recovery probe
+// starts testing the disk. Idempotent.
+func (m *Manager) enterDegraded(cause error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.enterDegradedLocked(cause)
+}
+
+func (m *Manager) enterDegradedLocked(cause error) {
+	if m.degraded {
+		return
+	}
+	m.degraded = true
+	metrics.SetGauge(metrics.GaugeServeDiskDegraded, 1)
+	m.opts.Logf("serve: entering disk-degraded mode (read-only): %v", cause)
+}
+
+// exitDegraded restores admissions after a successful disk probe.
+func (m *Manager) exitDegraded() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.degraded {
+		return
+	}
+	m.degraded = false
+	metrics.SetGauge(metrics.GaugeServeDiskDegraded, 0)
+	m.opts.Logf("serve: disk probe succeeded, leaving degraded mode")
+}
+
+// probeDisk is the recovery check: a durable write-sync-remove cycle in
+// the jobs directory plus the free-space gate. It exercises exactly the
+// failure classes that degrade the server (create, write, sync, space).
+func (m *Manager) probeDisk() error {
+	p := filepath.Join(m.opts.JobsDir, ".disk-probe")
+	if err := diskio.WriteFile(p, []byte("probe\n"), 0o644); err != nil {
+		os.Remove(p)
+		return err
+	}
+	if err := os.Remove(p); err != nil {
+		return diskio.Classify("remove", p, err)
+	}
+	if m.opts.MinFreeBytes > 0 {
+		if free, err := diskio.FreeSpace(m.opts.JobsDir); err == nil && free < uint64(m.opts.MinFreeBytes) {
+			return fmt.Errorf("serve: probe: %d bytes free, need %d: %w", free, m.opts.MinFreeBytes, diskio.ErrDiskFull)
+		}
+	}
+	return nil
+}
+
+// probeLoop is the degraded-mode recovery actor: while degraded, probe
+// the disk every ProbeInterval and restore admissions on the first
+// success. Runs for the manager's lifetime; idle when healthy.
+func (m *Manager) probeLoop() error {
+	tick := time.NewTicker(m.opts.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.jobCtx.Done():
+			return nil
+		case <-tick.C:
+			if !m.Degraded() {
+				continue
+			}
+			if err := m.probeDisk(); err != nil {
+				m.opts.Logf("serve: disk probe still failing: %v", err)
+				continue
+			}
+			m.exitDegraded()
+		}
+	}
+}
+
+// scrubLoop is the background scrub actor for the serving tier.
+func (m *Manager) scrubLoop() error {
+	tick := time.NewTicker(m.opts.ScrubInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.jobCtx.Done():
+			return nil
+		case <-tick.C:
+			m.ScrubNow()
+		}
+	}
+}
+
+// ScrubNow refreshes the scrub target set — every resident graph CSR
+// plus the sealed value file of every terminal or interrupted job — and
+// runs one pass. Value files have no serving-tier replica (the cluster
+// repair path lives in internal/cluster), so corrupt ones quarantine
+// with recompute-from-seed guidance. Returns the zero Report when
+// scrubbing is disabled.
+func (m *Manager) ScrubNow() scrub.Report {
+	if m.scrubber == nil {
+		return scrub.Report{}
+	}
+	for _, p := range m.reg.residentPaths() {
+		m.scrubber.Add(scrub.Target{Path: p, Kind: scrub.KindGraph})
+	}
+	m.mu.Lock()
+	for _, id := range m.order {
+		j := m.jobs[id]
+		switch j.Status {
+		case StatusCompleted, StatusInterrupted, StatusDeadline:
+			if _, err := os.Stat(j.ValuesPath); err == nil {
+				m.scrubber.Add(scrub.Target{Path: j.ValuesPath, Kind: scrub.KindValues})
+			}
+		}
+	}
+	m.mu.Unlock()
+	return m.scrubber.RunOnce()
 }
 
 // Drain performs graceful shutdown: admissions stop (Submit refuses,

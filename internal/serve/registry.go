@@ -50,7 +50,7 @@ func (r *graphRegistry) get(rel string) (*residentGraph, error) {
 	}
 	dig, err := graphDigest(full, g)
 	if err != nil {
-		g.Close()
+		g.Close() //lint:syncerr best-effort cleanup; the primary error is already propagating
 		return nil, fmt.Errorf("serve: digesting graph %s: %w", rel, err)
 	}
 	rg := &residentGraph{g: g, digest: dig}
@@ -59,13 +59,25 @@ func (r *graphRegistry) get(rel string) (*residentGraph, error) {
 	return rg, nil
 }
 
+// residentPaths returns the absolute CSR path of every resident graph
+// (the scrub actor's graph target set).
+func (r *graphRegistry) residentPaths() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.graphs))
+	for rel := range r.graphs {
+		out = append(out, filepath.Join(r.root, filepath.FromSlash(rel)))
+	}
+	return out
+}
+
 // closeAll releases every resident graph (shutdown, after all jobs have
 // stopped).
 func (r *graphRegistry) closeAll() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for name, rg := range r.graphs {
-		rg.g.Close()
+		rg.g.Close() //lint:syncerr process/registry teardown; best-effort release of read-only mappings
 		delete(r.graphs, name)
 	}
 	metrics.SetGauge(metrics.GaugeServeResidentGraphs, 0)
@@ -80,7 +92,7 @@ func graphDigest(path string, g *gpsa.Graph) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	defer f.Close()
+	defer f.Close() //lint:syncerr read-only handle; no durability contract on close
 	st, err := f.Stat()
 	if err != nil {
 		return "", err

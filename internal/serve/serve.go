@@ -219,6 +219,26 @@ type Options struct {
 
 	ResumeJobs bool // replay the journal and resume interrupted jobs
 
+	// MinFreeBytes gates admission on free space in JobsDir: below it,
+	// the server enters disk-degraded mode instead of accepting a job it
+	// cannot checkpoint. 0 disables the preflight.
+	MinFreeBytes int64
+	// DiskRetries bounds the retry-with-backoff on journal checkpoint
+	// writes before the failure is declared persistent and the server
+	// degrades (default 3; the submission path stays single-shot).
+	DiskRetries int
+	// ProbeInterval is the cadence of the degraded-mode recovery probe:
+	// while degraded, the manager periodically writes, syncs, and removes
+	// a probe file in JobsDir and re-checks free space; the first success
+	// restores admissions (default 2s).
+	ProbeInterval time.Duration
+	// ScrubInterval enables the background scrub actor: every interval it
+	// re-verifies resident graph CSR checksums and sealed job value files,
+	// quarantining anything corrupt. 0 disables scrubbing.
+	ScrubInterval time.Duration
+	// ScrubThrottle caps the scrub read rate in bytes/sec (0 = unthrottled).
+	ScrubThrottle int64
+
 	Logf func(format string, args ...any) // optional diagnostics sink
 }
 
@@ -262,6 +282,14 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Watchdog <= 0 {
 		o.Watchdog = 60 * time.Second
+	}
+	if o.DiskRetries < 0 {
+		o.DiskRetries = 1
+	} else if o.DiskRetries == 0 {
+		o.DiskRetries = 3
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 2 * time.Second
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/diskio"
 	"repro/internal/fault"
 	"repro/internal/gen"
 	"repro/internal/metrics"
@@ -526,6 +528,215 @@ func asShed(err error, target **shedError) bool {
 }
 
 // waitStatus polls until the job reaches a terminal status.
+// TestJournalShortWriteRefusesButKeepsPriorRecords pins the journal
+// under a torn write: the failing append surfaces typed, and replay
+// still reads every previously acknowledged record — the short write's
+// partial line is a tolerated torn tail, never silent corruption.
+func TestJournalShortWriteRefusesButKeepsPriorRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &JobSpec{Graph: "g.gpsa", Algo: "cc"}
+	if err := j.append(journalRecord{ID: "j-000000", Event: "submitted", Spec: spec}); err != nil {
+		t.Fatal(err)
+	}
+
+	fault.Activate(fault.NewPlan(1, fault.Injection{Site: fault.SiteDiskShortWrite}))
+	defer fault.Deactivate()
+	err = j.append(journalRecord{ID: "j-000001", Event: "submitted", Spec: spec})
+	if err == nil {
+		t.Fatal("short-written append acknowledged")
+	}
+	if !errors.Is(err, diskio.ErrIOFailure) || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("append error not typed: %v", err)
+	}
+	fault.Deactivate()
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	order, states, err := replayJournal(path)
+	if err != nil {
+		t.Fatalf("replay over torn tail: %v", err)
+	}
+	if len(order) != 1 || order[0] != "j-000000" {
+		t.Fatalf("replayed %v, want exactly the acknowledged job", order)
+	}
+	if st := states["j-000000"]; st.Event != "submitted" || st.Spec.Algo != "cc" {
+		t.Fatalf("prior record damaged: %+v", st)
+	}
+}
+
+// TestJournalReplayEIOTyped pins replay under a failing disk: the read
+// error surfaces typed (startup refuses rather than resuming from a
+// journal it could not read), and the same journal replays fine once
+// the disk heals.
+func TestJournalReplayEIOTyped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.append(journalRecord{ID: "j-000000", Event: "submitted", Spec: &JobSpec{Graph: "g", Algo: "cc"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fault.Activate(fault.NewPlan(1, fault.Injection{Site: fault.SiteDiskEIORead}))
+	defer fault.Deactivate()
+	if _, _, err := replayJournal(path); !errors.Is(err, diskio.ErrIOFailure) || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("replay on failing disk = %v, want typed i/o failure", err)
+	}
+	fault.Deactivate()
+
+	order, _, err := replayJournal(path)
+	if err != nil || len(order) != 1 {
+		t.Fatalf("replay after heal: %v %v", order, err)
+	}
+}
+
+// TestManagerDiskDegradedAndRecovers pins the degraded-mode state
+// machine: a journal write failing at the disk flips the manager
+// read-only (typed 503 refusal, gauge set), later submissions are
+// refused without touching the disk, and the recovery probe restores
+// admissions once writes succeed again.
+func TestManagerDiskDegradedAndRecovers(t *testing.T) {
+	metrics.ResetGauges()
+	opts := testOptions(t)
+	rel := writeTestGraph(t, opts.GraphDir)
+	opts.ProbeInterval = 10 * time.Millisecond
+	opts.DiskRetries = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m, err := NewManager(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Drain(context.Background())
+
+	// Every disk write fails until the plan is deactivated.
+	fault.Activate(fault.NewPlan(1, fault.Injection{
+		Site: fault.SiteDiskEIOWrite, Count: -1,
+	}))
+	defer fault.Deactivate()
+
+	spec := JobSpec{Graph: rel, Algo: "cc", Dispatchers: 1}
+	if _, err := m.Submit(spec); !errors.Is(err, errDiskDegraded) {
+		t.Fatalf("submit on failing disk = %v, want errDiskDegraded", err)
+	}
+	if !m.Degraded() {
+		t.Fatal("manager not degraded after journal disk failure")
+	}
+	if v := metrics.GaugeValue(metrics.GaugeServeDiskDegraded); v != 1 {
+		t.Fatalf("serve.disk.degraded = %d, want 1", v)
+	}
+	// Degraded refusals are immediate and typed; nothing touches the disk.
+	if _, err := m.Submit(spec); !errors.Is(err, errDiskDegraded) {
+		t.Fatalf("submit while degraded = %v, want errDiskDegraded", err)
+	}
+
+	fault.Deactivate()
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Degraded() {
+		if time.Now().After(deadline) {
+			t.Fatal("probe never restored admissions after the disk healed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if v := metrics.GaugeValue(metrics.GaugeServeDiskDegraded); v != 0 {
+		t.Fatalf("serve.disk.degraded = %d after recovery, want 0", v)
+	}
+	j, err := m.Submit(spec)
+	if err != nil {
+		t.Fatalf("submit after recovery: %v", err)
+	}
+	done := waitStatus(t, m, j.ID, 10*time.Second)
+	if done.Status != StatusCompleted {
+		t.Fatalf("post-recovery job finished %q (%s), want completed", done.Status, done.Error)
+	}
+}
+
+// TestManagerFreeSpacePreflightDegrades pins the admission gate: a
+// free-space probe below MinFreeBytes refuses the job with the typed
+// degraded error before anything is journaled, and counts disk.enospc.
+func TestManagerFreeSpacePreflightDegrades(t *testing.T) {
+	metrics.ResetCounters()
+	opts := testOptions(t)
+	rel := writeTestGraph(t, opts.GraphDir)
+	opts.MinFreeBytes = 1 // any nonzero: the fault makes the probe read 0
+	opts.ProbeInterval = 10 * time.Millisecond
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m, err := NewManager(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Drain(context.Background())
+
+	fault.Activate(fault.NewPlan(1, fault.Injection{
+		Site: fault.SiteDiskENOSPCPreflight, Count: -1,
+	}))
+	defer fault.Deactivate()
+
+	spec := JobSpec{Graph: rel, Algo: "cc", Dispatchers: 1}
+	if _, err := m.Submit(spec); !errors.Is(err, errDiskDegraded) {
+		t.Fatalf("submit with no free space = %v, want errDiskDegraded", err)
+	}
+	if metrics.Counter(metrics.CtrDiskENOSPC) == 0 {
+		t.Fatal("disk.enospc not counted by the preflight refusal")
+	}
+
+	fault.Deactivate()
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Degraded() {
+		if time.Now().After(deadline) {
+			t.Fatal("probe never restored admissions after space freed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	j, err := m.Submit(spec)
+	if err != nil {
+		t.Fatalf("submit after recovery: %v", err)
+	}
+	waitStatus(t, m, j.ID, 10*time.Second)
+}
+
+// TestManagerScrubNow pins the serving-tier scrub pass: resident graphs
+// and sealed job value files are verified, and a healthy set is clean.
+func TestManagerScrubNow(t *testing.T) {
+	opts := testOptions(t)
+	rel := writeTestGraph(t, opts.GraphDir)
+	opts.ScrubInterval = time.Hour // actor idle; drive passes by hand
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m, err := NewManager(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Drain(context.Background())
+
+	j, err := m.Submit(JobSpec{Graph: rel, Algo: "cc", Dispatchers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitStatus(t, m, j.ID, 10*time.Second)
+	if done.Status != StatusCompleted {
+		t.Fatalf("job finished %q (%s)", done.Status, done.Error)
+	}
+	rep := m.ScrubNow()
+	if !rep.Clean() {
+		t.Fatalf("healthy serving tier not clean: %+v", rep)
+	}
+	// Graph CSR + the completed job's sealed value file.
+	if rep.Scrubbed != 2 {
+		t.Fatalf("scrubbed %d artifacts, want 2 (resident graph + sealed values)", rep.Scrubbed)
+	}
+}
+
 func waitStatus(t *testing.T, m *Manager, id string, timeout time.Duration) Job {
 	t.Helper()
 	deadline := time.Now().Add(timeout)

@@ -123,7 +123,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			secs := int(shed.retryAfter/time.Second) + 1
 			w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
 			code := http.StatusTooManyRequests
-			if errors.Is(err, errBreakerOpen) {
+			if errors.Is(err, errBreakerOpen) || errors.Is(err, errDiskDegraded) {
 				code = http.StatusServiceUnavailable
 			}
 			writeJSON(w, code, errorBody{Error: err.Error()})
@@ -162,12 +162,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// handleReadyz is readiness: 503 once draining so load balancers stop
-// routing new submissions while in-flight jobs checkpoint.
+// handleReadyz is readiness: 503 once draining (so load balancers stop
+// routing new submissions while in-flight jobs checkpoint) and 503
+// while disk-degraded (the server is read-only; route writes elsewhere).
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.m.Draining() {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "draining")
+		return
+	}
+	if s.m.Degraded() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "disk-degraded")
 		return
 	}
 	w.WriteHeader(http.StatusOK)

@@ -1,0 +1,152 @@
+package vertexfile
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/diskio"
+	"repro/internal/fault"
+)
+
+// armOnce arms a plan in which site fires exactly once, and disarms it
+// at test end.
+func armOnce(t *testing.T, site string) {
+	t.Helper()
+	fault.Activate(fault.NewPlan(1, fault.Injection{Site: site}))
+	t.Cleanup(fault.Deactivate)
+}
+
+// sealOneStep runs Begin(0)+Commit(0) durably, leaving f sealed at
+// epoch 1.
+func sealOneStep(t *testing.T, f *File) {
+	t.Helper()
+	if err := f.Begin(0, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(0, true, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRewindSyncEIOTypedAndRecoverable pins the hostile-disk contract
+// for Rewind: an EIO on the header sync surfaces as a typed
+// diskio.ErrIOFailure (matching fault.ErrInjected), and the file — on
+// disk and in process — remains recoverable to a sealed state rather
+// than wedged or silently corrupt.
+func TestRewindSyncEIOTypedAndRecoverable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.gpvf")
+	f, err := Create(path, 32, func(v int64) (uint64, bool) { return uint64(v), true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealOneStep(t, f)
+
+	armOnce(t, fault.SiteDiskEIOSync)
+	err = f.Rewind(0)
+	if err == nil {
+		t.Fatal("rewind on failing disk succeeded")
+	}
+	if !errors.Is(err, diskio.ErrIOFailure) || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("rewind error not typed: %v", err)
+	}
+	fault.Deactivate()
+
+	// The handle is not wedged: the header records a running superstep 0
+	// and Recover restores the start-of-step state.
+	if ep, err := f.Recover(); err != nil || ep != 0 {
+		t.Fatalf("recover after failed rewind: epoch %d, %v", ep, err)
+	}
+	if f.InProgress() {
+		t.Fatal("file still in progress after recover")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// And the on-disk bytes pass a full integrity verification.
+	if state, err := VerifyState(path); err != nil || state != "sealed" {
+		t.Fatalf("verify after recovery: state %q, %v", state, err)
+	}
+}
+
+// TestRewindSyncEIOSurvivesReopen is the cross-process half: the
+// process dies after the failed Rewind, and a fresh Open of the file
+// recovers it to the sealed start-of-step snapshot.
+func TestRewindSyncEIOSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.gpvf")
+	f, err := Create(path, 32, func(v int64) (uint64, bool) { return uint64(v), true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealOneStep(t, f)
+
+	armOnce(t, fault.SiteDiskEIOSync)
+	if err := f.Rewind(0); !errors.Is(err, diskio.ErrIOFailure) {
+		t.Fatalf("rewind error not typed: %v", err)
+	}
+	fault.Deactivate()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen after failed rewind: %v", err)
+	}
+	defer g.Close()
+	if !g.InProgress() {
+		t.Fatal("reopened file does not record the interrupted superstep")
+	}
+	if ep, err := g.Recover(); err != nil || ep != 0 {
+		t.Fatalf("recover on reopen: epoch %d, %v", ep, err)
+	}
+}
+
+// TestAdoptIntervalSyncEIOTyped pins AdoptInterval under a failing
+// disk: the slot sync's EIO surfaces typed, and the recipient file
+// stays at a consistent barrier — the adoption can simply be retried
+// once the disk heals, and the result verifies sealed.
+func TestAdoptIntervalSyncEIOTyped(t *testing.T) {
+	dir := t.TempDir()
+	init := func(v int64) (uint64, bool) { return uint64(100 + v), true }
+	donor, err := Create(filepath.Join(dir, "donor.gpvf"), 32, init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer donor.Close()
+	rpath := filepath.Join(dir, "recipient.gpvf")
+	recip, err := Create(rpath, 32, func(v int64) (uint64, bool) { return 0, false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := donor.ExtractInterval(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	armOnce(t, fault.SiteDiskEIOSync)
+	err = recip.AdoptInterval(blob, true)
+	if err == nil {
+		t.Fatal("adopt on failing disk succeeded")
+	}
+	if !errors.Is(err, diskio.ErrIOFailure) || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("adopt error not typed: %v", err)
+	}
+	fault.Deactivate()
+
+	// Retry after the disk heals: same blob, same barrier, clean adopt.
+	if err := recip.AdoptInterval(blob, true); err != nil {
+		t.Fatalf("adopt retry: %v", err)
+	}
+	for v := int64(8); v < 16; v++ {
+		if got := Payload(recip.Load(0, v)); got != uint64(100+v) {
+			t.Fatalf("vertex %d adopted payload %d, want %d", v, got, 100+v)
+		}
+	}
+	if err := recip.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if state, err := VerifyState(rpath); err != nil || state != "sealed" {
+		t.Fatalf("verify recipient: state %q, %v", state, err)
+	}
+}
